@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one paper artefact via the experiment
+registry, asserts the paper's qualitative shape, and prints the
+regenerated rows (run with ``-s`` to see them).  Heavy campaign
+experiments run once per benchmark (pedantic mode) at a reduced scale.
+"""
+
+import pytest
+
+from repro.experiments.registry import format_result, run_experiment
+
+
+@pytest.fixture
+def run_artefact(benchmark):
+    """Benchmark one experiment once and return its result."""
+
+    def runner(experiment_id, scale=0.25, seed=2015):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(format_result(result))
+        return result
+
+    return runner

@@ -1,0 +1,7 @@
+"""Benchmark: Eq.-(21) ablation (paper-literal vs consistent math)."""
+
+
+def test_bench_eq21_ablation(run_artefact):
+    result = run_artefact("eq21_ablation")
+    assert result.headline["mean_literal_gap_b2"] < 0.1
+    assert result.headline["mean_literal_gap_b1"] > 0.3

@@ -1,0 +1,6 @@
+"""Benchmark: Section V-A delayed-ACK sweep (extension)."""
+
+
+def test_bench_delack(run_artefact):
+    result = run_artefact("delack")
+    assert result.headline["adaptive_b_stationary"] > result.headline["adaptive_b_hsr_harsh"]

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 1 (arrival-latency series with timeouts)."""
+
+
+def test_bench_fig1(run_artefact):
+    result = run_artefact("fig1", scale=0.5)
+    assert result.headline["timeouts"] >= 2
+    assert 15.0 <= result.headline["mean_data_latency_ms"] <= 80.0
+    assert result.headline["lost_data"] > 0

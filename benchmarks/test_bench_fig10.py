@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 10 (model accuracy: enhanced vs Padhye).
+
+The headline artefact: the enhanced model's mean deviation D must sit
+well below the Padhye baseline's, overall and per provider (paper:
+5.66% vs 21.96%).
+"""
+
+
+def test_bench_fig10(run_artefact):
+    result = run_artefact("fig10", scale=0.4)
+    assert result.headline["enhanced_mean_D"] < result.headline["padhye_mean_D"]
+    assert result.headline["improvement_points"] > 0.05

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Fig. 11 (one surviving ACK prevents the timeout)."""
+
+
+def test_bench_fig11(run_artefact):
+    result = run_artefact("fig11")
+    assert result.headline["timeouts_all_lost"] >= 1
+    assert result.headline["timeouts_ack_a_survives"] == 0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 12 (MPTCP vs TCP per provider).
+
+Paper gains: +42.15% (Mobile), +95.64% (Unicom), +283.33% (Telecom);
+shape target is positive gains ordered Telecom > Unicom > Mobile.
+"""
+
+
+def test_bench_fig12(run_artefact):
+    result = run_artefact("fig12", scale=0.5)
+    assert result.headline["mobile_gain_pct"] > 0.0
+    assert (
+        result.headline["telecom_gain_pct"]
+        > result.headline["unicom_gain_pct"]
+        > result.headline["mobile_gain_pct"]
+    )

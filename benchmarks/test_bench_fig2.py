@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 2 (timeout-recovery retransmission detail)."""
+
+
+def test_bench_fig2(run_artefact):
+    result = run_artefact("fig2", scale=1.0)
+    assert result.rows, result.notes
+    assert result.headline["timeouts_in_sequence"] >= 1
+    multiples = [row["timer_multiple"] for row in result.rows]
+    assert multiples == sorted(multiples)  # exponential backoff

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Fig. 3 (lifetime vs in-recovery loss CDFs)."""
+
+
+def test_bench_fig3(run_artefact):
+    result = run_artefact("fig3", scale=0.25)
+    assert result.headline["mean_recovery_loss"] > 3.0 * result.headline["mean_lifetime_loss"]

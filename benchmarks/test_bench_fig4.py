@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Fig. 4 (ACK loss vs timeout probability scatter)."""
+
+
+def test_bench_fig4(run_artefact):
+    result = run_artefact("fig4", scale=0.25)
+    assert result.headline["pearson_correlation"] > 0.0
+    assert result.headline["envelope_slope"] > 0.0

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 5 (ACK burst loss -> spurious timeout)."""
+
+
+def test_bench_fig5(run_artefact):
+    result = run_artefact("fig5")
+    assert result.headline["case_a_timeouts"] >= 1
+    assert result.headline["case_a_data_lost"] == 0
+    assert result.headline["case_b_timeouts"] == 0

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Fig. 6 (ACK-loss CDFs, stationary vs HSR)."""
+
+
+def test_bench_fig6(run_artefact):
+    result = run_artefact("fig6", scale=0.25)
+    assert result.headline["elevation_factor"] > 3.0

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Fig. 7 (CA-phase window evolution, two endings)."""
+
+
+def test_bench_fig7(run_artefact):
+    result = run_artefact("fig7")
+    assert result.headline["case_b_data_lost"] == 0
+    assert result.headline["case_b_timeouts"] >= 1

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Fig. 8 (CA + timeout-sequence cycles)."""
+
+
+def test_bench_fig8(run_artefact):
+    result = run_artefact("fig8", scale=0.5)
+    assert result.headline["cycles"] >= 2
+    assert 0.0 < result.headline["empirical_Q_1_over_n"] <= 1.0

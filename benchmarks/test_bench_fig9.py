@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Fig. 9 (window-limited evolution)."""
+
+
+def test_bench_fig9(run_artefact):
+    result = run_artefact("fig9", scale=0.4)
+    assert result.headline["fraction_of_ca_time_at_wmax"] > 0.3

@@ -1,0 +1,7 @@
+"""Benchmark: throughput-vs-speed sweep (extension)."""
+
+
+def test_bench_speed_sweep(run_artefact):
+    result = run_artefact("speed_sweep", scale=0.4)
+    assert result.headline["driving_retention"] > 0.5
+    assert result.headline["collapse_factor_300"] > 1.3

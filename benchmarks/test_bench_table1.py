@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table I (dataset campaign)."""
+
+
+def test_bench_table1(run_artefact):
+    result = run_artefact("table1", scale=0.25)
+    assert len(result.rows) == 4
+    assert result.headline["flows"] >= 4
+    assert result.headline["total_gb"] > 0.0

@@ -1,0 +1,7 @@
+"""Benchmark: full-trip throughput profile (extension)."""
+
+
+def test_bench_trip_profile(run_artefact):
+    result = run_artefact("trip_profile", scale=0.3)
+    assert result.headline["segments"] >= 3
+    assert result.headline["cruise_collapse_factor"] > 1.2

@@ -1,0 +1,7 @@
+"""Benchmark: TCP-variant comparison under HSR conditions (extension)."""
+
+
+def test_bench_variants(run_artefact):
+    result = run_artefact("variants", scale=0.3)
+    assert result.headline["sim_newreno_timeouts"] <= result.headline["sim_reno_timeouts"]
+    assert result.headline["sim_newreno_pps"] > 0.0

@@ -1,0 +1,34 @@
+"""Delayed-ACK tuning in high-speed mobility (paper Section V-A).
+
+The delayed-ACK window ``b`` trades host efficiency (fewer ACKs) against
+spurious-timeout risk: with only ``w/b`` ACKs per round, losing them
+all — and triggering a spurious retransmission timeout — becomes
+exponentially easier.  This example sweeps ``b`` over three channels
+and shows the TCP-DCA-style adaptive policy picking a safe window.
+
+Run:  python examples/delayed_ack_tuning.py
+"""
+
+from repro.core import LinkParams, adaptive_delayed_window, delayed_ack_tradeoff
+
+CHANNELS = (
+    ("stationary (benign)", LinkParams(rtt=0.06, timeout=0.5, data_loss=0.002,
+                                       ack_loss=0.01, recovery_loss=0.02, wmax=64.0)),
+    ("HSR moderate", LinkParams(rtt=0.12, timeout=0.9, data_loss=0.0075,
+                                ack_loss=0.25, recovery_loss=0.30, wmax=32.0)),
+    ("HSR harsh", LinkParams(rtt=0.15, timeout=1.2, data_loss=0.02,
+                             ack_loss=0.45, recovery_loss=0.38, wmax=32.0)),
+)
+
+for label, params in CHANNELS:
+    print(f"\n{label}  (per-ACK loss {params.ack_loss:.0%})")
+    print(f"  {'b':>2s} {'throughput':>11s} {'P_a':>9s} {'spurious':>9s}")
+    for point in delayed_ack_tradeoff(params, b_values=(1, 2, 3, 4, 6, 8)):
+        print(f"  {point.b:2d} {point.throughput:9.1f}/s "
+              f"{point.ack_burst_loss:9.4f} {point.spurious_timeout_fraction:9.1%}")
+    recommended = adaptive_delayed_window(params, max_b=8, spurious_budget=0.25)
+    print(f"  adaptive recommendation (spurious budget 25%): b = {recommended}")
+
+print("\nTakeaway: on harsh mobile channels every ACK is precious — the")
+print("policy collapses the delayed window toward b = 1, while benign")
+print("channels can afford large windows for host efficiency.")

@@ -1,0 +1,55 @@
+"""Model-vs-simulation: the paper's Fig.-10 methodology on one flow.
+
+Simulates a single HSR flow, measures its link parameters from the
+trace (RTT, T, p_d, p_a, q and the per-round ACK-burst probability),
+feeds them to both closed-form models, and reports the deviation rate
+D (paper Eq. 22) of each prediction against the simulated throughput.
+
+Run:  python examples/model_vs_simulation.py
+"""
+
+from repro.core import ModelOptions, deviation_rate, enhanced_throughput, padhye_paper_form
+from repro.hsr import CHINA_UNICOM, hsr_scenario
+from repro.simulator import run_flow
+from repro.traces import FlowMetadata, capture_flow, measured_model_inputs
+
+SEED = 42
+DURATION = 120.0
+
+scenario = hsr_scenario(CHINA_UNICOM)
+built = scenario.build(duration=DURATION, seed=SEED)
+result = run_flow(built.config, built.data_loss, built.ack_loss, seed=SEED)
+trace = capture_flow(
+    result,
+    FlowMetadata(
+        flow_id="example/unicom", provider=scenario.provider.name,
+        technology=scenario.provider.technology, scenario="hsr",
+        capture_month="2015-10", phone_model="Samsung Galaxy S4",
+        duration=DURATION, seed=SEED,
+    ),
+)
+
+measured = measured_model_inputs(trace)
+assert measured is not None, "flow too quiet to measure"
+
+print("Measured link parameters (from the simulated trace)")
+print(f"  RTT                 {measured.params.rtt * 1000:7.1f} ms")
+print(f"  base timer T        {measured.params.timeout:7.2f} s")
+print(f"  p_d (loss events)   {measured.params.data_loss:8.4%}")
+print(f"  p_a (ACK loss)      {measured.params.ack_loss:8.4%}")
+print(f"  q  (recovery loss)  {measured.params.recovery_loss:8.1%}")
+print(f"  P_a (per round)     {measured.ack_burst_probability:8.4%}")
+
+enhanced = enhanced_throughput(
+    measured.params, ModelOptions(ack_burst_override=measured.ack_burst_probability)
+)
+padhye = padhye_paper_form(measured.params)
+
+print("\nThroughput: simulation vs models")
+print(f"  simulated            {measured.throughput:8.1f} pkt/s")
+for label, prediction in (("enhanced model", enhanced), ("Padhye baseline", padhye)):
+    deviation = deviation_rate(prediction.throughput, measured.throughput)
+    print(f"  {label:20s} {prediction.throughput:8.1f} pkt/s   D = {deviation:6.1%}")
+
+print("\n(The paper's Fig. 10 runs this on all 255 flows: mean D was")
+print(" 21.96% for Padhye vs 5.66% for the enhanced model.)")

@@ -1,0 +1,59 @@
+"""MPTCP in high-speed mobility (paper Section V-B, Fig. 12).
+
+Shows both of the paper's arguments:
+
+1. Analytically — double retransmission shrinks the recovery-phase
+   loss ``q`` to ``q1·q2``, which the enhanced model converts into a
+   throughput gain even in *backup* mode.
+2. By simulation — a China-Telecom HSR flow (worst corridor coverage)
+   vs the same flow with a second China-Mobile subflow in duplex mode,
+   reproducing the paper's ordering: the worse the single path, the
+   larger the MPTCP gain.
+
+Run:  python examples/mptcp_rescue.py
+"""
+
+from repro.core import (
+    LinkParams,
+    backup_mode_throughput,
+    duplex_mode_throughput,
+    enhanced_throughput,
+)
+from repro.hsr import CHINA_MOBILE, CHINA_TELECOM, hsr_scenario
+from repro.simulator import run_duplex, run_flow
+
+print("1) Analytic view (enhanced model, Section V-B)")
+telecom_path = LinkParams(rtt=0.18, timeout=1.2, data_loss=0.012, ack_loss=0.01,
+                          recovery_loss=0.4, wmax=64.0)
+mobile_path = LinkParams(rtt=0.08, timeout=0.7, data_loss=0.005, ack_loss=0.004,
+                         recovery_loss=0.25, wmax=64.0)
+
+single = enhanced_throughput(telecom_path).throughput
+backup = backup_mode_throughput(telecom_path, mobile_path).throughput
+duplex = duplex_mode_throughput(telecom_path, mobile_path).throughput
+print(f"  single path (Telecom)     {single:7.1f} pkt/s")
+print(f"  MPTCP backup mode         {backup:7.1f} pkt/s  (+{backup / single - 1:.0%},"
+      " q reduced to q1*q2)")
+print(f"  MPTCP duplex mode         {duplex:7.1f} pkt/s  (+{duplex / single - 1:.0%})")
+
+print("\n2) Simulated view (Telecom HSR flow + Mobile second subflow)")
+SEED, DURATION = 11, 60.0
+telecom = hsr_scenario(CHINA_TELECOM)
+mobile = hsr_scenario(CHINA_MOBILE)
+
+built = telecom.build(duration=DURATION, seed=SEED)
+tcp = run_flow(built.config, built.data_loss, built.ack_loss, seed=SEED)
+
+primary = telecom.build(duration=DURATION, seed=SEED + 1)
+secondary = mobile.build(duration=DURATION, seed=SEED + 2)
+mptcp = run_duplex(
+    primary.config, primary.data_loss, primary.ack_loss,
+    secondary.config, secondary.data_loss, secondary.ack_loss,
+    seed=SEED + 3,
+)
+
+gain = mptcp.throughput / tcp.throughput - 1.0
+print(f"  TCP   (Telecom only)      {tcp.throughput:7.1f} pkt/s")
+print(f"  MPTCP (Telecom + Mobile)  {mptcp.throughput:7.1f} pkt/s  (+{gain:.0%})")
+print("\n(Paper Fig. 12: +283% for China Telecom — the poorly covered")
+print(" carrier gains most from a second path.)")

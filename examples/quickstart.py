@@ -1,0 +1,51 @@
+"""Quickstart: predict TCP throughput in a high-speed mobility scenario.
+
+Evaluates the paper's enhanced model (Eq. 21) on the measured BTR
+operating point and contrasts it with the classic Padhye model, showing
+where the extra throughput loss comes from (ACK burst loss and the
+lossy timeout-recovery phase).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LinkParams, ModelOptions, enhanced_throughput, padhye_paper_form
+
+# The paper's measured HSR operating point (Section III): data loss
+# 0.75%, ACK loss 0.66%, in-recovery retransmission loss ~27%.
+hsr = LinkParams(
+    rtt=0.12,          # seconds
+    timeout=0.8,       # base retransmission timer T
+    data_loss=0.0075,  # p_d
+    ack_loss=0.0066,   # p_a
+    recovery_loss=0.27,  # q (paper recommends 0.25-0.4)
+    wmax=64.0,         # receiver-advertised window, packets
+    b=2,               # delayed ACK: one ACK per two packets
+)
+
+# Some BTR flows saw per-round ACK burst loss as high as 10% (paper
+# Section IV-E); model that flow directly with the measured P_a.
+bursty_options = ModelOptions(ack_burst_override=0.10)
+
+plain = enhanced_throughput(hsr)
+bursty = enhanced_throughput(hsr, bursty_options)
+padhye = padhye_paper_form(hsr)
+
+print("Enhanced TCP throughput model — HSR operating point")
+print("=" * 60)
+for label, prediction in (
+    ("Padhye baseline (no ACK loss, q = p_d)", padhye),
+    ("Enhanced model (P_a from independence)", plain),
+    ("Enhanced model (measured P_a = 10%)", bursty),
+):
+    print(f"\n{label}")
+    print(f"  throughput          {prediction.throughput:8.1f} pkt/s"
+          f"  ({prediction.throughput_mbps:.2f} Mbps)")
+    print(f"  E[rounds per CA]    {prediction.expected_rounds:8.1f}")
+    print(f"  E[window]           {prediction.expected_window:8.1f} packets")
+    print(f"  P(timeout | loss)   {prediction.timeout_probability:8.3f}")
+    print(f"  spurious timeouts   {prediction.spurious_timeout_fraction:8.1%}")
+    print(f"  E[timeout seq dur]  {prediction.timeout_duration:8.2f} s")
+
+print("\nTakeaway: with realistic per-round ACK burst loss the model")
+print("predicts the severe degradation the paper measured, which the")
+print("Padhye baseline cannot see (it assumes ACKs are never lost).")

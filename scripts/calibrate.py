@@ -1,0 +1,47 @@
+"""Calibration helper: per-scenario observables vs the paper's targets."""
+import statistics, sys, time
+from repro.hsr import hsr_scenario, stationary_scenario, CHINA_MOBILE, CHINA_UNICOM, CHINA_TELECOM
+from repro.simulator import run_flow
+
+def classify_spurious(log):
+    """A timeout is spurious if an earlier copy of its seq already arrived."""
+    arrivals = {}
+    for r in log.data_packets:
+        if r.arrival_time is not None:
+            arrivals.setdefault(r.seq, []).append(r.arrival_time)
+    spurious = 0
+    for t in log.timeouts:
+        if any(a <= t.time for a in arrivals.get(t.seq, [])):
+            spurious += 1
+    return spurious
+
+def run(scenarios, n_flows=6, duration=180.0):
+    t0 = time.time()
+    for scen in scenarios:
+        stats = dict(pd=[], pa=[], rec=[], q=[], spur=[], tos=[], tp=[])
+        for seed in range(n_flows):
+            built = scen.build(duration=duration, seed=seed*97+11)
+            res = run_flow(built.config, built.data_loss, built.ack_loss, seed=seed*31+5)
+            log = res.log
+            phases = log.completed_recovery_phases()
+            stats['pd'].append(res.data_loss_rate)
+            stats['pa'].append(res.ack_loss_rate)
+            stats['tp'].append(res.throughput)
+            stats['tos'].append(len(log.timeouts))
+            if phases:
+                stats['rec'] += [p.duration for p in phases]
+                retx = sum(p.retransmissions for p in phases)
+                lost = sum(p.retransmissions_lost for p in phases)
+                if retx: stats['q'].append(lost/retx)
+            if log.timeouts:
+                stats['spur'].append(classify_spurious(log)/len(log.timeouts))
+        m = lambda k: statistics.mean(stats[k]) if stats[k] else 0.0
+        print('%-30s tp=%7.1f p_d=%.4f p_a=%.4f TO/flow=%5.1f rec=%5.2fs q=%.2f spur=%.2f' % (
+            scen.name, m('tp'), m('pd'), m('pa'), m('tos'), m('rec'), m('q'), m('spur')))
+    print('targets(HSR): p_d~0.0075 p_a~0.0066 rec~5.05s q~0.27 spur~0.49 | stationary: p_a~0.0007 rec~0.65s')
+    print('%.1fs' % (time.time()-t0))
+
+if __name__ == '__main__':
+    scens = [hsr_scenario(p) for p in (CHINA_MOBILE, CHINA_UNICOM, CHINA_TELECOM)]
+    scens += [stationary_scenario(p) for p in (CHINA_MOBILE, CHINA_UNICOM, CHINA_TELECOM)]
+    run(scens)

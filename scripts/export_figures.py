@@ -1,0 +1,90 @@
+"""Export the raw series behind the paper's figures as CSV files.
+
+Writes into ``results/`` (created if needed):
+
+* ``fig1_latency.csv``      — the Fig-1 scatter (send time, latency, dir)
+* ``fig1_cwnd.csv``         — the same flow's window trajectory
+* ``fig3_loss_pairs.csv``   — per-flow (lifetime, recovery) loss rates
+* ``fig4_scatter.csv``      — per-flow (ACK loss, P(timeout)) points
+* ``fig6_ack_loss.csv``     — per-flow ACK loss with scenario label
+* ``campaign_summary.csv``  — one row per flow of the mini campaign
+* ``campaign_report.txt``   — the Section-III text summary
+
+Run:  python scripts/export_figures.py [output_dir]
+"""
+
+import csv
+import io
+import sys
+from pathlib import Path
+
+from repro.experiments.fig1 import simulate_fig1_flow
+from repro.simulator.connection import run_flow
+from repro.traces import (
+    campaign_report,
+    generate_dataset,
+    generate_stationary_reference,
+    loss_rate_pair,
+    timeout_ack_scatter,
+    write_flow_summary_csv,
+    write_latency_csv,
+)
+from repro.hsr import hsr_scenario
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("fig1: one HSR flow...")
+    trace = simulate_fig1_flow(scale=1.0, seed=2015)
+    (out / "fig1_latency.csv").write_text(write_latency_csv(trace))
+    built = hsr_scenario().build(duration=120.0, seed=2015)
+    result = run_flow(built.config, built.data_loss, built.ack_loss, seed=2015)
+    from repro.traces import write_cwnd_csv
+
+    (out / "fig1_cwnd.csv").write_text(write_cwnd_csv(result.log.cwnd_samples))
+
+    print("campaigns (this takes a minute)...")
+    hsr = generate_dataset(seed=2015, duration=90.0, flow_scale=0.06)
+    stationary = generate_stationary_reference(seed=2016, duration=90.0,
+                                               flows_per_provider=3)
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["flow_id", "lifetime_loss", "recovery_loss"])
+    for flow in hsr.traces:
+        lifetime, recovery = loss_rate_pair(flow)
+        writer.writerow([flow.metadata.flow_id, f"{lifetime:.6f}",
+                         "" if recovery is None else f"{recovery:.6f}"])
+    (out / "fig3_loss_pairs.csv").write_text(buffer.getvalue())
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["flow_id", "ack_loss_rate", "timeout_probability"])
+    for point in timeout_ack_scatter(hsr.traces):
+        writer.writerow([point.flow_id, f"{point.ack_loss_rate:.6f}",
+                         f"{point.timeout_probability:.6f}"])
+    (out / "fig4_scatter.csv").write_text(buffer.getvalue())
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["flow_id", "scenario", "ack_loss_rate"])
+    for flow in hsr.traces + stationary.traces:
+        writer.writerow([flow.metadata.flow_id, flow.metadata.scenario,
+                         f"{flow.ack_loss_rate:.6f}"])
+    (out / "fig6_ack_loss.csv").write_text(buffer.getvalue())
+
+    (out / "campaign_summary.csv").write_text(
+        write_flow_summary_csv(hsr.traces + stationary.traces)
+    )
+    (out / "campaign_report.txt").write_text(
+        campaign_report(hsr.traces + stationary.traces,
+                        title="Synthetic BTR campaign (Section III view)")
+    )
+    print(f"wrote {len(list(out.iterdir()))} files to {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

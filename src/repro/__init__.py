@@ -1,0 +1,40 @@
+"""repro — reproduction of "Measurement, Modeling, and Analysis of TCP
+in High-Speed Mobility Scenarios" (ICDCS 2016).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the enhanced throughput model and baselines.
+* :mod:`repro.simulator` — discrete-event TCP Reno / MPTCP simulator.
+* :mod:`repro.hsr` — high-speed-rail channel/mobility substrate.
+* :mod:`repro.traces` — trace capture, analysis, and synthetic dataset.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.core import (
+    LinkParams,
+    ModelOptions,
+    ThroughputPrediction,
+    compare_models,
+    deviation_rate,
+    enhanced_throughput,
+    mptcp_gain,
+    padhye_approx_throughput,
+    padhye_full_throughput,
+    padhye_paper_form,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkParams",
+    "ModelOptions",
+    "ThroughputPrediction",
+    "__version__",
+    "compare_models",
+    "deviation_rate",
+    "enhanced_throughput",
+    "mptcp_gain",
+    "padhye_approx_throughput",
+    "padhye_full_throughput",
+    "padhye_paper_form",
+]

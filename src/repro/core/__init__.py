@@ -1,0 +1,123 @@
+"""The paper's primary contribution: closed-form TCP throughput models.
+
+Public API:
+
+* :class:`LinkParams` — model inputs (paper Table II).
+* :func:`enhanced_throughput` — the enhanced model, paper Eq. (21).
+* :func:`padhye_paper_form` — the Padhye baseline in the paper's framework.
+* :func:`padhye_full_throughput` / :func:`padhye_approx_throughput` —
+  the original Padhye et al. closed forms.
+* :func:`compare_models`, :func:`deviation_rate` — Fig. 10 accuracy metric.
+* :mod:`repro.core.delayed_ack`, :mod:`repro.core.mptcp_model` —
+  Section V analyses.
+"""
+
+from repro.core.accuracy import (
+    FlowObservation,
+    ModelComparison,
+    compare_models,
+    deviation_rate,
+)
+from repro.core.components import (
+    ack_burst_loss_probability,
+    consecutive_timeout_probability,
+    expected_ca_rounds,
+    expected_ca_window,
+    expected_timeout_duration,
+    expected_timeouts_per_sequence,
+    f_backoff,
+    first_loss_round,
+    solve_ack_burst_fixed_point,
+    timeout_probability,
+    timeout_probability_padhye,
+)
+from repro.core.delayed_ack import (
+    DelackPoint,
+    adaptive_delayed_window,
+    delayed_ack_tradeoff,
+    optimal_delayed_window,
+)
+from repro.core.enhanced import (
+    ModelOptions,
+    ThroughputPrediction,
+    enhanced_throughput,
+    padhye_paper_form,
+)
+from repro.core.fitting import (
+    FittedParameters,
+    fit_ack_burst,
+    fit_latent_parameters,
+    fit_population_recovery_loss,
+    fit_recovery_loss,
+)
+from repro.core.mptcp_model import (
+    MptcpPrediction,
+    backup_mode_throughput,
+    duplex_mode_throughput,
+    effective_recovery_loss,
+    mptcp_gain,
+)
+from repro.core.padhye import (
+    padhye_approx_throughput,
+    padhye_expected_window,
+    padhye_full_throughput,
+    padhye_timeout_probability,
+)
+from repro.core.params import RECOMMENDED_RECOVERY_LOSS_RANGE, LinkParams
+from repro.core.sensitivity import SweepPoint, dominant_parameter, elasticity, sweep
+from repro.core.variants import (
+    VENO_RANDOM_LOSS_BACKOFF,
+    newreno_throughput,
+    variant_throughput,
+    veno_throughput,
+)
+
+__all__ = [
+    "DelackPoint",
+    "FittedParameters",
+    "FlowObservation",
+    "LinkParams",
+    "ModelComparison",
+    "ModelOptions",
+    "MptcpPrediction",
+    "RECOMMENDED_RECOVERY_LOSS_RANGE",
+    "SweepPoint",
+    "ThroughputPrediction",
+    "VENO_RANDOM_LOSS_BACKOFF",
+    "ack_burst_loss_probability",
+    "adaptive_delayed_window",
+    "backup_mode_throughput",
+    "compare_models",
+    "consecutive_timeout_probability",
+    "delayed_ack_tradeoff",
+    "deviation_rate",
+    "dominant_parameter",
+    "duplex_mode_throughput",
+    "effective_recovery_loss",
+    "elasticity",
+    "enhanced_throughput",
+    "expected_ca_rounds",
+    "expected_ca_window",
+    "expected_timeout_duration",
+    "expected_timeouts_per_sequence",
+    "f_backoff",
+    "first_loss_round",
+    "fit_ack_burst",
+    "fit_latent_parameters",
+    "fit_population_recovery_loss",
+    "fit_recovery_loss",
+    "mptcp_gain",
+    "newreno_throughput",
+    "optimal_delayed_window",
+    "padhye_approx_throughput",
+    "padhye_expected_window",
+    "padhye_full_throughput",
+    "padhye_paper_form",
+    "padhye_timeout_probability",
+    "solve_ack_burst_fixed_point",
+    "sweep",
+    "timeout_probability",
+    "timeout_probability_padhye",
+    "variant_throughput",
+    "veno_throughput",
+]

@@ -1,0 +1,131 @@
+"""Model-accuracy evaluation: the deviation metric D and comparisons.
+
+Paper Eq. (22): ``D = |TP_model − TP_trace| / TP_trace × 100%``.
+:func:`compare_models` evaluates a set of models against a collection
+of per-flow observations and produces the Fig.-10-style summary
+(per-flow deviations, per-provider means, overall means, and the
+headline improvement of one model over another).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.core.params import LinkParams
+from repro.util.stats import mean
+
+__all__ = [
+    "deviation_rate",
+    "FlowObservation",
+    "ModelComparison",
+    "compare_models",
+]
+
+#: A model under evaluation: LinkParams -> throughput in packets/second.
+ThroughputModel = Callable[[LinkParams], float]
+
+
+def deviation_rate(model_throughput: float, trace_throughput: float) -> float:
+    """Paper Eq. (22): absolute deviation rate, as a fraction (not %)."""
+    if trace_throughput <= 0.0:
+        raise ValueError(f"trace throughput must be positive, got {trace_throughput}")
+    return abs(model_throughput - trace_throughput) / trace_throughput
+
+
+@dataclass(frozen=True)
+class FlowObservation:
+    """One measured flow: its link parameters and its observed throughput.
+
+    ``group`` carries the provider label ("China Mobile", …) used to
+    bucket Fig. 10's x-axis.
+    """
+
+    params: LinkParams
+    throughput: float
+    group: str = ""
+    flow_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0.0:
+            raise ValueError(f"observed throughput must be positive, got {self.throughput}")
+
+
+@dataclass
+class ModelComparison:
+    """Result of evaluating several models over a flow population."""
+
+    model_names: List[str]
+    #: per model: list of deviations (fractions), one per flow, in input order
+    deviations: Dict[str, List[float]] = field(default_factory=dict)
+    #: per model: group label -> mean deviation
+    group_means: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    groups: List[str] = field(default_factory=list)
+
+    def mean_deviation(self, model: str) -> float:
+        """Mean deviation of one model over all flows (fraction)."""
+        return mean(self.deviations[model])
+
+    def improvement(self, model: str, baseline: str) -> float:
+        """Accuracy improvement of ``model`` over ``baseline``.
+
+        The paper reports the *difference of mean deviation rates* in
+        percentage points (21.96% − 5.66% ≈ 16.3%); returned here as a
+        fraction (0.163).
+        """
+        return self.mean_deviation(baseline) - self.mean_deviation(model)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per (group, model) with the mean deviation in percent."""
+        rows: List[Dict[str, object]] = []
+        for group in self.groups:
+            for name in self.model_names:
+                rows.append(
+                    {
+                        "group": group,
+                        "model": name,
+                        "mean_deviation_pct": 100.0 * self.group_means[name][group],
+                    }
+                )
+        for name in self.model_names:
+            rows.append(
+                {
+                    "group": "ALL",
+                    "model": name,
+                    "mean_deviation_pct": 100.0 * self.mean_deviation(name),
+                }
+            )
+        return rows
+
+
+def compare_models(
+    observations: Sequence[FlowObservation],
+    models: Mapping[str, ThroughputModel],
+) -> ModelComparison:
+    """Evaluate each model against each observed flow.
+
+    Models receive the flow's *measured* link parameters — exactly the
+    paper's methodology: feed measured ``RTT, T, p_d, p_a, q, W_m``
+    into the closed form and compare the prediction with the measured
+    throughput.
+    """
+    if not observations:
+        raise ValueError("compare_models() needs at least one observation")
+    comparison = ModelComparison(model_names=list(models))
+    seen_groups: List[str] = []
+    per_group: Dict[str, Dict[str, List[float]]] = {name: {} for name in models}
+    for name, model in models.items():
+        devs: List[float] = []
+        for obs in observations:
+            dev = deviation_rate(model(obs.params), obs.throughput)
+            devs.append(dev)
+            per_group[name].setdefault(obs.group, []).append(dev)
+            if obs.group not in seen_groups:
+                seen_groups.append(obs.group)
+        comparison.deviations[name] = devs
+    comparison.groups = seen_groups
+    comparison.group_means = {
+        name: {group: mean(values) for group, values in groups.items()}
+        for name, groups in per_group.items()
+    }
+    return comparison

@@ -1,0 +1,314 @@
+"""Closed-form building blocks shared by the Padhye and enhanced models.
+
+Each function implements one numbered equation of the paper (or of the
+original Padhye et al. ToN 2000 paper, for the baseline) and is unit-
+tested against hand-computed values and limiting cases.
+
+Two math conventions coexist in the paper (see DESIGN.md §2): Eq. (3)
+implies ``E[W] = (2/b)·E[X] − 2`` while Eqs. (7)/(15) expand with
+``E[W] = (b/2)·E[X] − 2``.  They coincide for the paper's evaluation
+setting ``b = 2``.  Functions taking ``paper_literal`` implement both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ModelDomainError
+
+__all__ = [
+    "f_backoff",
+    "first_loss_round",
+    "expected_ca_rounds",
+    "expected_ca_window",
+    "ack_burst_loss_probability",
+    "solve_ack_burst_fixed_point",
+    "timeout_probability_padhye",
+    "timeout_probability",
+    "consecutive_timeout_probability",
+    "expected_timeouts_per_sequence",
+    "expected_timeout_packets",
+    "expected_timeout_duration",
+    "flat_rounds_padhye",
+    "expected_flat_rounds",
+    "MAX_BACKOFF_DOUBLINGS",
+]
+
+#: The retransmission timer doubles until it reaches 64·T (6 doublings),
+#: per the paper's Section III-B and classic Reno behaviour.
+MAX_BACKOFF_DOUBLINGS = 6
+
+
+def f_backoff(p: float) -> float:
+    """Paper Eq. (14): expected-backoff polynomial ``f(p)``.
+
+    ``f(p) = 1 + p + 2p² + 4p³ + 8p⁴ + 16p⁵ + 32p⁶`` — the expected
+    (normalised) duration contribution of an exponential-backoff
+    timeout sequence where each retransmission fails with probability
+    ``p`` and the timer doubles at most :data:`MAX_BACKOFF_DOUBLINGS`
+    times.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ModelDomainError(f"f_backoff requires p in [0, 1], got {p}")
+    return 1.0 + p + 2.0 * p**2 + 4.0 * p**3 + 8.0 * p**4 + 16.0 * p**5 + 32.0 * p**6
+
+
+def first_loss_round(data_loss: float, b: int) -> float:
+    """Paper Eq. (1): ``X_P``, the expected round where data loss first occurs.
+
+    Diverges as ``data_loss → 0``; returns ``math.inf`` for a lossless
+    link so callers can take the appropriate limit.
+    """
+    if not 0.0 <= data_loss < 1.0:
+        raise ModelDomainError(f"data_loss must be in [0, 1), got {data_loss}")
+    if b < 1:
+        raise ModelDomainError(f"b must be >= 1, got {b}")
+    if data_loss == 0.0:
+        return math.inf
+    head = (2.0 + b) / 6.0
+    return head + math.sqrt(2.0 * b * (1.0 - data_loss) / (3.0 * data_loss) + head**2)
+
+
+def _truncated_geometric_mean_rounds(limit: float, p_event: float) -> float:
+    """E[X] for the truncated-geometric law of Table III.
+
+    ``X = k`` with probability ``(1−p)^{k−1}·p`` for ``k ≤ limit`` and
+    ``X = limit+1`` with the remaining mass ``(1−p)^{limit}``; the
+    closed form is ``(1 − (1−p)^{limit+1}) / p`` (paper Eq. 2 shape).
+    Handles the ``p → 0`` limit (→ ``limit + 1``) and ``limit = inf``
+    (→ ``1/p``).
+    """
+    if not 0.0 <= p_event <= 1.0:
+        raise ModelDomainError(f"probability must be in [0, 1], got {p_event}")
+    # Denormal probabilities quantize in the expm1 path (multiples of
+    # ~5e-324 round up), breaking the E[X] <= limit+1 bound; treat them
+    # as the exact-zero limit they numerically are.
+    if p_event < 1e-300:
+        p_event = 0.0
+    if p_event == 0.0:
+        if math.isinf(limit):
+            raise ModelDomainError(
+                "expected rounds diverge: no data loss and no ACK burst loss"
+            )
+        return limit + 1.0
+    if p_event == 1.0:
+        return 1.0
+    if math.isinf(limit):
+        return 1.0 / p_event
+    # -expm1((limit+1)·log1p(-p))/p is the cancellation-free form of
+    # (1 - (1-p)^(limit+1))/p; the naive expression collapses to 0/p
+    # for p below ~1e-16 and destabilises the P_a fixed point.
+    return -math.expm1((limit + 1.0) * math.log1p(-p_event)) / p_event
+
+
+def expected_ca_rounds(x_p: float, ack_burst_loss: float) -> float:
+    """Paper Eq. (2): expected number of rounds in a congestion-avoidance phase.
+
+    ``E[X] = (1 − (1 − P_a)^{X_P + 1}) / P_a`` with the L'Hôpital limit
+    ``X_P + 1`` as ``P_a → 0`` (recovering the Padhye model).
+    """
+    return _truncated_geometric_mean_rounds(x_p, ack_burst_loss)
+
+
+def expected_ca_window(
+    expected_rounds: float, b: int, paper_literal: bool = False
+) -> float:
+    """Paper Eq. (4): expected window size at the end of a CA phase.
+
+    Consistent form (from Eq. 3): ``E[W] = (2/b)·E[X] − 2``.
+    Paper-literal form (Eq. 4 first line): ``E[W] = (b/2)·E[X] − 2``.
+    Both results are clamped at ≥ 1 packet — the congestion window of a
+    live connection can never fall below one segment.
+    """
+    if b < 1:
+        raise ModelDomainError(f"b must be >= 1, got {b}")
+    slope = (b / 2.0) if paper_literal else (2.0 / b)
+    return max(1.0, slope * expected_rounds - 2.0)
+
+
+def ack_burst_loss_probability(
+    ack_loss: float, window: float, b: int = 1, per_ack: bool = False
+) -> float:
+    """``P_a``: probability that *all* ACKs of one round are lost.
+
+    The paper derives ``P_a = p_a^w`` assuming independent ACK losses
+    and one ACK per packet.  With delayed ACK only ``w/b`` ACKs are sent
+    per round, giving the sharper ``P_a = p_a^{w/b}`` (``per_ack=True``).
+    The exponent is floored at 1 — a round always carries at least one
+    ACK.
+    """
+    if not 0.0 <= ack_loss < 1.0:
+        raise ModelDomainError(f"ack_loss must be in [0, 1), got {ack_loss}")
+    if window < 1.0:
+        raise ModelDomainError(f"window must be >= 1, got {window}")
+    if ack_loss == 0.0:
+        return 0.0
+    exponent = max(1.0, window / b if per_ack else window)
+    return ack_loss**exponent
+
+
+def solve_ack_burst_fixed_point(
+    ack_loss: float,
+    data_loss: float,
+    b: int,
+    wmax: float,
+    per_ack: bool = False,
+    paper_literal: bool = False,
+    max_iterations: int = 200,
+    tolerance: float = 1e-12,
+) -> float:
+    """Close the loop ``P_a = p_a^{E[W](P_a)}`` by fixed-point iteration.
+
+    ``P_a`` depends on the window size, which (via ``E[X]``) depends on
+    ``P_a``.  The map is monotone and bounded, so damped iteration from
+    the Padhye window converges rapidly; we stop early once successive
+    iterates differ by less than ``tolerance``.
+    """
+    x_p = first_loss_round(data_loss, b)
+    if ack_loss == 0.0:
+        return 0.0
+
+    def window_for(pa: float) -> float:
+        rounds = expected_ca_rounds(x_p, pa)
+        window = expected_ca_window(rounds, b, paper_literal)
+        return min(window, wmax)
+
+    # Padhye starting point: no ACK burst loss.
+    if math.isinf(x_p):
+        window = wmax
+    else:
+        window = window_for(0.0)
+    pa = ack_burst_loss_probability(ack_loss, window, b, per_ack)
+    for _ in range(max_iterations):
+        window = window_for(pa)
+        new_pa = ack_burst_loss_probability(ack_loss, window, b, per_ack)
+        # Damping guards against the (rare) oscillatory regime at very
+        # high ack_loss where the window reacts strongly to P_a.
+        new_pa = 0.5 * (pa + new_pa)
+        if abs(new_pa - pa) < tolerance:
+            return new_pa
+        pa = new_pa
+    return pa
+
+
+def timeout_probability_padhye(expected_window: float) -> float:
+    """Paper Eq. (9): ``Q_P = min(1, 3/E[W])`` — P(loss indication is a timeout)."""
+    if expected_window <= 0.0:
+        raise ModelDomainError(f"expected_window must be positive, got {expected_window}")
+    return min(1.0, 3.0 / expected_window)
+
+
+def timeout_probability(
+    q_padhye: float, ack_burst_loss: float, x_p: float
+) -> float:
+    """Paper Eq. (10): ``Q = 1 − (1 − Q_P)·(1 − P_a)^{X_P}``.
+
+    A CA phase ended by data loss (probability ``(1−P_a)^{X_P}``)
+    times out with the Padhye probability; a phase ended by ACK burst
+    loss *always* times out.
+    """
+    if not 0.0 <= q_padhye <= 1.0:
+        raise ModelDomainError(f"q_padhye must be in [0, 1], got {q_padhye}")
+    if not 0.0 <= ack_burst_loss <= 1.0:
+        raise ModelDomainError(
+            f"ack_burst_loss must be in [0, 1], got {ack_burst_loss}"
+        )
+    if ack_burst_loss == 0.0:
+        return q_padhye
+    if math.isinf(x_p):
+        return 1.0
+    return 1.0 - (1.0 - q_padhye) * (1.0 - ack_burst_loss) ** x_p
+
+
+def consecutive_timeout_probability(recovery_loss: float, ack_burst_loss: float) -> float:
+    """``p = 1 − (1 − q)(1 − P_a)``: probability the next timeout also fires.
+
+    A retransmission only succeeds if the retransmitted packet survives
+    (probability ``1 − q``) *and* its ACK round is not burst-lost
+    (probability ``1 − P_a``).
+    """
+    if not 0.0 <= recovery_loss < 1.0:
+        raise ModelDomainError(f"recovery_loss must be in [0, 1), got {recovery_loss}")
+    if not 0.0 <= ack_burst_loss < 1.0:
+        raise ModelDomainError(
+            f"ack_burst_loss must be in [0, 1), got {ack_burst_loss}"
+        )
+    return 1.0 - (1.0 - recovery_loss) * (1.0 - ack_burst_loss)
+
+
+def expected_timeouts_per_sequence(p: float) -> float:
+    """Paper Eq. (11): ``E[R] = 1/(1 − p)`` — geometric mean length of a timeout sequence."""
+    if not 0.0 <= p < 1.0:
+        raise ModelDomainError(f"p must be in [0, 1), got {p}")
+    return 1.0 / (1.0 - p)
+
+
+def expected_timeout_packets(
+    recovery_loss: float, expected_timeouts: float, paper_form: bool = True
+) -> float:
+    """Paper Eq. (12): ``E[Y^TO] = (1 − q)^{E[R]}``.
+
+    The paper's form is dimensionally a probability rather than a
+    count; ``paper_form=False`` provides the natural alternative
+    ``(1 − q)·E[R]`` (expected deliveries across the sequence) used
+    only in the ablation benchmark.  Numerically both are ≤ a few
+    packets, so the throughput impact is negligible.
+    """
+    if not 0.0 <= recovery_loss < 1.0:
+        raise ModelDomainError(f"recovery_loss must be in [0, 1), got {recovery_loss}")
+    if expected_timeouts < 1.0:
+        raise ModelDomainError(
+            f"expected_timeouts must be >= 1, got {expected_timeouts}"
+        )
+    if paper_form:
+        return (1.0 - recovery_loss) ** expected_timeouts
+    return (1.0 - recovery_loss) * expected_timeouts
+
+
+def expected_timeout_duration(timeout: float, p: float) -> float:
+    """Paper Eq. (13): ``E[A^TO] = T · f(p) / (1 − p)``."""
+    if timeout <= 0.0:
+        raise ModelDomainError(f"timeout must be positive, got {timeout}")
+    if not 0.0 <= p < 1.0:
+        raise ModelDomainError(f"p must be in [0, 1), got {p}")
+    return timeout * f_backoff(p) / (1.0 - p)
+
+
+def flat_rounds_padhye(data_loss: float, wmax: float, b: int) -> float:
+    """Paper Eq. (17): ``V_P`` — rounds spent pinned at ``W_m`` (Padhye).
+
+    Can be computed negative for small ``W_m``/large ``p_d`` parameter
+    combinations outside the window-limited regime; clamped at ≥ 1
+    round, matching common Padhye implementations.  A lossless link
+    (``data_loss = 0``) pins the window at ``W_m`` forever; returns
+    ``math.inf`` so callers can take the limit.
+    """
+    if not 0.0 <= data_loss < 1.0:
+        raise ModelDomainError(f"data_loss must be in [0, 1), got {data_loss}")
+    if wmax < 1.0:
+        raise ModelDomainError(f"wmax must be >= 1, got {wmax}")
+    if data_loss == 0.0:
+        return math.inf
+    v_p = (1.0 - data_loss) / (data_loss * wmax) + 1.0 - 3.0 * b * wmax / 8.0
+    return max(1.0, v_p)
+
+
+def expected_flat_rounds(v_p: float, ack_burst_loss: float) -> float:
+    """Paper Eq. (18): ``E[V] = (1 − (1 − P_a)^{V_P}) / P_a``.
+
+    Limit ``V_P`` as ``P_a → 0``.  (Paper Eq. 18 truncates at ``V_P``
+    rather than ``V_P + 1``; we follow the paper.)
+    """
+    if not 0.0 <= ack_burst_loss <= 1.0:
+        raise ModelDomainError(
+            f"ack_burst_loss must be in [0, 1], got {ack_burst_loss}"
+        )
+    if ack_burst_loss < 1e-300:  # denormals quantize in the expm1 path
+        return v_p
+    if ack_burst_loss == 1.0:
+        return 1.0
+    if math.isinf(v_p):
+        return 1.0 / ack_burst_loss
+    # Cancellation-free form of (1 - (1-P_a)^V_P)/P_a; see
+    # _truncated_geometric_mean_rounds.
+    return -math.expm1(v_p * math.log1p(-ack_burst_loss)) / ack_burst_loss

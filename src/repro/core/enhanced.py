@@ -1,0 +1,276 @@
+"""The paper's enhanced TCP throughput model for high-speed mobility.
+
+Implements Eq. (21) — the complete model — together with all
+intermediate quantities (Eqs. 1–20), exposed on the returned
+:class:`ThroughputPrediction` so experiments and tests can inspect the
+model's internals, not just its headline number.
+
+The model extends Padhye et al. with two high-speed-rail phenomena:
+
+* **ACK burst loss** ``P_a``: the probability that every ACK of a
+  transmission round is lost, ending the congestion-avoidance phase
+  with a *spurious* retransmission timeout even though no data was
+  lost.
+* **Lossy recovery** ``q``: retransmitted packets during the
+  timeout-recovery phase are lost far more often (≈ 27% in the BTR
+  traces) than ordinary packets (≈ 0.75%), stretching timeout
+  sequences via exponential backoff.
+
+Setting ``ack_loss = 0`` and ``recovery_loss = data_loss``
+(:meth:`repro.core.params.LinkParams.as_stationary`) collapses the
+model to the paper's Padhye baseline — a property the test suite
+verifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import components as cf
+from repro.core.params import LinkParams
+from repro.util.errors import ModelDomainError
+from repro.util.units import pps_to_mbps
+
+__all__ = [
+    "ModelOptions",
+    "ThroughputPrediction",
+    "enhanced_throughput",
+    "padhye_paper_form",
+]
+
+
+@dataclass(frozen=True)
+class ModelOptions:
+    """Switches between the model variants discussed in DESIGN.md §2.
+
+    ``paper_literal``
+        Use the exact printed Eq. (15)/(21) forms, including the
+        ``E[W] = (b/2)E[X] − 2`` expansion and the ``−1`` constant.
+        The default uses the internally-consistent derivation from
+        Eq. (3); the two coincide for ``b = 2`` up to the constant.
+    ``timeout_yield_paper_form``
+        Keep Eq. (12) verbatim (``E[Y^TO] = (1−q)^{E[R]}``); when
+        False use the natural count ``(1−q)·E[R]``.
+    ``per_ack_burst``
+        Compute ``P_a = p_a^{w/b}`` (one ACK per ``b`` packets, per the
+        delayed-ACK discussion of Section V-A) instead of the paper's
+        ``P_a = p_a^{w}``.
+    ``fixed_point``
+        Solve the ``P_a ↔ E[W]`` fixed point; when False, ``P_a`` is
+        evaluated once at the Padhye (no-ACK-loss) window.
+    ``ack_burst_override``
+        Bypass the ``p_a → P_a`` derivation entirely and use a measured
+        ``P_a`` (useful when traces expose burst loss directly).
+    """
+
+    paper_literal: bool = False
+    timeout_yield_paper_form: bool = True
+    per_ack_burst: bool = False
+    fixed_point: bool = True
+    ack_burst_override: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ThroughputPrediction:
+    """A model evaluation: the throughput plus every internal quantity.
+
+    Throughput is in packets (MSS) per second; use
+    :attr:`throughput_mbps` for the unit the paper plots.
+    """
+
+    throughput: float
+    window_limited: bool
+    ack_burst_loss: float
+    x_p: float
+    expected_rounds: float
+    expected_window: float
+    timeout_probability: float
+    consecutive_timeout_probability: float
+    expected_timeouts: float
+    timeout_duration: float
+    timeout_packets: float
+    ca_packets: float
+    params: LinkParams
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Throughput in megabits per second (MSS-sized packets)."""
+        return pps_to_mbps(self.throughput)
+
+    @property
+    def spurious_timeout_fraction(self) -> float:
+        """Model-implied share of timeouts that are spurious.
+
+        A CA phase ends by ACK burst loss (always a timeout, always
+        spurious) with probability ``1 − (1−P_a)^{X_P}``, or by data
+        loss followed by a genuine timeout with probability
+        ``(1−P_a)^{X_P}·Q_P``; the spurious share is the ratio.
+        """
+        if self.timeout_probability == 0.0:
+            return 0.0
+        if math.isinf(self.x_p):
+            return 1.0
+        survive = (1.0 - self.ack_burst_loss) ** self.x_p
+        spurious = 1.0 - survive
+        return spurious / self.timeout_probability
+
+
+def _resolve_ack_burst(params: LinkParams, options: ModelOptions) -> float:
+    """Derive ``P_a`` from the configured options."""
+    if options.ack_burst_override is not None:
+        pa = options.ack_burst_override
+        if not 0.0 <= pa < 1.0:
+            raise ModelDomainError(f"ack_burst_override must be in [0, 1), got {pa}")
+        return pa
+    if params.ack_loss == 0.0:
+        return 0.0
+    if options.fixed_point:
+        return cf.solve_ack_burst_fixed_point(
+            params.ack_loss,
+            params.data_loss,
+            params.b,
+            params.wmax,
+            per_ack=options.per_ack_burst,
+            paper_literal=options.paper_literal,
+        )
+    x_p = cf.first_loss_round(params.data_loss, params.b)
+    if math.isinf(x_p):
+        window = params.wmax
+    else:
+        rounds = cf.expected_ca_rounds(x_p, 0.0)
+        window = min(
+            cf.expected_ca_window(rounds, params.b, options.paper_literal),
+            params.wmax,
+        )
+    return cf.ack_burst_loss_probability(
+        params.ack_loss, window, params.b, options.per_ack_burst
+    )
+
+
+def enhanced_throughput(
+    params: LinkParams, options: ModelOptions = ModelOptions()
+) -> ThroughputPrediction:
+    """Evaluate the complete enhanced model (paper Eq. 21).
+
+    Selects the unconstrained branch when the equilibrium CA window
+    stays below the advertised limit ``W_m`` and the window-limited
+    branch otherwise, exactly as Eq. (21) prescribes.
+    """
+    pa = _resolve_ack_burst(params, options)
+    x_p = cf.first_loss_round(params.data_loss, params.b)
+
+    # Fully lossless link: the window sits at W_m forever and every
+    # round delivers W_m packets.
+    if math.isinf(x_p) and pa == 0.0:
+        return ThroughputPrediction(
+            throughput=params.wmax / params.rtt,
+            window_limited=True,
+            ack_burst_loss=0.0,
+            x_p=x_p,
+            expected_rounds=math.inf,
+            expected_window=params.wmax,
+            timeout_probability=0.0,
+            consecutive_timeout_probability=0.0,
+            expected_timeouts=1.0,
+            timeout_duration=0.0,
+            timeout_packets=0.0,
+            ca_packets=math.inf,
+            params=params,
+        )
+
+    expected_rounds = cf.expected_ca_rounds(x_p, pa)
+    expected_window = cf.expected_ca_window(
+        expected_rounds, params.b, options.paper_literal
+    )
+    window_limited = expected_window >= params.wmax
+    effective_window = min(expected_window, params.wmax)
+
+    q_padhye = cf.timeout_probability_padhye(effective_window)
+    big_q = cf.timeout_probability(q_padhye, pa, x_p)
+    p = cf.consecutive_timeout_probability(params.recovery_loss, pa)
+    expected_timeouts = cf.expected_timeouts_per_sequence(p)
+    timeout_packets = cf.expected_timeout_packets(
+        params.recovery_loss, expected_timeouts, options.timeout_yield_paper_form
+    )
+    timeout_duration = cf.expected_timeout_duration(params.timeout, p)
+
+    if window_limited:
+        ca_packets, ca_rounds = _window_limited_phase(params, pa, options)
+        expected_rounds = ca_rounds
+    else:
+        ca_packets = _unconstrained_ca_packets(expected_rounds, params.b, options)
+
+    numerator = ca_packets + big_q * timeout_packets
+    denominator = params.rtt * expected_rounds + big_q * timeout_duration
+    throughput = numerator / denominator
+
+    return ThroughputPrediction(
+        throughput=throughput,
+        window_limited=window_limited,
+        ack_burst_loss=pa,
+        x_p=x_p,
+        expected_rounds=expected_rounds,
+        expected_window=effective_window,
+        timeout_probability=big_q,
+        consecutive_timeout_probability=p,
+        expected_timeouts=expected_timeouts,
+        timeout_duration=timeout_duration,
+        timeout_packets=timeout_packets,
+        ca_packets=ca_packets,
+        params=params,
+    )
+
+
+def _unconstrained_ca_packets(
+    expected_rounds: float, b: int, options: ModelOptions
+) -> float:
+    """E[Y] for the unconstrained branch (numerator of Eq. 15).
+
+    Paper-literal: ``(3b/8)E²[X] − ((6+b)/4)E[X] − 1``.
+    Consistent (from ``E[Y] = E[W]/2·(3E[X]/2 − 1)`` with
+    ``E[W] = (2/b)E[X] − 2``): ``(3/(2b))E²[X] − ((2+3b)/(2b))E[X] + 1``.
+    Clamped at ≥ 1 packet: a CA phase delivers at least the packet
+    whose loss (or whose ACK-burst loss) terminates it was preceded by.
+    """
+    x = expected_rounds
+    if options.paper_literal:
+        packets = (3.0 * b / 8.0) * x**2 - ((6.0 + b) / 4.0) * x - 1.0
+    else:
+        packets = (3.0 / (2.0 * b)) * x**2 - ((2.0 + 3.0 * b) / (2.0 * b)) * x + 1.0
+    return max(1.0, packets)
+
+
+def _window_limited_phase(
+    params: LinkParams, pa: float, options: ModelOptions
+) -> tuple:
+    """E[Y] and E[X] for the window-limited branch (Eqs. 16–20)."""
+    v_p = cf.flat_rounds_padhye(params.data_loss, params.wmax, params.b)
+    flat_rounds = cf.expected_flat_rounds(v_p, pa)
+    if math.isinf(flat_rounds):
+        # data_loss == 0 and pa == 0 is handled by the caller; here the
+        # flat phase is unbounded only in the exact Padhye limit, which
+        # cannot be reached with pa > 0.
+        raise ModelDomainError("window-limited phase diverged; check parameters")
+    ramp_rounds = params.b * params.wmax / 2.0  # Eq. (16)
+    packets = (
+        3.0 * params.b * params.wmax**2 / 8.0
+        + params.wmax * (flat_rounds - 0.5)
+    )  # Eq. (19)
+    rounds = ramp_rounds + flat_rounds  # Eq. (20)
+    return max(1.0, packets), rounds
+
+
+def padhye_paper_form(
+    params: LinkParams, options: ModelOptions = ModelOptions()
+) -> ThroughputPrediction:
+    """The paper's Padhye baseline: the same equations with the
+    stationary assumption set (no ACK loss; recovery retransmissions
+    see the ordinary data-loss rate).
+
+    This is the baseline against which Fig. 10 measures the enhanced
+    model; see :mod:`repro.core.padhye` for the original Padhye et al.
+    closed forms.
+    """
+    return enhanced_throughput(params.as_stationary(), options)

@@ -1,0 +1,136 @@
+"""Section V-B analysis: multi-path TCP in high-speed mobility.
+
+The paper's key observation: MPTCP's double-retransmission of a
+timed-out packet (retransmit on the original subflow *and* one more)
+attacks exactly the parameter the enhanced model shows to dominate —
+the recovery-phase loss rate ``q``.  With two independent copies, the
+retransmission round fails only if *both* copies fail, so
+
+    ``q_mptcp = q_original · q_alternate``
+
+(and similarly the ACK-burst term: the timeout repeats only if both
+paths fail to deliver an acknowledged copy).  This module provides:
+
+* :func:`backup_mode_throughput` — one active subflow; the second is
+  used only to double retransmissions, shrinking ``q``.
+* :func:`duplex_mode_throughput` — both subflows carry data; following
+  the paper's own estimator, the aggregate is the sum of the two
+  single-path throughputs (no shared bottleneck).
+* :func:`mptcp_gain` — the Fig.-12-style relative improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.enhanced import ModelOptions, ThroughputPrediction, enhanced_throughput
+from repro.core.params import LinkParams
+
+__all__ = [
+    "MptcpPrediction",
+    "effective_recovery_loss",
+    "backup_mode_throughput",
+    "duplex_mode_throughput",
+    "mptcp_gain",
+]
+
+
+@dataclass(frozen=True)
+class MptcpPrediction:
+    """Aggregate MPTCP prediction and its per-subflow components."""
+
+    throughput: float
+    mode: str
+    primary: ThroughputPrediction
+    secondary: Optional[ThroughputPrediction] = None
+
+    @property
+    def subflow_throughputs(self) -> tuple:
+        if self.secondary is None:
+            return (self.primary.throughput,)
+        return (self.primary.throughput, self.secondary.throughput)
+
+
+def effective_recovery_loss(primary_q: float, alternate_q: float) -> float:
+    """Recovery-phase loss seen by MPTCP's double retransmission.
+
+    Both copies must be lost for the timeout to repeat; with
+    independent paths the probabilities multiply.
+    """
+    if not 0.0 <= primary_q < 1.0:
+        raise ValueError(f"primary_q must be in [0, 1), got {primary_q}")
+    if not 0.0 <= alternate_q < 1.0:
+        raise ValueError(f"alternate_q must be in [0, 1), got {alternate_q}")
+    return primary_q * alternate_q
+
+
+def backup_mode_throughput(
+    primary: LinkParams,
+    backup: LinkParams,
+    options: ModelOptions = ModelOptions(),
+) -> MptcpPrediction:
+    """Backup mode: data flows on ``primary``; ``backup`` only doubles
+    retransmissions during timeout recovery.
+
+    Modelled as the primary path with ``q`` replaced by
+    ``q_primary · q_backup`` (and the ACK-burst contribution to
+    consecutive timeouts damped the same way, approximated here by the
+    dominant ``q`` reduction, which the simulator cross-validates).
+    """
+    reduced_q = effective_recovery_loss(primary.recovery_loss, backup.recovery_loss)
+    prediction = enhanced_throughput(primary.with_(recovery_loss=reduced_q), options)
+    return MptcpPrediction(
+        throughput=prediction.throughput, mode="backup", primary=prediction
+    )
+
+
+def duplex_mode_throughput(
+    primary: LinkParams,
+    secondary: LinkParams,
+    options: ModelOptions = ModelOptions(),
+) -> MptcpPrediction:
+    """Duplex mode: both subflows carry data simultaneously.
+
+    Follows the paper's Fig.-12 estimator — two flows with no shared
+    bottleneck, aggregate = sum of throughputs — with each subflow
+    additionally enjoying the double-retransmission ``q`` reduction.
+    """
+    reduced_primary_q = effective_recovery_loss(
+        primary.recovery_loss, secondary.recovery_loss
+    )
+    reduced_secondary_q = reduced_primary_q
+    first = enhanced_throughput(primary.with_(recovery_loss=reduced_primary_q), options)
+    second = enhanced_throughput(
+        secondary.with_(recovery_loss=reduced_secondary_q), options
+    )
+    return MptcpPrediction(
+        throughput=first.throughput + second.throughput,
+        mode="duplex",
+        primary=first,
+        secondary=second,
+    )
+
+
+def mptcp_gain(
+    single_path: LinkParams,
+    alternate_path: Optional[LinkParams] = None,
+    mode: str = "duplex",
+    options: ModelOptions = ModelOptions(),
+) -> float:
+    """Relative throughput improvement of MPTCP over plain TCP.
+
+    Returns e.g. ``0.42`` for a 42% gain (the paper reports +42.15%
+    for China Mobile, +95.64% for Unicom, +283.33% for Telecom in
+    duplex mode).  ``alternate_path`` defaults to a clone of the
+    single path.
+    """
+    alternate = alternate_path if alternate_path is not None else single_path
+    baseline = enhanced_throughput(single_path, options).throughput
+    if mode == "duplex":
+        multi = duplex_mode_throughput(single_path, alternate, options).throughput
+    elif mode == "backup":
+        multi = backup_mode_throughput(single_path, alternate, options).throughput
+    else:
+        raise ValueError(f"mode must be 'duplex' or 'backup', got {mode!r}")
+    return multi / baseline - 1.0

@@ -1,0 +1,100 @@
+"""The classic Padhye et al. TCP Reno throughput model (ToN 2000).
+
+Implemented as the independent baseline: the *full* model with timeout
+and receiver-window terms, and the widely-quoted *approximate*
+square-root formula.  The paper under reproduction compares its
+enhanced model against Padhye (its Fig. 10); it evaluates Padhye in the
+same algebraic framework as the enhanced model
+(:func:`repro.core.enhanced.padhye_paper_form`), while this module
+provides the original closed forms for cross-validation — the two
+agree asymptotically, which the test suite checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.components import f_backoff
+from repro.core.params import LinkParams
+from repro.util.errors import ModelDomainError
+
+__all__ = [
+    "padhye_full_throughput",
+    "padhye_approx_throughput",
+    "padhye_expected_window",
+    "padhye_timeout_probability",
+]
+
+
+def padhye_expected_window(data_loss: float, b: int) -> float:
+    """Unconstrained equilibrium window W(p) of the full Padhye model.
+
+    ``W(p) = (2+b)/(3b) + sqrt(8(1−p)/(3bp) + ((2+b)/(3b))²)``
+    """
+    if not 0.0 < data_loss < 1.0:
+        raise ModelDomainError(f"data_loss must be in (0, 1), got {data_loss}")
+    head = (2.0 + b) / (3.0 * b)
+    return head + math.sqrt(8.0 * (1.0 - data_loss) / (3.0 * b * data_loss) + head**2)
+
+
+def padhye_timeout_probability(data_loss: float, window: float) -> float:
+    """Full-model ``Q̂(p, w)``: probability a loss indication is a timeout.
+
+    ``Q̂ = min(1, (1 + (1−p)³(1 − (1−p)^{w−3})) / ((1 − (1−p)^w)/(1 − (1−p)³)))``
+
+    Falls back to ``min(1, 3/w)`` — the simplification used by the HSR
+    paper's Eq. (9) — when the full expression is numerically unstable
+    (very small ``p``), to which it converges in that limit anyway.
+    """
+    if not 0.0 < data_loss < 1.0:
+        raise ModelDomainError(f"data_loss must be in (0, 1), got {data_loss}")
+    if window < 1.0:
+        raise ModelDomainError(f"window must be >= 1, got {window}")
+    if window <= 3.0:
+        return 1.0
+    p = data_loss
+    survive = 1.0 - p
+    denominator = 1.0 - survive**window
+    if denominator < 1e-12:
+        return min(1.0, 3.0 / window)
+    numerator = (1.0 - survive**3) * (1.0 + survive**3 * (1.0 - survive ** (window - 3.0)))
+    return min(1.0, numerator / denominator)
+
+
+def padhye_full_throughput(params: LinkParams) -> float:
+    """Full Padhye model (their Eq. 30/31), packets per second.
+
+    Uses ``data_loss`` only — the Padhye world has no ACK loss and no
+    distinguished recovery-phase loss rate.
+    """
+    p = params.data_loss
+    if p <= 0.0:
+        return params.wmax / params.rtt
+    b, rtt, t0, wm = params.b, params.rtt, params.timeout, params.wmax
+    w_u = padhye_expected_window(p, b)
+    if w_u < wm:
+        q_hat = padhye_timeout_probability(p, w_u)
+        numerator = (1.0 - p) / p + w_u / 2.0 + q_hat
+        denominator = rtt * (b / 2.0 * w_u + 1.0) + q_hat * t0 * f_backoff(p) / (
+            1.0 - p
+        )
+    else:
+        q_hat = padhye_timeout_probability(p, wm)
+        numerator = (1.0 - p) / p + wm / 2.0 + q_hat
+        denominator = rtt * (b / 8.0 * wm + (1.0 - p) / (p * wm) + 2.0) + q_hat * t0 * f_backoff(p) / (1.0 - p)
+    return numerator / denominator
+
+
+def padhye_approx_throughput(params: LinkParams) -> float:
+    """The famous approximate formula (Padhye Eq. 32), packets per second.
+
+    ``B ≈ min(W_m/RTT, 1/(RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1+32p²)))``
+    """
+    p = params.data_loss
+    if p <= 0.0:
+        return params.wmax / params.rtt
+    b, rtt, t0, wm = params.b, params.rtt, params.timeout, params.wmax
+    denominator = rtt * math.sqrt(2.0 * b * p / 3.0) + t0 * min(
+        1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)
+    ) * p * (1.0 + 32.0 * p**2)
+    return min(wm / rtt, 1.0 / denominator)

@@ -1,0 +1,86 @@
+"""Parameter objects for the closed-form throughput models.
+
+:class:`LinkParams` bundles every quantity the paper's model (Eq. 21)
+consumes.  Instances are immutable and validated eagerly, so a bad
+experiment configuration fails at construction time.
+
+Symbols follow Table II of the paper:
+
+====================  =======================================================
+attribute             paper symbol / meaning
+====================  =======================================================
+``rtt``               ``RTT`` — average round-trip time (seconds)
+``timeout``           ``T`` — base retransmission-timer value (seconds)
+``b``                 packets acknowledged per ACK (delayed-ACK factor)
+``data_loss``         ``p_d`` — data-packet loss rate over the flow lifetime
+``ack_loss``          ``p_a`` — per-ACK loss rate
+``recovery_loss``     ``q`` — loss rate of retransmitted packets during the
+                      timeout-recovery phase (paper recommends 0.25–0.4)
+``wmax``              ``W_m`` — receiver-advertised window limit (packets)
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["LinkParams", "RECOMMENDED_RECOVERY_LOSS_RANGE"]
+
+#: The paper recommends q in [0.25, 0.4] based on the BTR traces.
+RECOMMENDED_RECOVERY_LOSS_RANGE = (0.25, 0.40)
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Inputs of the enhanced throughput model (paper Table II).
+
+    ``recovery_loss`` defaults to the midpoint of the paper's
+    recommended range when not supplied.
+    """
+
+    rtt: float
+    timeout: float
+    data_loss: float
+    ack_loss: float = 0.0
+    b: int = 2
+    recovery_loss: Optional[float] = None
+    wmax: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0.0:
+            raise ConfigurationError(f"rtt must be positive, got {self.rtt}")
+        if self.timeout <= 0.0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+        if not 0.0 <= self.data_loss < 1.0:
+            raise ConfigurationError(
+                f"data_loss must be in [0, 1), got {self.data_loss}"
+            )
+        if not 0.0 <= self.ack_loss < 1.0:
+            raise ConfigurationError(f"ack_loss must be in [0, 1), got {self.ack_loss}")
+        if self.b < 1 or int(self.b) != self.b:
+            raise ConfigurationError(f"b must be a positive integer, got {self.b}")
+        if self.recovery_loss is None:
+            lo, hi = RECOMMENDED_RECOVERY_LOSS_RANGE
+            object.__setattr__(self, "recovery_loss", (lo + hi) / 2.0)
+        if not 0.0 <= self.recovery_loss < 1.0:
+            raise ConfigurationError(
+                f"recovery_loss must be in [0, 1), got {self.recovery_loss}"
+            )
+        if self.wmax < 1.0:
+            raise ConfigurationError(f"wmax must be >= 1 packet, got {self.wmax}")
+
+    def with_(self, **changes) -> "LinkParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def as_stationary(self) -> "LinkParams":
+        """Project onto the Padhye assumption set.
+
+        No ACK loss, and retransmissions during timeout recovery see the
+        same loss rate as ordinary data packets.  Feeding this to the
+        enhanced model yields the paper's Padhye baseline.
+        """
+        return self.with_(ack_loss=0.0, recovery_loss=self.data_loss)

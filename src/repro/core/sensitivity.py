@@ -1,0 +1,102 @@
+"""Parameter sweeps and sensitivity analysis over the enhanced model.
+
+The paper's Section V argues from the model's structure: throughput is
+most sensitive to the ACK-related term ``P_a`` and to the recovery
+loss ``q``.  These helpers make that argument quantitative — sweep any
+:class:`~repro.core.params.LinkParams` field and compute log-log
+elasticities — and back the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.enhanced import ModelOptions, ThroughputPrediction, enhanced_throughput
+from repro.core.params import LinkParams
+
+__all__ = ["SweepPoint", "sweep", "elasticity", "dominant_parameter"]
+
+#: Fields of LinkParams that can be swept.
+SWEEPABLE_FIELDS = ("rtt", "timeout", "data_loss", "ack_loss", "recovery_loss", "wmax", "b")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, model prediction) pair of a sweep."""
+
+    field: str
+    value: float
+    prediction: ThroughputPrediction
+
+    @property
+    def throughput(self) -> float:
+        return self.prediction.throughput
+
+
+def sweep(
+    params: LinkParams,
+    field: str,
+    values: Sequence[float],
+    options: ModelOptions = ModelOptions(),
+    model: Optional[Callable[[LinkParams, ModelOptions], ThroughputPrediction]] = None,
+) -> List[SweepPoint]:
+    """Evaluate the model along one parameter axis."""
+    if field not in SWEEPABLE_FIELDS:
+        raise ValueError(f"unknown sweep field {field!r}; choose from {SWEEPABLE_FIELDS}")
+    evaluate = model or enhanced_throughput
+    points: List[SweepPoint] = []
+    for value in values:
+        cast = int(value) if field == "b" else float(value)
+        prediction = evaluate(params.with_(**{field: cast}), options)
+        points.append(SweepPoint(field=field, value=float(value), prediction=prediction))
+    return points
+
+
+def elasticity(
+    params: LinkParams,
+    field: str,
+    options: ModelOptions = ModelOptions(),
+    relative_step: float = 0.01,
+) -> float:
+    """Log-log sensitivity ``d ln(TP) / d ln(field)`` by central difference.
+
+    Negative values mean throughput falls as the parameter grows; the
+    magnitude ranks which knob matters most at this operating point.
+    """
+    base_value = float(getattr(params, field))
+    if base_value == 0.0:
+        raise ValueError(f"elasticity undefined at {field} == 0; sweep instead")
+    lo = params.with_(**{field: base_value * (1.0 - relative_step)})
+    hi = params.with_(**{field: base_value * (1.0 + relative_step)})
+    tp_lo = enhanced_throughput(lo, options).throughput
+    tp_hi = enhanced_throughput(hi, options).throughput
+    if tp_lo <= 0.0 or tp_hi <= 0.0:
+        raise ValueError("throughput non-positive during elasticity probe")
+    import math
+
+    return (math.log(tp_hi) - math.log(tp_lo)) / (
+        math.log(1.0 + relative_step) - math.log(1.0 - relative_step)
+    )
+
+
+def dominant_parameter(
+    params: LinkParams,
+    fields: Sequence[str] = ("rtt", "data_loss", "ack_loss", "recovery_loss"),
+    options: ModelOptions = ModelOptions(),
+) -> str:
+    """The parameter with the largest |elasticity| at this operating point.
+
+    Skips fields whose current value is zero (elasticity undefined).
+    """
+    best_field = ""
+    best_magnitude = -1.0
+    for field in fields:
+        if float(getattr(params, field)) == 0.0:
+            continue
+        magnitude = abs(elasticity(params, field, options))
+        if magnitude > best_magnitude:
+            best_field, best_magnitude = field, magnitude
+    if not best_field:
+        raise ValueError("no sweepable field with a nonzero value")
+    return best_field

@@ -1,0 +1,166 @@
+"""Analytic throughput models for TCP variants beyond Reno (extension).
+
+The paper grounds itself on Reno ("the basis of the other TCP
+versions") and cites the NewReno model of Parvez et al. [23] and the
+Veno model of Fu et al. [22] as related work.  This module provides
+lightweight variant models *in the paper's own framework*: each variant
+is expressed as a transformation of the enhanced model's inputs or
+timeout structure, so the HSR-specific terms (``P_a``, ``q``) apply to
+every variant uniformly.
+
+These are documented approximations, not re-derivations of [22]/[23]:
+
+* **NewReno** — partial-ACK fast recovery repairs multi-loss windows
+  without a timeout, so only the ``< 3 dup ACKs`` case still times out.
+  In the Padhye framework Reno's data-loss timeout probability ``Q_P``
+  additionally fires when a window suffers a *second* loss event
+  (retransmission ambiguity); NewReno removes that term.  We model
+  Reno's ``Q_P`` as the paper does (Eq. 9) and NewReno's as
+  ``Q_P · (1 − p)^{E[W]/2}``-complementary — i.e. the share of
+  timeouts attributable to multi-loss windows,
+  ``1 − (1 − p)^{E[W]/2}``, is repaired by fast recovery.
+* **Veno** — distinguishes random loss from congestive loss via the
+  backlog estimate and halves the window only for congestive losses;
+  for random (wireless) losses it reduces the window by the milder
+  factor 4/5.  In equilibrium this scales the window-halving recurrence
+  ``W = W·θ + X/b`` with θ = 4/5 instead of 1/2, enlarging the
+  equilibrium window by ``(1−1/2)/(1−4/5) = 2.5×`` per loss event in
+  the random-loss regime the HSR channel represents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import components as cf
+from repro.core.enhanced import ModelOptions, ThroughputPrediction, enhanced_throughput
+from repro.core.params import LinkParams
+from repro.util.errors import ModelDomainError
+
+__all__ = [
+    "newreno_throughput",
+    "veno_throughput",
+    "variant_throughput",
+    "VENO_RANDOM_LOSS_BACKOFF",
+]
+
+#: Veno's multiplicative decrease for losses classified as random.
+VENO_RANDOM_LOSS_BACKOFF = 0.8
+
+
+def newreno_throughput(
+    params: LinkParams, options: ModelOptions = ModelOptions()
+) -> ThroughputPrediction:
+    """Enhanced-framework NewReno: multi-loss windows avoid timeouts.
+
+    Computed by evaluating the enhanced model and re-weighting its
+    data-loss timeout share: the fraction of Reno timeouts caused by a
+    second loss event in the same window, ``1 − (1−p_d)^{E[W]/2}``,
+    is converted back into fast recoveries.  ACK-burst timeouts
+    (spurious) are unaffected — NewReno cannot see missing ACKs any
+    better than Reno, which is the paper's point that transport-level
+    variants don't fix the ACK-loss problem.
+    """
+    base = enhanced_throughput(params, options)
+    multi_loss_share = 1.0 - (1.0 - params.data_loss) ** (base.expected_window / 2.0)
+    # Split Q into its data-loss and ACK-burst components (Eq. 10).
+    if math.isinf(base.x_p):
+        data_component = 0.0
+    else:
+        survive_bursts = (1.0 - base.ack_burst_loss) ** base.x_p
+        q_padhye = cf.timeout_probability_padhye(base.expected_window)
+        data_component = q_padhye * survive_bursts
+    rescued = data_component * multi_loss_share
+    reduced_q = max(0.0, base.timeout_probability - rescued)
+
+    numerator = base.ca_packets + reduced_q * base.timeout_packets
+    denominator = (
+        params.rtt * base.expected_rounds + reduced_q * base.timeout_duration
+    )
+    return ThroughputPrediction(
+        throughput=numerator / denominator,
+        window_limited=base.window_limited,
+        ack_burst_loss=base.ack_burst_loss,
+        x_p=base.x_p,
+        expected_rounds=base.expected_rounds,
+        expected_window=base.expected_window,
+        timeout_probability=reduced_q,
+        consecutive_timeout_probability=base.consecutive_timeout_probability,
+        expected_timeouts=base.expected_timeouts,
+        timeout_duration=base.timeout_duration,
+        timeout_packets=base.timeout_packets,
+        ca_packets=base.ca_packets,
+        params=params,
+    )
+
+
+def veno_throughput(
+    params: LinkParams,
+    options: ModelOptions = ModelOptions(),
+    random_loss_fraction: float = 1.0,
+) -> ThroughputPrediction:
+    """Enhanced-framework Veno: milder backoff for random losses.
+
+    ``random_loss_fraction`` is the share of loss events Veno's
+    backlog estimator classifies as random (non-congestive); in the
+    HSR channel essentially all loss is random, hence the default 1.0.
+    The effective multiplicative-decrease factor is
+    ``θ = f·0.8 + (1−f)·0.5``; the equilibrium window satisfies
+    ``W = θ·W + X/b`` so ``E[W] = (X/b)/(1−θ)``, i.e. the Reno window
+    scaled by ``0.5/(1−θ)``.
+    """
+    if not 0.0 <= random_loss_fraction <= 1.0:
+        raise ModelDomainError(
+            f"random_loss_fraction must be in [0, 1], got {random_loss_fraction}"
+        )
+    theta = (
+        random_loss_fraction * VENO_RANDOM_LOSS_BACKOFF
+        + (1.0 - random_loss_fraction) * 0.5
+    )
+    window_scale = 0.5 / (1.0 - theta)
+
+    base = enhanced_throughput(params, options)
+    scaled_window = min(base.expected_window * window_scale, params.wmax)
+    # Larger equilibrium window: proportionally more packets per phase
+    # and a lower per-loss timeout probability (Eq. 9), with the same
+    # phase duration in rounds (the window is larger the whole time).
+    q_padhye = cf.timeout_probability_padhye(scaled_window)
+    big_q = cf.timeout_probability(q_padhye, base.ack_burst_loss, base.x_p)
+    ca_packets = base.ca_packets * (scaled_window / base.expected_window)
+
+    numerator = ca_packets + big_q * base.timeout_packets
+    denominator = params.rtt * base.expected_rounds + big_q * base.timeout_duration
+    return ThroughputPrediction(
+        throughput=numerator / denominator,
+        window_limited=scaled_window >= params.wmax,
+        ack_burst_loss=base.ack_burst_loss,
+        x_p=base.x_p,
+        expected_rounds=base.expected_rounds,
+        expected_window=scaled_window,
+        timeout_probability=big_q,
+        consecutive_timeout_probability=base.consecutive_timeout_probability,
+        expected_timeouts=base.expected_timeouts,
+        timeout_duration=base.timeout_duration,
+        timeout_packets=base.timeout_packets,
+        ca_packets=ca_packets,
+        params=params,
+    )
+
+
+@dataclass(frozen=True)
+class _VariantTable:
+    reno: float
+    newreno: float
+    veno: float
+
+
+def variant_throughput(
+    params: LinkParams, options: ModelOptions = ModelOptions()
+) -> dict:
+    """Throughput of all three variants at one operating point."""
+    return {
+        "reno": enhanced_throughput(params, options).throughput,
+        "newreno": newreno_throughput(params, options).throughput,
+        "veno": veno_throughput(params, options).throughput,
+    }

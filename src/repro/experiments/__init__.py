@@ -1,0 +1,27 @@
+"""Per-figure/table experiment drivers.
+
+Each module regenerates one artefact of the paper's evaluation; see
+DESIGN.md §4 for the experiment ↔ module ↔ benchmark index.  Use the
+CLI (``python -m repro.experiments``) or the registry API:
+
+    from repro.experiments import run_experiment, format_result
+    print(format_result(run_experiment("fig10", scale=0.5)))
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    experiment,
+    format_result,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "format_result",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

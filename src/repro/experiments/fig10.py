@@ -1,0 +1,89 @@
+"""Fig. 10 — the headline: model accuracy, enhanced vs Padhye, per provider.
+
+Methodology (paper §IV-E): for every flow in the dataset, feed the
+*measured* link parameters (RTT, T, p_d, p_a, q, and the measured
+ACK-burst probability P_a) into each closed-form model and compare the
+prediction against the flow's measured throughput via the deviation
+rate D (Eq. 22).  Paper result: mean D = 21.96% for Padhye vs 5.66%
+for the enhanced model — a 16.3-point improvement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.accuracy import FlowObservation, compare_models
+from repro.core.enhanced import ModelOptions, enhanced_throughput, padhye_paper_form
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.traces.correlation import MeasuredInputs, measured_model_inputs
+from repro.traces.generator import generate_dataset
+
+PAPER_PADHYE_D = 0.2196
+PAPER_ENHANCED_D = 0.0566
+PAPER_IMPROVEMENT = 0.163
+
+
+def collect_observations(scale: float, seed: int) -> List[MeasuredInputs]:
+    dataset = generate_dataset(seed=seed, duration=90.0, flow_scale=0.12 * scale)
+    inputs = []
+    for trace in dataset.traces:
+        measured = measured_model_inputs(trace)
+        if measured is not None:
+            inputs.append(measured)
+    return inputs
+
+
+@experiment("fig10", "Fig. 10: deviation rate D, enhanced model vs Padhye")
+def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+    inputs = collect_observations(scale, seed)
+    if len(inputs) < 3:
+        return ExperimentResult(
+            experiment_id="fig10",
+            title="Fig. 10: deviation rate D, enhanced model vs Padhye",
+            notes="not enough measurable flows; raise scale",
+        )
+    burst_by_flow = {m.flow_id: m.ack_burst_probability for m in inputs}
+    observations = [
+        FlowObservation(
+            params=m.params, throughput=m.throughput, group=m.provider, flow_id=m.flow_id
+        )
+        for m in inputs
+    ]
+    # The enhanced model consumes the measured per-round ACK-burst
+    # probability; matching prediction to flow via params identity.
+    burst_by_params = {id(obs.params): burst_by_flow[obs.flow_id] for obs in observations}
+
+    def enhanced(params) -> float:
+        options = ModelOptions(ack_burst_override=burst_by_params[id(params)])
+        return enhanced_throughput(params, options).throughput
+
+    def padhye(params) -> float:
+        return padhye_paper_form(params).throughput
+
+    comparison = compare_models(observations, {"enhanced": enhanced, "padhye": padhye})
+    rows = [
+        {
+            "provider": row["group"],
+            "model": row["model"],
+            "mean_D_pct": row["mean_deviation_pct"],
+        }
+        for row in comparison.summary_rows()
+    ]
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Fig. 10: deviation rate D, enhanced model vs Padhye",
+        rows=rows,
+        headline={
+            "flows": float(len(observations)),
+            "enhanced_mean_D": comparison.mean_deviation("enhanced"),
+            "paper_enhanced_mean_D": PAPER_ENHANCED_D,
+            "padhye_mean_D": comparison.mean_deviation("padhye"),
+            "paper_padhye_mean_D": PAPER_PADHYE_D,
+            "improvement_points": comparison.improvement("enhanced", "padhye"),
+            "paper_improvement_points": PAPER_IMPROVEMENT,
+        },
+        notes=(
+            "shape target: enhanced mean D well below Padhye mean D on every "
+            "provider; absolute values depend on the synthetic channel"
+        ),
+    )

@@ -1,0 +1,86 @@
+"""Fig. 11 — one surviving ACK cancels the would-be spurious timeout.
+
+The paper's point: thanks to cumulative acknowledgement, if even a
+single ACK of the round reaches the sender (the ACK marked *a* — the
+one acknowledging the whole round), the window advances and no
+spurious retransmission happens — ACKs are "precious" in high-speed
+mobility.
+
+Same slow-motion setup as the Fig. 5 experiment, but the survivor is
+the *last* ACK of the round (the paper's mark *a*), which cumulatively
+acknowledges everything sent.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import _CONFIG, _ROUND_WINDOW
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.simulator.channel import HandoffLoss, LossModel, NoLoss
+from repro.simulator.connection import run_flow
+from repro.util.rng import RngStream
+
+
+class AllButLastInWindow(LossModel):
+    """Loses every packet in the window except the ``round_size``-th one.
+
+    With one ACK per packet and a round of ``round_size`` packets, the
+    ``round_size``-th ACK inside the window is the round's final,
+    all-covering cumulative ACK — the paper's ACK *a*.
+    """
+
+    def __init__(self, start: float, end: float, round_size: int) -> None:
+        self.start = start
+        self.end = end
+        self.round_size = round_size
+        self._seen = 0
+
+    def is_lost(self, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        self._seen += 1
+        return self._seen != self.round_size
+
+
+@experiment("fig11", "Fig. 11: a single surviving ACK prevents the timeout")
+def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+    all_lost = run_flow(
+        _CONFIG,
+        data_loss=NoLoss(),
+        ack_loss=HandoffLoss(
+            RngStream(seed, "fig11"), [_ROUND_WINDOW], loss_during=1.0
+        ),
+        seed=seed,
+    )
+    ack_a_survives = run_flow(
+        _CONFIG,
+        data_loss=NoLoss(),
+        ack_loss=AllButLastInWindow(*_ROUND_WINDOW, round_size=int(_CONFIG.wmax)),
+        seed=seed,
+    )
+    rows = [
+        {
+            "case": "all ACKs of the round lost",
+            "timeouts": len(all_lost.log.timeouts),
+            "duplicate_payloads": all_lost.log.duplicate_payloads,
+            "acks_lost": all_lost.log.acks_lost,
+        },
+        {
+            "case": "ACK 'a' (last of round) survives",
+            "timeouts": len(ack_a_survives.log.timeouts),
+            "duplicate_payloads": ack_a_survives.log.duplicate_payloads,
+            "acks_lost": ack_a_survives.log.acks_lost,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Fig. 11: a single surviving ACK prevents the timeout",
+        rows=rows,
+        headline={
+            "timeouts_all_lost": float(len(all_lost.log.timeouts)),
+            "timeouts_ack_a_survives": float(len(ack_a_survives.log.timeouts)),
+        },
+        notes=(
+            "the surviving cumulative ACK acknowledges the whole round, so "
+            "the second case must show zero timeouts and zero duplicates"
+        ),
+    )

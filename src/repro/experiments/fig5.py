@@ -1,0 +1,97 @@
+"""Fig. 5 — two scripted cases where ACK loss does / does not trigger a timeout.
+
+Case (a): *every* ACK of one transmission round is lost → the sender
+mistakes ACK loss for data loss and a spurious retransmission timeout
+fires once the timer T expires.
+
+Case (b): not all ACKs of the round are lost → the surviving ACK
+updates the sliding window, the sender sends more data, the next
+round's ACK returns, and no timeout occurs.
+
+Both cases run in "slow motion" (RTT = 1 s) so a transmission round is
+a well-separated burst of ACKs that a time window can target exactly —
+the same logical experiment as the paper's 6-packet rounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.simulator.channel import HandoffLoss, LossModel, NoLoss
+from repro.simulator.connection import ConnectionConfig, run_flow
+from repro.util.rng import RngStream
+
+#: Slow-motion connection: one round of 6 packets per second, one ACK
+#: per packet, retransmission timer well above the RTT.
+_CONFIG = ConnectionConfig(
+    forward_delay=0.5,
+    reverse_delay=0.5,
+    wmax=6.0,
+    b=1,
+    min_rto=2.6,
+    initial_rto=2.6,
+    duration=14.0,
+)
+#: Time window bracketing exactly one round's ACK burst (at t ≈ 6 s).
+_ROUND_WINDOW = (5.5, 6.5)
+
+
+class AllButFirstInWindow(LossModel):
+    """Loses every packet inside the window except the first one."""
+
+    def __init__(self, start: float, end: float) -> None:
+        self.start = start
+        self.end = end
+        self._seen = 0
+
+    def is_lost(self, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        self._seen += 1
+        return self._seen != 1
+
+
+def _describe(result, case: str) -> dict:
+    log = result.log
+    return {
+        "case": case,
+        "data_lost": log.data_lost,
+        "acks_lost": log.acks_lost,
+        "timeouts": len(log.timeouts),
+        "duplicate_payloads": log.duplicate_payloads,
+        "verdict": "spurious timeout" if log.timeouts else "no timeout",
+    }
+
+
+@experiment("fig5", "Fig. 5: ACK burst loss triggering (or not) a timeout")
+def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+    all_lost = run_flow(
+        _CONFIG,
+        data_loss=NoLoss(),
+        ack_loss=HandoffLoss(RngStream(seed, "fig5"), [_ROUND_WINDOW], loss_during=1.0),
+        seed=seed,
+    )
+    one_survives = run_flow(
+        _CONFIG,
+        data_loss=NoLoss(),
+        ack_loss=AllButFirstInWindow(*_ROUND_WINDOW),
+        seed=seed,
+    )
+    rows = [
+        _describe(all_lost, "(a) all 6 ACKs of the round lost"),
+        _describe(one_survives, "(b) one ACK survives, window slides"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Fig. 5: ACK burst loss triggering (or not) a timeout",
+        rows=rows,
+        headline={
+            "case_a_timeouts": float(len(all_lost.log.timeouts)),
+            "case_a_data_lost": float(all_lost.log.data_lost),
+            "case_b_timeouts": float(len(one_survives.log.timeouts)),
+        },
+        notes=(
+            "case (a): >=1 timeout with zero data loss (pure spurious); "
+            "case (b): zero timeouts — a timeout needs ALL ACKs of the "
+            "round lost, the paper's Section III-B.2 conclusion"
+        ),
+    )

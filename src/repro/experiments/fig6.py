@@ -1,0 +1,52 @@
+"""Fig. 6 — CDFs of per-flow ACK loss: stationary vs high-speed.
+
+Paper finding: average ACK loss 0.661% in HSR vs 0.0718% stationary —
+roughly a 9× elevation, and the reason ACK loss "should not be ignored
+in the modeling process".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.traces.generator import generate_dataset, generate_stationary_reference
+from repro.util.stats import EmpiricalCdf
+
+PAPER_HSR_ACK_LOSS = 0.00661
+PAPER_STATIONARY_ACK_LOSS = 0.000718
+
+_QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+@experiment("fig6", "Fig. 6: CDF of ACK loss, stationary vs HSR")
+def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+    hsr = generate_dataset(seed=seed, duration=90.0, flow_scale=0.08 * scale)
+    flows_per_provider = max(2, round(4 * scale))
+    stationary = generate_stationary_reference(
+        seed=seed + 1, duration=90.0, flows_per_provider=flows_per_provider
+    )
+    hsr_cdf = EmpiricalCdf.from_samples([t.ack_loss_rate for t in hsr.traces])
+    stationary_cdf = EmpiricalCdf.from_samples(
+        [t.ack_loss_rate for t in stationary.traces]
+    )
+    rows = [
+        {
+            "quantile": q,
+            "stationary_ack_loss": stationary_cdf.quantile(q),
+            "hsr_ack_loss": hsr_cdf.quantile(q),
+        }
+        for q in _QUANTILES
+    ]
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Fig. 6: CDF of ACK loss, stationary vs HSR",
+        rows=rows,
+        headline={
+            "mean_hsr_ack_loss": hsr_cdf.mean(),
+            "paper_hsr_ack_loss": PAPER_HSR_ACK_LOSS,
+            "mean_stationary_ack_loss": stationary_cdf.mean(),
+            "paper_stationary_ack_loss": PAPER_STATIONARY_ACK_LOSS,
+            "elevation_factor": hsr_cdf.mean() / max(stationary_cdf.mean(), 1e-9),
+            "paper_elevation_factor": PAPER_HSR_ACK_LOSS / PAPER_STATIONARY_ACK_LOSS,
+        },
+        notes="the HSR CDF must sit far right of the stationary CDF",
+    )

@@ -1,0 +1,146 @@
+"""Experiment registry: one named, runnable driver per paper artefact.
+
+Each experiment module registers a ``run(scale, seed) -> ExperimentResult``
+function under the paper artefact's id (``table1``, ``fig1`` … ``fig12``,
+plus extensions).  ``scale`` multiplies the workload (flow counts and/or
+durations) so benchmarks can run miniatures of the same experiment;
+``scale=1`` is the default CLI-sized run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "format_result",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated rows/series of one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    #: printable rows — the same series the paper's artefact reports
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    #: the headline numbers (what EXPERIMENTS.md records vs the paper)
+    headline: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+
+#: id -> (title, runner)
+_REGISTRY: Dict[str, tuple] = {}
+
+
+def experiment(experiment_id: str, title: str) -> Callable:
+    """Class of decorators registering an experiment runner."""
+
+    def decorator(runner: Callable[..., ExperimentResult]) -> Callable:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = (title, runner)
+        return runner
+
+    return decorator
+
+
+def list_experiments() -> Mapping[str, str]:
+    """id -> title for every registered experiment."""
+    _ensure_loaded()
+    return {experiment_id: title for experiment_id, (title, _) in _REGISTRY.items()}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, scale: float = 1.0, seed: int = 2015
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    runner = get_experiment(experiment_id)
+    return runner(scale=scale, seed=seed)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render a result as an aligned text report."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if result.rows:
+        columns = list(result.rows[0].keys())
+        widths = {
+            column: max(
+                len(column), *(len(_cell(row.get(column))) for row in result.rows)
+            )
+            for column in columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in result.rows:
+            lines.append(
+                "  ".join(
+                    _cell(row.get(column)).ljust(widths[column]) for column in columns
+                )
+            )
+    if result.headline:
+        lines.append("")
+        for key, value in result.headline.items():
+            lines.append(f"  {key}: {_cell(value)}")
+    if result.notes:
+        lines.append("")
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module exactly once (registration side effect)."""
+    global _loaded
+    if _loaded:
+        return
+    from repro.experiments import (  # noqa: F401
+        ablation,
+        delack,
+        fig1,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        speed_sweep,
+        table1,
+        trip_profile,
+        variants,
+    )
+
+    _loaded = True

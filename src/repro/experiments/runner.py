@@ -1,0 +1,77 @@
+"""CLI for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig10 [--scale 1.0] [--seed 2015] [--json]
+    python -m repro.experiments all [--scale 0.5]
+
+Every table and figure of the paper has an id here (``table1``,
+``fig1`` … ``fig12``) plus the extension experiments (``delack``,
+``eq21_ablation``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro.experiments.registry import (
+    format_result,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id")
+    _add_common(run_parser)
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_common(all_parser)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, title in list_experiments().items():
+            print(f"{experiment_id:14s} {title}")
+        return 0
+    ids = [args.experiment_id] if args.command == "run" else list(list_experiments())
+    exit_code = 0
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(asdict(result), indent=2))
+        else:
+            print(format_result(result))
+            print()
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

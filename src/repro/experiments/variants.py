@@ -1,0 +1,83 @@
+"""Extension — TCP variants (Reno / NewReno / Veno) in high-speed mobility.
+
+The paper bases its model on Reno "as a first step"; this experiment
+asks how far variant-level fixes go in the HSR channel, both
+analytically (the variant models of :mod:`repro.core.variants`) and by
+simulation (the :class:`~repro.simulator.newreno.NewRenoSender`).
+
+Expected shape: NewReno trims data-loss timeouts (fewer RTOs, slightly
+higher throughput) and Veno's milder backoff helps under random loss —
+but *neither* touches the ACK-burst spurious-timeout channel, which is
+the paper's point that the HSR problem is not variant-specific.
+"""
+
+from __future__ import annotations
+
+from repro.core.enhanced import ModelOptions
+from repro.core.params import LinkParams
+from repro.core.variants import variant_throughput
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.hsr.scenario import hsr_scenario
+from repro.simulator.connection import run_flow
+from repro.util.stats import mean
+
+_OPERATING_POINTS = (
+    ("hsr-typical", LinkParams(rtt=0.12, timeout=0.8, data_loss=0.0075,
+                               ack_loss=0.0066, recovery_loss=0.27, wmax=64.0)),
+    ("hsr-bursty", LinkParams(rtt=0.12, timeout=0.8, data_loss=0.0075,
+                              ack_loss=0.0066, recovery_loss=0.27, wmax=64.0)),
+)
+
+
+@experiment("variants", "Extension: Reno vs NewReno vs Veno under HSR conditions")
+def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+    rows = []
+    # Analytic comparison: clean vs measured-burst operating point.
+    for label, params in _OPERATING_POINTS:
+        options = (
+            ModelOptions(ack_burst_override=0.05)
+            if label == "hsr-bursty"
+            else ModelOptions()
+        )
+        table = variant_throughput(params, options)
+        rows.append({"source": "model", "channel": label, **{
+            key: round(value, 2) for key, value in table.items()
+        }})
+
+    # Simulated comparison: same HSR channel, Reno vs NewReno sender.
+    duration = 120.0 * scale
+    scenario = hsr_scenario()
+    sims = {"reno": [], "newreno": []}
+    timeouts = {"reno": [], "newreno": []}
+    flows = max(2, round(3 * scale))
+    for index in range(flows):
+        flow_seed = seed + 101 * index
+        for variant in ("reno", "newreno"):
+            built = scenario.build(duration=duration, seed=flow_seed)
+            result = run_flow(
+                built.config, built.data_loss, built.ack_loss,
+                seed=flow_seed, variant=variant,
+            )
+            sims[variant].append(result.throughput)
+            timeouts[variant].append(len(result.log.timeouts))
+    rows.append({
+        "source": "simulation", "channel": "hsr/China Mobile",
+        "reno": round(mean(sims["reno"]), 2),
+        "newreno": round(mean(sims["newreno"]), 2),
+        "veno": None,
+    })
+    return ExperimentResult(
+        experiment_id="variants",
+        title="Extension: Reno vs NewReno vs Veno under HSR conditions",
+        rows=rows,
+        headline={
+            "sim_reno_pps": mean(sims["reno"]),
+            "sim_newreno_pps": mean(sims["newreno"]),
+            "sim_reno_timeouts": mean([float(t) for t in timeouts["reno"]]),
+            "sim_newreno_timeouts": mean([float(t) for t in timeouts["newreno"]]),
+        },
+        notes=(
+            "NewReno reduces data-loss RTOs but cannot prevent ACK-burst "
+            "spurious timeouts — the HSR bottleneck is variant-agnostic"
+        ),
+    )

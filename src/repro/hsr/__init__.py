@@ -1,0 +1,58 @@
+"""High-speed-rail environment substrate.
+
+Substitutes for the paper's physical testbed: a BTR-like mobility
+profile, a cell layout generating handoff outages, a speed-dependent
+radio-quality mapping, and presets for the three measured carriers.
+``Scenario.build`` produces simulator-ready loss models.
+"""
+
+from repro.hsr.cells import CellLayout, handoff_times, outage_windows
+from repro.hsr.mobility import (
+    MobilityProfile,
+    btr_profile,
+    driving_profile,
+    stationary_profile,
+)
+from repro.hsr.provider import (
+    ALL_PROVIDERS,
+    CHINA_MOBILE,
+    CHINA_TELECOM,
+    CHINA_UNICOM,
+    Provider,
+    provider_by_name,
+)
+from repro.hsr.radio import REFERENCE_SPEED, ChannelQuality, channel_quality
+from repro.hsr.trip import TripSegment, simulate_trip
+from repro.hsr.scenario import (
+    BuiltChannels,
+    Scenario,
+    driving_scenario,
+    hsr_scenario,
+    stationary_scenario,
+)
+
+__all__ = [
+    "ALL_PROVIDERS",
+    "BuiltChannels",
+    "CHINA_MOBILE",
+    "CHINA_TELECOM",
+    "CHINA_UNICOM",
+    "CellLayout",
+    "ChannelQuality",
+    "MobilityProfile",
+    "Provider",
+    "REFERENCE_SPEED",
+    "Scenario",
+    "TripSegment",
+    "btr_profile",
+    "channel_quality",
+    "driving_profile",
+    "driving_scenario",
+    "handoff_times",
+    "hsr_scenario",
+    "outage_windows",
+    "provider_by_name",
+    "simulate_trip",
+    "stationary_profile",
+    "stationary_scenario",
+]

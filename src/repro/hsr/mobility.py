@@ -1,0 +1,133 @@
+"""Train mobility profiles along a rail line.
+
+The paper's testbed is the Beijing–Tianjin Intercity Railway: ~120 km,
+33-minute one-way trips, steady peak speed ≈ 300 km/h.  A trapezoidal
+speed profile (constant acceleration → cruise → constant deceleration)
+reproduces those figures closely; `stationary` and `driving`
+(~100 km/h, the comparison point of [8] in the paper) profiles are
+provided for the baseline scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import kmh_to_mps
+
+__all__ = [
+    "MobilityProfile",
+    "btr_profile",
+    "stationary_profile",
+    "driving_profile",
+]
+
+#: Comfortable HSR service acceleration (m/s^2).
+DEFAULT_ACCELERATION = 0.5
+
+
+@dataclass(frozen=True)
+class MobilityProfile:
+    """Trapezoidal speed profile over a route.
+
+    ``peak_speed`` in m/s, ``acceleration`` in m/s², ``route_length``
+    in metres.  A ``peak_speed`` of 0 models the stationary scenario
+    (infinite dwell at position 0).
+    """
+
+    name: str
+    peak_speed: float
+    acceleration: float = DEFAULT_ACCELERATION
+    route_length: float = 120_000.0
+
+    def __post_init__(self) -> None:
+        if self.peak_speed < 0.0:
+            raise ConfigurationError(f"peak_speed must be >= 0, got {self.peak_speed}")
+        if self.peak_speed > 0.0 and self.acceleration <= 0.0:
+            raise ConfigurationError(
+                f"acceleration must be positive for a moving profile, got {self.acceleration}"
+            )
+        if self.route_length <= 0.0:
+            raise ConfigurationError(
+                f"route_length must be positive, got {self.route_length}"
+            )
+        if self.peak_speed > 0.0 and 2 * self._ramp_distance() > self.route_length:
+            raise ConfigurationError(
+                "route too short to reach peak speed; lower peak_speed or raise acceleration"
+            )
+
+    # -- derived geometry -------------------------------------------------
+
+    def _ramp_time(self) -> float:
+        return self.peak_speed / self.acceleration if self.peak_speed else 0.0
+
+    def _ramp_distance(self) -> float:
+        ramp_time = self._ramp_time()
+        return 0.5 * self.acceleration * ramp_time**2
+
+    @property
+    def cruise_distance(self) -> float:
+        return self.route_length - 2.0 * self._ramp_distance()
+
+    @property
+    def trip_duration(self) -> float:
+        """One-way travel time in seconds (``inf`` for stationary)."""
+        if self.peak_speed == 0.0:
+            return float("inf")
+        cruise_time = self.cruise_distance / self.peak_speed
+        return 2.0 * self._ramp_time() + cruise_time
+
+    # -- kinematics --------------------------------------------------------
+
+    def speed_at(self, t: float) -> float:
+        """Train speed (m/s) at time ``t`` since departure."""
+        if t < 0.0:
+            raise ConfigurationError(f"time must be >= 0, got {t}")
+        if self.peak_speed == 0.0:
+            return 0.0
+        ramp_time = self._ramp_time()
+        trip = self.trip_duration
+        if t >= trip:
+            return 0.0
+        if t < ramp_time:
+            return self.acceleration * t
+        if t > trip - ramp_time:
+            return self.acceleration * (trip - t)
+        return self.peak_speed
+
+    def position_at(self, t: float) -> float:
+        """Distance travelled (m) at time ``t`` since departure."""
+        if t < 0.0:
+            raise ConfigurationError(f"time must be >= 0, got {t}")
+        if self.peak_speed == 0.0:
+            return 0.0
+        ramp_time = self._ramp_time()
+        ramp_distance = self._ramp_distance()
+        trip = self.trip_duration
+        if t >= trip:
+            return self.route_length
+        if t < ramp_time:
+            return 0.5 * self.acceleration * t**2
+        if t <= trip - ramp_time:
+            return ramp_distance + self.peak_speed * (t - ramp_time)
+        remaining = trip - t
+        return self.route_length - 0.5 * self.acceleration * remaining**2
+
+
+def btr_profile() -> MobilityProfile:
+    """Beijing–Tianjin Intercity Railway: 120 km at a 300 km/h peak."""
+    return MobilityProfile(
+        name="btr-300kmh", peak_speed=kmh_to_mps(300.0), route_length=120_000.0
+    )
+
+
+def stationary_profile() -> MobilityProfile:
+    """The paper's stationary comparison scenario."""
+    return MobilityProfile(name="stationary", peak_speed=0.0)
+
+
+def driving_profile() -> MobilityProfile:
+    """Highway driving (~100 km/h), the regime where [8] saw little TCP impact."""
+    return MobilityProfile(
+        name="driving-100kmh", peak_speed=kmh_to_mps(100.0), route_length=120_000.0
+    )

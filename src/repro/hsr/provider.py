@@ -1,0 +1,120 @@
+"""ISP presets matching the paper's dataset (Table I).
+
+Three tier-1 Chinese carriers were measured on BTR:
+
+* **China Mobile** — LTE (tested January & October 2015): lowest RTT,
+  best coverage along the corridor.
+* **China Unicom** — 3G (WCDMA): higher RTT, moderate coverage.
+* **China Telecom** — 3G (CDMA2000): the paper notes its backbone
+  "mainly covers the southern part of China", so the Beijing–Tianjin
+  corridor is poorly covered — the reason its flows gain +283% from
+  MPTCP in Fig. 12.  Modelled with a large ``coverage_penalty``.
+
+The numbers are calibration constants for the simulator, chosen so the
+per-flow statistics land near the paper's Section III aggregates; they
+are not claims about the real networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "Provider",
+    "CHINA_MOBILE",
+    "CHINA_UNICOM",
+    "CHINA_TELECOM",
+    "ALL_PROVIDERS",
+    "provider_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Provider:
+    """Radio/network characteristics of one carrier.
+
+    ``coverage_penalty`` scales every loss parameter in high-speed
+    scenarios (1.0 = well-covered corridor); ``base_*`` values are the
+    stationary-scenario operating point.
+    """
+
+    name: str
+    technology: str  # "LTE" | "3G"
+    one_way_delay: float  # seconds, per direction
+    base_data_loss: float
+    base_ack_loss: float
+    coverage_penalty: float = 1.0
+    wmax: float = 64.0
+    handoff_mean_outage: float = 1.2
+    ack_burst_mean_duration: float = 0.25
+    ack_burst_spacing: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.technology not in ("LTE", "3G"):
+            raise ConfigurationError(f"unknown technology {self.technology!r}")
+        if self.one_way_delay <= 0.0:
+            raise ConfigurationError("one_way_delay must be positive")
+        if not 0.0 <= self.base_data_loss < 1.0:
+            raise ConfigurationError("base_data_loss out of range")
+        if not 0.0 <= self.base_ack_loss < 1.0:
+            raise ConfigurationError("base_ack_loss out of range")
+        if self.coverage_penalty < 1.0:
+            raise ConfigurationError("coverage_penalty must be >= 1")
+
+    @property
+    def base_rtt(self) -> float:
+        return 2.0 * self.one_way_delay
+
+
+CHINA_MOBILE = Provider(
+    name="China Mobile",
+    technology="LTE",
+    one_way_delay=0.030,
+    base_data_loss=0.0012,
+    base_ack_loss=0.0008,
+    coverage_penalty=1.0,
+    handoff_mean_outage=2.4,
+    ack_burst_mean_duration=0.70,
+    ack_burst_spacing=70.0,
+)
+
+CHINA_UNICOM = Provider(
+    name="China Unicom",
+    technology="3G",
+    one_way_delay=0.055,
+    base_data_loss=0.0016,
+    base_ack_loss=0.0012,
+    coverage_penalty=1.5,
+    handoff_mean_outage=3.0,
+    ack_burst_mean_duration=0.85,
+    ack_burst_spacing=60.0,
+)
+
+CHINA_TELECOM = Provider(
+    name="China Telecom",
+    technology="3G",
+    one_way_delay=0.075,
+    base_data_loss=0.0022,
+    base_ack_loss=0.0016,
+    coverage_penalty=2.5,
+    handoff_mean_outage=3.6,
+    ack_burst_mean_duration=1.00,
+    ack_burst_spacing=50.0,
+)
+
+ALL_PROVIDERS = (CHINA_MOBILE, CHINA_UNICOM, CHINA_TELECOM)
+
+_BY_NAME: Dict[str, Provider] = {provider.name: provider for provider in ALL_PROVIDERS}
+
+
+def provider_by_name(name: str) -> Provider:
+    """Look up one of the three measured carriers by display name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown provider {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,214 @@
+"""Scenario composition: mobility + cells + radio + provider → channels.
+
+A :class:`Scenario` assembles everything the simulator needs to run one
+flow in a given environment: the data-direction and ACK-direction loss
+models (base random loss ∪ handoff outages ∪ ACK burst episodes) and a
+:class:`~repro.simulator.connection.ConnectionConfig`.
+
+Presets mirror the paper's measurement settings: ``hsr_scenario``
+(300 km/h BTR cruise), ``stationary_scenario``, ``driving_scenario``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hsr.cells import CellLayout, handoff_times, outage_windows
+from repro.hsr.mobility import (
+    MobilityProfile,
+    btr_profile,
+    driving_profile,
+    stationary_profile,
+)
+from repro.hsr.provider import CHINA_MOBILE, Provider
+from repro.hsr.radio import channel_quality
+from repro.simulator.channel import (
+    BernoulliLoss,
+    CompositeLoss,
+    GilbertElliottLoss,
+    HandoffLoss,
+    LossModel,
+    NoLoss,
+    RoundCorrelatedLoss,
+)
+from repro.simulator.connection import ConnectionConfig
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+__all__ = [
+    "Scenario",
+    "BuiltChannels",
+    "hsr_scenario",
+    "stationary_scenario",
+    "driving_scenario",
+]
+
+#: Fraction of handoff-window transmissions lost (outages are near-total).
+_OUTAGE_LOSS = 0.92
+#: ACK loss probability inside an ACK burst episode.
+_ACK_BURST_LOSS = 0.97
+#: Expected number of packets lost per round-correlated loss event; the
+#: per-packet trigger rate is the target lifetime loss rate divided by
+#: this tail length (roughly half a congestion window).
+_ROUND_LOSS_TAIL = 20.0
+#: During a handoff, the downlink (data direction) recovers first; the
+#: uplink (ACK direction) stays dead for the whole outage.  This is the
+#: mechanism behind the paper's spurious timeouts: data flows again but
+#: its acknowledgements keep dying.
+_DATA_OUTAGE_FRACTION = 0.75
+
+
+@dataclass
+class BuiltChannels:
+    """The simulator-ready artefacts produced by :meth:`Scenario.build`."""
+
+    data_loss: LossModel
+    ack_loss: LossModel
+    config: ConnectionConfig
+    outages: Tuple[Tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One measurement environment (mobility profile × carrier)."""
+
+    name: str
+    mobility: MobilityProfile
+    provider: Provider = CHINA_MOBILE
+    cells: CellLayout = CellLayout()
+    #: time into the trip at which the measured flow starts; the BTR
+    #: default places it in the 300 km/h cruise segment.
+    flow_start_offset: float = 300.0
+
+    def cruise_speed(self) -> float:
+        """Train speed during the measured window."""
+        if self.mobility.peak_speed == 0.0:
+            return 0.0
+        return self.mobility.speed_at(self.flow_start_offset)
+
+    def build(
+        self, duration: float, seed: int, b: int = 2, wmax: Optional[float] = None
+    ) -> BuiltChannels:
+        """Materialise loss models and a connection config for one flow."""
+        if duration <= 0.0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        rng = RngStream(seed, f"scenario/{self.name}")
+        quality = channel_quality(self.provider, self.cruise_speed())
+
+        if self.mobility.peak_speed > 0.0:
+            crossings = handoff_times(
+                self.mobility, self.cells, duration, start_time=self.flow_start_offset
+            )
+            # Shift windows into flow-local time.
+            windows = [
+                (start - self.flow_start_offset, end - self.flow_start_offset)
+                for start, end in outage_windows(
+                    crossings,
+                    rng.spawn("outages"),
+                    mean_outage=self.provider.handoff_mean_outage,
+                    max_outage=3.0 * self.provider.handoff_mean_outage,
+                )
+            ]
+        else:
+            windows = []
+
+        # Data loss is correlated within a round (the Padhye/paper
+        # assumption): a loss event wipes the remainder of the round.
+        # The trigger rate is scaled down so the *lifetime* loss rate
+        # lands near quality.data_loss despite the correlated tail.
+        data_components = [
+            RoundCorrelatedLoss(
+                rng.spawn("data-random"),
+                trigger_rate=quality.data_loss / _ROUND_LOSS_TAIL,
+                round_duration=self.provider.base_rtt,
+            )
+        ]
+        ack_components = [BernoulliLoss(quality.ack_loss, rng.spawn("ack-random"))]
+        if windows:
+            data_windows = [
+                (start, start + _DATA_OUTAGE_FRACTION * (end - start))
+                for start, end in windows
+            ]
+            data_components.append(
+                HandoffLoss(
+                    rng.spawn("data-handoff"), data_windows, loss_during=_OUTAGE_LOSS
+                )
+            )
+            ack_components.append(
+                HandoffLoss(rng.spawn("ack-handoff"), windows, loss_during=_OUTAGE_LOSS)
+            )
+        if quality.has_ack_bursts:
+            ack_components.append(
+                GilbertElliottLoss(
+                    rng.spawn("ack-burst"),
+                    mean_good_duration=quality.ack_burst_mean_good,
+                    mean_bad_duration=quality.ack_burst_mean_bad,
+                    loss_good=0.0,
+                    loss_bad=_ACK_BURST_LOSS,
+                )
+            )
+
+        def _compose(components) -> LossModel:
+            if not components:
+                return NoLoss()
+            if len(components) == 1:
+                return components[0]
+            return CompositeLoss(components)
+
+        # The RTO floor must clear RTT + the delayed-ACK timer with
+        # margin, or a straggler's delayed ACK races the timer and every
+        # odd window edge times out spuriously even on a clean channel.
+        delack = 0.05
+        rto_floor = max(
+            quality.rto_floor, self.provider.base_rtt + 2.0 * delack + 0.05
+        )
+        config = ConnectionConfig(
+            forward_delay=self.provider.one_way_delay,
+            reverse_delay=self.provider.one_way_delay,
+            jitter_sigma=quality.jitter_sigma,
+            b=b,
+            wmax=wmax if wmax is not None else self.provider.wmax,
+            duration=duration,
+            min_rto=rto_floor,
+            initial_rto=max(1.0, 2.0 * rto_floor),
+            delack_timeout=delack,
+        )
+        return BuiltChannels(
+            data_loss=_compose(data_components),
+            ack_loss=_compose(ack_components),
+            config=config,
+            outages=tuple(windows),
+        )
+
+
+def hsr_scenario(provider: Provider = CHINA_MOBILE, name: Optional[str] = None) -> Scenario:
+    """BTR cruise at 300 km/h (the paper's "high-speed mobility scenario")."""
+    return Scenario(
+        name=name or f"hsr/{provider.name}",
+        mobility=btr_profile(),
+        provider=provider,
+    )
+
+
+def stationary_scenario(
+    provider: Provider = CHINA_MOBILE, name: Optional[str] = None
+) -> Scenario:
+    """The stationary baseline (no handoffs, base loss rates)."""
+    return Scenario(
+        name=name or f"stationary/{provider.name}",
+        mobility=stationary_profile(),
+        provider=provider,
+        flow_start_offset=0.0,
+    )
+
+
+def driving_scenario(
+    provider: Provider = CHINA_MOBILE, name: Optional[str] = None
+) -> Scenario:
+    """Highway driving at ~100 km/h (intermediate regime)."""
+    return Scenario(
+        name=name or f"driving/{provider.name}",
+        mobility=driving_profile(),
+        provider=provider,
+    )

@@ -1,0 +1,298 @@
+"""One-way links and pluggable packet-loss processes.
+
+The paper's two directions behave very differently in high-speed
+mobility (data loss ≈ 0.75%, ACK loss ≈ 0.66% but *bursty*), so every
+connection owns two independent :class:`Link` instances, each with its
+own loss model and delay process.
+
+Loss models implement a single method, ``is_lost(now) -> bool``, drawn
+once per wire transmission.  Provided models:
+
+* :class:`BernoulliLoss` — i.i.d. loss (the Padhye world).
+* :class:`GilbertElliottLoss` — two-state burst loss; the bad state
+  captures handoff/outage episodes that wipe whole rounds of ACKs, the
+  mechanism behind the paper's spurious timeouts.
+* :class:`HandoffLoss` — deterministic outage windows from an explicit
+  handoff schedule (produced by :mod:`repro.hsr`), with elevated loss
+  inside the window and a base rate outside.
+* :class:`TraceDrivenLoss` — scripted per-transmission outcomes for
+  the micro-simulations behind paper Figs. 5, 7 and 11.
+* :class:`CompositeLoss` — union of several processes (lost if any
+  component loses the packet).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "RoundCorrelatedLoss",
+    "GilbertElliottLoss",
+    "HandoffLoss",
+    "TraceDrivenLoss",
+    "CompositeLoss",
+    "Link",
+]
+
+
+class LossModel:
+    """Base class: decides, per wire transmission, whether it is lost."""
+
+    def is_lost(self, now: float) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """A perfect channel."""
+
+    def is_lost(self, now: float) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with a fixed rate."""
+
+    def __init__(self, rate: float, rng: RngStream) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def is_lost(self, now: float) -> bool:
+        return self._rng.bernoulli(self.rate)
+
+
+class RoundCorrelatedLoss(LossModel):
+    """The paper's in-round loss correlation, as a channel process.
+
+    Both the Padhye model and the paper assume that "after the first
+    packet loss, the subsequent packets in that round are also lost".
+    This model triggers a loss event with ``trigger_rate`` per packet
+    and then drops everything for ``round_duration`` (≈ one RTT) — the
+    remainder of the round.  The resulting lifetime loss rate is
+    roughly ``trigger_rate × (packets per half round)``.
+    """
+
+    def __init__(
+        self, rng: RngStream, trigger_rate: float, round_duration: float
+    ) -> None:
+        if not 0.0 <= trigger_rate < 1.0:
+            raise ConfigurationError(
+                f"trigger_rate must be in [0, 1), got {trigger_rate}"
+            )
+        if round_duration <= 0.0:
+            raise ConfigurationError(
+                f"round_duration must be positive, got {round_duration}"
+            )
+        self._rng = rng
+        self.trigger_rate = trigger_rate
+        self.round_duration = round_duration
+        self._burst_until = -float("inf")
+
+    @property
+    def in_burst_until(self) -> float:
+        return self._burst_until
+
+    def is_lost(self, now: float) -> bool:
+        if now < self._burst_until:
+            return True
+        if self._rng.bernoulli(self.trigger_rate):
+            self._burst_until = now + self.round_duration
+            return True
+        return False
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (Gilbert–Elliott) burst-loss process.
+
+    State transitions are evaluated in continuous time via exponential
+    sojourns, so the burst structure is independent of the packet rate:
+    a 300 km/h handoff knocks out everything sent during the bad-state
+    episode, exactly the "ACK burst loss" phenomenology of the paper.
+
+    The long-run average loss rate is
+    ``π_bad·loss_bad + π_good·loss_good`` with
+    ``π_bad = mean_bad / (mean_good + mean_bad)``.
+    """
+
+    def __init__(
+        self,
+        rng: RngStream,
+        mean_good_duration: float,
+        mean_bad_duration: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        if mean_good_duration <= 0.0 or mean_bad_duration <= 0.0:
+            raise ConfigurationError("state durations must be positive")
+        if not (0.0 <= loss_good < 1.0 and 0.0 <= loss_bad <= 1.0):
+            raise ConfigurationError("state loss rates out of range")
+        self._rng = rng
+        self.mean_good = mean_good_duration
+        self.mean_bad = mean_bad_duration
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._in_bad_state = False
+        self._state_expires = rng.expovariate(1.0 / mean_good_duration)
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run average loss probability of the process."""
+        pi_bad = self.mean_bad / (self.mean_good + self.mean_bad)
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def _advance_to(self, now: float) -> None:
+        while now >= self._state_expires:
+            self._in_bad_state = not self._in_bad_state
+            mean = self.mean_bad if self._in_bad_state else self.mean_good
+            self._state_expires += self._rng.expovariate(1.0 / mean)
+
+    def is_lost(self, now: float) -> bool:
+        self._advance_to(now)
+        rate = self.loss_bad if self._in_bad_state else self.loss_good
+        return self._rng.bernoulli(rate)
+
+
+class HandoffLoss(LossModel):
+    """Deterministic outage windows plus a base loss rate.
+
+    ``outages`` is a sorted sequence of ``(start, end)`` intervals
+    (seconds) during which packets are lost with ``loss_during``;
+    outside them the loss rate is ``base_rate``.  The schedule comes
+    from the HSR cell layout (:mod:`repro.hsr.cells`).
+    """
+
+    def __init__(
+        self,
+        rng: RngStream,
+        outages: Sequence[Tuple[float, float]],
+        base_rate: float = 0.0,
+        loss_during: float = 1.0,
+    ) -> None:
+        if not 0.0 <= base_rate < 1.0 or not 0.0 <= loss_during <= 1.0:
+            raise ConfigurationError("loss rates out of range")
+        previous_end = -float("inf")
+        for start, end in outages:
+            if end <= start:
+                raise ConfigurationError(f"empty outage interval ({start}, {end})")
+            if start < previous_end:
+                raise ConfigurationError("outage intervals must be sorted and disjoint")
+            previous_end = end
+        self._rng = rng
+        self.outages = list(outages)
+        self.base_rate = base_rate
+        self.loss_during = loss_during
+        self._cursor = 0
+
+    def in_outage(self, now: float) -> bool:
+        """True when ``now`` falls inside an outage window."""
+        while self._cursor < len(self.outages) and self.outages[self._cursor][1] <= now:
+            self._cursor += 1
+        if self._cursor >= len(self.outages):
+            return False
+        start, end = self.outages[self._cursor]
+        return start <= now < end
+
+    def is_lost(self, now: float) -> bool:
+        rate = self.loss_during if self.in_outage(now) else self.base_rate
+        return self._rng.bernoulli(rate)
+
+
+class TraceDrivenLoss(LossModel):
+    """Scripted outcomes: the n-th transmission is lost iff listed.
+
+    ``lost_indices`` counts wire transmissions through this model
+    starting at 0.  Transmissions beyond the script survive.
+    """
+
+    def __init__(self, lost_indices: Sequence[int]) -> None:
+        self.lost_indices = frozenset(lost_indices)
+        self._count = 0
+
+    @property
+    def transmissions_seen(self) -> int:
+        return self._count
+
+    def is_lost(self, now: float) -> bool:
+        lost = self._count in self.lost_indices
+        self._count += 1
+        return lost
+
+
+class CompositeLoss(LossModel):
+    """Lost if any component process loses the packet."""
+
+    def __init__(self, components: Sequence[LossModel]) -> None:
+        if not components:
+            raise ConfigurationError("CompositeLoss needs at least one component")
+        self.components = list(components)
+
+    def is_lost(self, now: float) -> bool:
+        # Evaluate all components so their internal states advance
+        # uniformly regardless of short-circuiting.
+        outcomes = [component.is_lost(now) for component in self.components]
+        return any(outcomes)
+
+
+class Link:
+    """A one-way link: propagation delay + optional jitter + loss.
+
+    ``deliver`` is called with (packet, arrival_time) when the packet
+    survives; ``on_drop`` (if given) is called with (packet, send_time)
+    when it does not — the trace layer uses it to mark lost packets the
+    way the paper's Fig. 1 marks them at "-1".
+    """
+
+    def __init__(
+        self,
+        simulator,
+        delay: float,
+        loss_model: Optional[LossModel] = None,
+        jitter: Optional[Callable[[], float]] = None,
+        deliver: Optional[Callable] = None,
+        on_drop: Optional[Callable] = None,
+    ) -> None:
+        if delay <= 0.0:
+            raise ConfigurationError(f"link delay must be positive, got {delay}")
+        self._simulator = simulator
+        self.delay = delay
+        self.loss_model = loss_model or NoLoss()
+        self.jitter = jitter
+        self.deliver = deliver
+        self.on_drop = on_drop
+        self.sent = 0
+        self.dropped = 0
+        self._last_arrival = 0.0
+
+    @property
+    def loss_fraction(self) -> float:
+        """Empirical loss fraction over everything sent so far."""
+        return self.dropped / self.sent if self.sent else 0.0
+
+    def send(self, packet) -> None:
+        """Transmit one packet; it either arrives after delay(+jitter) or drops."""
+        self.sent += 1
+        now = self._simulator.now
+        if self.loss_model.is_lost(now):
+            self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, now)
+            return
+        extra = max(0.0, self.jitter()) if self.jitter is not None else 0.0
+        if self.deliver is None:
+            raise ConfigurationError("Link has no deliver callback attached")
+        # FIFO channel: jitter models (correlated) queueing delay, so a
+        # packet can never overtake one sent earlier — i.i.d. reordering
+        # would inject spurious fast retransmits no real cellular link
+        # produces.
+        arrival = max(now + self.delay + extra, self._last_arrival)
+        self._last_arrival = arrival
+        self._simulator.schedule(
+            arrival - now, lambda pkt=packet: self.deliver(pkt, self._simulator.now)
+        )

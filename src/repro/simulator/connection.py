@@ -1,0 +1,186 @@
+"""Wiring a complete TCP connection and running it to a result.
+
+:func:`run_flow` builds the sender → data link → receiver → ACK link →
+sender loop, runs it for a configured duration, and returns a
+:class:`FlowResult` carrying the full :class:`~repro.simulator.metrics.FlowLog`
+plus headline statistics.  This is the workhorse every experiment and
+the synthetic-trace generator call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.simulator.bottleneck import BottleneckLink
+from repro.simulator.channel import Link, LossModel, NoLoss
+from repro.simulator.engine import Simulator
+from repro.simulator.metrics import FlowLog
+from repro.simulator.newreno import NewRenoSender
+from repro.simulator.receiver import Receiver
+from repro.simulator.reno import RenoSender
+from repro.simulator.rto import RtoEstimator
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+from repro.util.units import pps_to_mbps
+
+__all__ = ["ConnectionConfig", "FlowResult", "run_flow"]
+
+
+@dataclass(frozen=True)
+class ConnectionConfig:
+    """Static parameters of one simulated connection.
+
+    ``forward_delay``/``reverse_delay`` are one-way propagation delays;
+    their sum is the floor of the RTT (the paper's Fig. 1 shows ≈30 ms
+    per direction on BTR).  ``jitter_sigma`` adds log-normal delay
+    noise per packet, mimicking cellular scheduling variance.
+    """
+
+    forward_delay: float = 0.03
+    reverse_delay: float = 0.03
+    jitter_sigma: float = 0.0
+    b: int = 2
+    wmax: float = 64.0
+    duration: float = 120.0
+    initial_rto: float = 1.0
+    min_rto: float = 0.2
+    delack_timeout: float = 0.05
+    initial_cwnd: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.forward_delay <= 0.0 or self.reverse_delay <= 0.0:
+            raise ConfigurationError("link delays must be positive")
+        if self.duration <= 0.0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.jitter_sigma < 0.0:
+            raise ConfigurationError("jitter_sigma must be >= 0")
+
+    @property
+    def base_rtt(self) -> float:
+        return self.forward_delay + self.reverse_delay
+
+    def with_(self, **changes) -> "ConnectionConfig":
+        return replace(self, **changes)
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one simulated flow."""
+
+    config: ConnectionConfig
+    log: FlowLog
+    duration: float
+
+    @property
+    def throughput(self) -> float:
+        """Packets received per second — the paper's throughput notion
+        (unique payloads reaching the receiver per unit time)."""
+        return self.log.delivered_payloads / self.duration
+
+    @property
+    def throughput_mbps(self) -> float:
+        return pps_to_mbps(self.throughput)
+
+    @property
+    def data_loss_rate(self) -> float:
+        return self.log.data_loss_rate
+
+    @property
+    def ack_loss_rate(self) -> float:
+        return self.log.ack_loss_rate
+
+
+def _jitter_fn(rng: Optional[RngStream], sigma: float) -> Optional[Callable[[], float]]:
+    if rng is None or sigma <= 0.0:
+        return None
+
+    def jitter() -> float:
+        # Log-normal with median 0-ish small values; clipped at 0 by Link.
+        return rng.lognormal(mu=-3.5, sigma=1.0) * sigma
+
+    return jitter
+
+
+def run_flow(
+    config: ConnectionConfig,
+    data_loss: Optional[LossModel] = None,
+    ack_loss: Optional[LossModel] = None,
+    seed: int = 0,
+    redundant_data_loss: Optional[LossModel] = None,
+    simulator: Optional[Simulator] = None,
+    variant: str = "reno",
+    bottleneck_rate: Optional[float] = None,
+    bottleneck_buffer: int = 64,
+) -> FlowResult:
+    """Simulate one TCP flow and return its result.
+
+    ``redundant_data_loss``, when given, attaches an MPTCP-style
+    alternate subflow used only to double timeout retransmissions
+    (paper Section V-B backup mode).  ``variant`` selects the sender:
+    ``"reno"`` (the paper's kernel) or ``"newreno"`` (RFC 6582 partial
+    ACKs, the extension comparison).
+    """
+    sender_classes = {"reno": RenoSender, "newreno": NewRenoSender}
+    if variant not in sender_classes:
+        raise ConfigurationError(
+            f"unknown TCP variant {variant!r}; choose from {sorted(sender_classes)}"
+        )
+    sim = simulator or Simulator()
+    log = FlowLog()
+    rng = RngStream(seed, "connection")
+
+    ack_link = Link(
+        sim,
+        delay=config.reverse_delay,
+        loss_model=ack_loss or NoLoss(),
+        jitter=_jitter_fn(rng.spawn("ack-jitter"), config.jitter_sigma),
+        on_drop=lambda ack, time: log.record_ack_drop(ack.transmission_id),
+    )
+    if bottleneck_rate is not None:
+        data_link = BottleneckLink(
+            sim,
+            delay=config.forward_delay,
+            rate_pps=bottleneck_rate,
+            buffer_packets=bottleneck_buffer,
+            loss_model=data_loss or NoLoss(),
+            on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
+        )
+    else:
+        data_link = Link(
+            sim,
+            delay=config.forward_delay,
+            loss_model=data_loss or NoLoss(),
+            jitter=_jitter_fn(rng.spawn("data-jitter"), config.jitter_sigma),
+            on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
+        )
+    receiver = Receiver(
+        sim, ack_link, log, b=config.b, delack_timeout=config.delack_timeout
+    )
+    redundant_link: Optional[Link] = None
+    if redundant_data_loss is not None:
+        redundant_link = Link(
+            sim,
+            delay=config.forward_delay,
+            loss_model=redundant_data_loss,
+            jitter=_jitter_fn(rng.spawn("alt-jitter"), config.jitter_sigma),
+            on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
+        )
+        redundant_link.deliver = lambda segment, time: receiver.on_data(segment, time)
+
+    sender = sender_classes[variant](
+        sim,
+        data_link,
+        log,
+        wmax=config.wmax,
+        initial_cwnd=config.initial_cwnd,
+        rto=RtoEstimator(initial_rto=config.initial_rto, min_rto=config.min_rto),
+        redundant_retransmit_link=redundant_link,
+    )
+
+    data_link.deliver = lambda segment, time: receiver.on_data(segment, time)
+    ack_link.deliver = lambda ack, time: sender.on_ack(ack, time)
+
+    sender.start()
+    sim.run(until=config.duration)
+    return FlowResult(config=config, log=log, duration=config.duration)

@@ -1,0 +1,198 @@
+"""Per-flow instrumentation shared by the sender and receiver.
+
+The :class:`FlowLog` records every wire transmission in both
+directions, every timeout, every timeout-recovery phase and the
+congestion-window trajectory — the complete transport-layer observable
+set the paper extracts from its wireshark captures.  The trace layer
+(:mod:`repro.traces`) consumes these records verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DataPacketRecord",
+    "AckRecord",
+    "TimeoutRecord",
+    "RecoveryPhaseRecord",
+    "CwndSample",
+    "FlowLog",
+]
+
+
+@dataclass
+class DataPacketRecord:
+    """One wire transmission of a data segment."""
+
+    transmission_id: int
+    seq: int
+    send_time: float
+    arrival_time: Optional[float] = None
+    dropped: bool = False
+    is_retransmission: bool = False
+    in_timeout_recovery: bool = False
+    subflow_id: int = 0
+
+    @property
+    def lost(self) -> bool:
+        """True only for packets the channel dropped — a packet still in
+        flight when the simulation horizon is reached is not lost."""
+        return self.dropped
+
+    @property
+    def latency(self) -> Optional[float]:
+        """One-way delivery time, or None when lost (paper Fig. 1 marks
+        these at -1)."""
+        if self.arrival_time is None:
+            return None
+        return self.arrival_time - self.send_time
+
+
+@dataclass
+class AckRecord:
+    """One wire transmission of an acknowledgement."""
+
+    transmission_id: int
+    ack_seq: int
+    send_time: float
+    arrival_time: Optional[float] = None
+    dropped: bool = False
+    is_duplicate: bool = False
+    subflow_id: int = 0
+
+    @property
+    def lost(self) -> bool:
+        """True only for ACKs the channel dropped (not in-flight ones)."""
+        return self.dropped
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.arrival_time is None:
+            return None
+        return self.arrival_time - self.send_time
+
+
+@dataclass
+class TimeoutRecord:
+    """One retransmission-timer expiry at the sender."""
+
+    time: float
+    seq: int
+    backoff_exponent: int
+    rto_value: float
+    sequence_index: int  # which timeout sequence (recovery phase) this belongs to
+
+
+@dataclass
+class RecoveryPhaseRecord:
+    """One timeout-recovery phase: first RTO until the resuming ACK.
+
+    The paper's Section III-B quantities map directly:
+    ``duration`` (≈5.05 s HSR vs 0.65 s stationary),
+    ``retransmissions``/``retransmissions_lost`` (in-recovery loss rate
+    ≈27.26%), ``timeouts`` (length of the timeout sequence, E[R]).
+    """
+
+    start_time: float
+    end_time: Optional[float] = None
+    timeouts: int = 0
+    retransmissions: int = 0
+    retransmissions_lost: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def loss_rate(self) -> Optional[float]:
+        if self.retransmissions == 0:
+            return None
+        return self.retransmissions_lost / self.retransmissions
+
+
+@dataclass(frozen=True)
+class CwndSample:
+    """A (time, cwnd) point with the congestion phase at that instant."""
+
+    time: float
+    cwnd: float
+    phase: str  # "slow_start" | "congestion_avoidance" | "fast_recovery" | "timeout_recovery"
+
+
+@dataclass
+class FlowLog:
+    """Everything observable about one simulated flow."""
+
+    data_packets: List[DataPacketRecord] = field(default_factory=list)
+    acks: List[AckRecord] = field(default_factory=list)
+    timeouts: List[TimeoutRecord] = field(default_factory=list)
+    recovery_phases: List[RecoveryPhaseRecord] = field(default_factory=list)
+    cwnd_samples: List[CwndSample] = field(default_factory=list)
+    delivered_payloads: int = 0  # unique data sequence numbers that reached the receiver
+    duplicate_payloads: int = 0  # extra copies received (spurious-timeout evidence)
+    _by_transmission: Dict[int, DataPacketRecord] = field(default_factory=dict)
+    _ack_by_transmission: Dict[int, AckRecord] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------
+
+    def record_data_send(self, record: DataPacketRecord) -> None:
+        self.data_packets.append(record)
+        self._by_transmission[record.transmission_id] = record
+
+    def record_data_arrival(self, transmission_id: int, time: float) -> None:
+        self._by_transmission[transmission_id].arrival_time = time
+
+    def record_data_drop(self, transmission_id: int) -> None:
+        self._by_transmission[transmission_id].dropped = True
+
+    def record_ack_send(self, record: AckRecord) -> None:
+        self.acks.append(record)
+        self._ack_by_transmission[record.transmission_id] = record
+
+    def record_ack_arrival(self, transmission_id: int, time: float) -> None:
+        self._ack_by_transmission[transmission_id].arrival_time = time
+
+    def record_ack_drop(self, transmission_id: int) -> None:
+        self._ack_by_transmission[transmission_id].dropped = True
+
+    def record_cwnd(self, time: float, cwnd: float, phase: str) -> None:
+        self.cwnd_samples.append(CwndSample(time=time, cwnd=cwnd, phase=phase))
+
+    # -- summary statistics -------------------------------------------
+
+    @property
+    def data_sent(self) -> int:
+        return len(self.data_packets)
+
+    @property
+    def data_lost(self) -> int:
+        return sum(1 for record in self.data_packets if record.lost)
+
+    @property
+    def acks_sent(self) -> int:
+        return len(self.acks)
+
+    @property
+    def acks_lost(self) -> int:
+        return sum(1 for record in self.acks if record.lost)
+
+    @property
+    def data_loss_rate(self) -> float:
+        """Lifetime data loss rate p_d (0.0 for an idle flow)."""
+        return self.data_lost / self.data_sent if self.data_sent else 0.0
+
+    @property
+    def ack_loss_rate(self) -> float:
+        """Lifetime ACK loss rate p_a."""
+        return self.acks_lost / self.acks_sent if self.acks_sent else 0.0
+
+    def completed_recovery_phases(self) -> List[RecoveryPhaseRecord]:
+        return [phase for phase in self.recovery_phases if phase.complete]

@@ -1,0 +1,106 @@
+"""Trace capture, analysis, and the synthetic Table-I dataset.
+
+This is the measurement toolkit of the reproduction: it consumes
+simulator flow logs (standing in for wireshark captures) and produces
+every per-flow statistic the paper's Section III reports — loss rates,
+arrival-latency series, spurious-timeout classification, recovery-phase
+statistics, ACK-loss/timeout correlation — plus the campaign generator
+that regenerates the dataset of Table I.
+"""
+
+from repro.traces.analysis import (
+    LOST_MARKER,
+    FlowSummary,
+    LatencyPoint,
+    arrival_latency_series,
+    estimate_rtt,
+    flow_summary,
+)
+from repro.traces.capture import capture_flow
+from repro.traces.correlation import (
+    MeasuredInputs,
+    ScatterPoint,
+    measured_model_inputs,
+    scatter_correlation,
+    scatter_envelope,
+    timeout_ack_scatter,
+)
+from repro.traces.dataset import (
+    FlowRecord,
+    Table1Row,
+    dataset_records,
+    records_from_json,
+    records_to_json,
+    table1_rows,
+)
+from repro.traces.events import FlowMetadata, FlowTrace
+from repro.traces.export import (
+    campaign_report,
+    write_cwnd_csv,
+    write_flow_summary_csv,
+    write_latency_csv,
+)
+from repro.traces.rounds import (
+    AckRound,
+    measured_ack_burst_rate,
+    segment_ack_rounds,
+)
+from repro.traces.generator import (
+    PAPER_CAMPAIGN,
+    CampaignEntry,
+    SyntheticDataset,
+    generate_dataset,
+    generate_stationary_reference,
+)
+from repro.traces.timeouts import (
+    ClassifiedTimeout,
+    RecoveryStats,
+    classify_timeouts,
+    loss_rate_pair,
+    recovery_stats,
+    spurious_fraction,
+    timeout_sequence_lengths,
+)
+
+__all__ = [
+    "AckRound",
+    "CampaignEntry",
+    "ClassifiedTimeout",
+    "FlowMetadata",
+    "FlowRecord",
+    "FlowSummary",
+    "FlowTrace",
+    "LOST_MARKER",
+    "LatencyPoint",
+    "MeasuredInputs",
+    "PAPER_CAMPAIGN",
+    "RecoveryStats",
+    "ScatterPoint",
+    "SyntheticDataset",
+    "Table1Row",
+    "arrival_latency_series",
+    "campaign_report",
+    "capture_flow",
+    "classify_timeouts",
+    "dataset_records",
+    "estimate_rtt",
+    "flow_summary",
+    "generate_dataset",
+    "generate_stationary_reference",
+    "loss_rate_pair",
+    "measured_ack_burst_rate",
+    "measured_model_inputs",
+    "records_from_json",
+    "records_to_json",
+    "recovery_stats",
+    "scatter_correlation",
+    "scatter_envelope",
+    "segment_ack_rounds",
+    "spurious_fraction",
+    "table1_rows",
+    "timeout_ack_scatter",
+    "timeout_sequence_lengths",
+    "write_cwnd_csv",
+    "write_flow_summary_csv",
+    "write_latency_csv",
+]

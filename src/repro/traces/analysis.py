@@ -1,0 +1,144 @@
+"""Per-flow trace statistics (paper Figs. 1 and 6 plus model inputs).
+
+* :func:`arrival_latency_series` — the Fig.-1 view: for every wire
+  transmission in both directions, (send time, delivery latency), with
+  lost packets marked at −1 exactly as the paper plots them.
+* :func:`estimate_rtt` — matched data-send → covering-ACK round-trip
+  samples (what the model consumes as ``RTT``).
+* :func:`flow_summary` — one row of headline statistics per flow.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.traces.events import FlowTrace
+from repro.util.stats import mean
+
+__all__ = [
+    "LatencyPoint",
+    "arrival_latency_series",
+    "estimate_rtt",
+    "FlowSummary",
+    "flow_summary",
+]
+
+#: Latency value used to plot lost packets, following the paper's Fig. 1
+#: ("we set their time duration to be -1").
+LOST_MARKER = -1.0
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of the Fig.-1 scatter."""
+
+    send_time: float
+    latency: float  # seconds; LOST_MARKER when the packet was dropped
+    direction: str  # "data" | "ack"
+    lost: bool
+
+
+def arrival_latency_series(trace: FlowTrace) -> List[LatencyPoint]:
+    """Per-transmission delivery latency in send order, both directions."""
+    points: List[LatencyPoint] = []
+    for direction, records in (("data", trace.data_packets), ("ack", trace.acks)):
+        for record in records:
+            if not record.lost and record.latency is None:
+                # Still in flight when the capture ended: neither
+                # delivered nor lost; a real capture has no such rows.
+                continue
+            points.append(
+                LatencyPoint(
+                    send_time=record.send_time,
+                    latency=LOST_MARKER if record.lost else record.latency,
+                    direction=direction,
+                    lost=record.lost,
+                )
+            )
+    points.sort(key=lambda point: point.send_time)
+    return points
+
+
+def estimate_rtt(trace: FlowTrace, max_samples: int = 2000) -> Optional[float]:
+    """Mean send→covering-ACK round trip over never-retransmitted segments.
+
+    For each sampled first-transmission data packet, the RTT sample is
+    the delay until the first ACK *arrival* whose cumulative number
+    exceeds the packet's sequence number (Karn's rule keeps
+    retransmitted sequence numbers out).  Returns None when no sample
+    can be formed (e.g. an all-lost trace).
+    """
+    retransmitted = {r.seq for r in trace.data_packets if r.is_retransmission}
+    ack_arrivals: List[Tuple[float, int]] = sorted(
+        (r.arrival_time, r.ack_seq) for r in trace.acks if r.arrival_time is not None
+    )
+    if not ack_arrivals:
+        return None
+    arrival_times = [arrival for arrival, _ in ack_arrivals]
+    # Suffix maximum of ack_seq lets us test "is there a covering ACK
+    # arriving after t" in O(log n).
+    suffix_max: List[int] = [0] * len(ack_arrivals)
+    running = 0
+    for index in range(len(ack_arrivals) - 1, -1, -1):
+        running = max(running, ack_arrivals[index][1])
+        suffix_max[index] = running
+
+    samples: List[float] = []
+    step = max(1, len(trace.data_packets) // max_samples)
+    for record in trace.data_packets[::step]:
+        if record.is_retransmission or record.seq in retransmitted or record.lost:
+            continue
+        start = bisect_left(arrival_times, record.send_time)
+        # Find the first arrival at/after the send that covers seq.
+        lo = start
+        if lo >= len(ack_arrivals) or suffix_max[lo] <= record.seq:
+            continue
+        hi = len(ack_arrivals) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if suffix_max[mid + 1] > record.seq and ack_arrivals[mid][1] <= record.seq:
+                lo = mid + 1
+            elif ack_arrivals[mid][1] > record.seq:
+                hi = mid
+            else:
+                lo = mid + 1
+        samples.append(ack_arrivals[lo][0] - record.send_time)
+    if not samples:
+        return None
+    return mean(samples)
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """Headline statistics of one flow (one row of the dataset)."""
+
+    flow_id: str
+    provider: str
+    scenario: str
+    throughput: float
+    data_loss_rate: float
+    ack_loss_rate: float
+    rtt: Optional[float]
+    timeouts: int
+    recovery_phases: int
+    duplicate_payloads: int
+    transferred_bytes: int
+
+
+def flow_summary(trace: FlowTrace) -> FlowSummary:
+    """Reduce a trace to its headline row."""
+    return FlowSummary(
+        flow_id=trace.metadata.flow_id,
+        provider=trace.metadata.provider,
+        scenario=trace.metadata.scenario,
+        throughput=trace.throughput,
+        data_loss_rate=trace.data_loss_rate,
+        ack_loss_rate=trace.ack_loss_rate,
+        rtt=estimate_rtt(trace),
+        timeouts=len(trace.timeouts),
+        recovery_phases=len(trace.completed_recovery_phases()),
+        duplicate_payloads=trace.duplicate_payloads,
+        transferred_bytes=trace.transferred_bytes,
+    )

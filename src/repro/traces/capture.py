@@ -1,0 +1,27 @@
+"""Adapter: simulator output → dataset trace."""
+
+from __future__ import annotations
+
+from repro.simulator.connection import FlowResult
+from repro.traces.events import FlowMetadata, FlowTrace
+
+__all__ = ["capture_flow"]
+
+
+def capture_flow(result: FlowResult, metadata: FlowMetadata) -> FlowTrace:
+    """Package a simulated flow's log as a dataset trace.
+
+    The record lists are shared (not copied) — FlowLog records are not
+    mutated after a simulation completes, and campaign generation
+    creates hundreds of traces.
+    """
+    log = result.log
+    return FlowTrace(
+        metadata=metadata,
+        data_packets=log.data_packets,
+        acks=log.acks,
+        timeouts=log.timeouts,
+        recovery_phases=log.recovery_phases,
+        delivered_payloads=log.delivered_payloads,
+        duplicate_payloads=log.duplicate_payloads,
+    )

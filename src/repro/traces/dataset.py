@@ -1,0 +1,133 @@
+"""Dataset summaries (Table I) and JSON (de)serialisation.
+
+Traces carry hundreds of thousands of packet records; what the paper's
+figures actually consume are per-flow summary rows, so serialisation
+stores :class:`~repro.traces.analysis.FlowSummary`-level data plus the
+recovery/timeout aggregates — compact enough to check into a results
+directory and re-plot without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+from repro.traces.analysis import flow_summary
+from repro.traces.events import FlowTrace
+from repro.traces.generator import SyntheticDataset
+from repro.traces.timeouts import recovery_stats, spurious_fraction
+from repro.util.units import bytes_to_gb
+
+__all__ = [
+    "Table1Row",
+    "table1_rows",
+    "FlowRecord",
+    "dataset_records",
+    "records_to_json",
+    "records_from_json",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I."""
+
+    capture_month: str
+    trips: int
+    phone_model: str
+    provider: str
+    flows: int
+    trace_size_gb: float
+
+
+def table1_rows(dataset: SyntheticDataset) -> List[Table1Row]:
+    """Summarise a generated campaign in the Table-I format."""
+    rows: List[Table1Row] = []
+    for entry in dataset.entries:
+        cell = [
+            trace
+            for trace in dataset.traces
+            if trace.metadata.capture_month == entry.capture_month
+            and trace.metadata.provider == entry.provider.name
+            and trace.metadata.phone_model == entry.phone_model
+        ]
+        rows.append(
+            Table1Row(
+                capture_month=entry.capture_month,
+                trips=entry.trips,
+                phone_model=entry.phone_model,
+                provider=entry.provider.name,
+                flows=len(cell),
+                trace_size_gb=bytes_to_gb(
+                    sum(trace.transferred_bytes for trace in cell)
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Serialisable per-flow summary (everything the figures consume)."""
+
+    flow_id: str
+    provider: str
+    technology: str
+    scenario: str
+    capture_month: str
+    phone_model: str
+    duration: float
+    throughput: float
+    data_loss_rate: float
+    ack_loss_rate: float
+    rtt: Optional[float]
+    timeouts: int
+    spurious_fraction: Optional[float]
+    recovery_phase_count: int
+    mean_recovery_duration: Optional[float]
+    recovery_loss_rate: Optional[float]
+    transferred_bytes: int
+
+
+def dataset_records(traces: Sequence[FlowTrace]) -> List[FlowRecord]:
+    """Reduce traces to serialisable per-flow records."""
+    records: List[FlowRecord] = []
+    for trace in traces:
+        summary = flow_summary(trace)
+        recovery = recovery_stats(trace)
+        records.append(
+            FlowRecord(
+                flow_id=summary.flow_id,
+                provider=summary.provider,
+                technology=trace.metadata.technology,
+                scenario=summary.scenario,
+                capture_month=trace.metadata.capture_month,
+                phone_model=trace.metadata.phone_model,
+                duration=trace.metadata.duration,
+                throughput=summary.throughput,
+                data_loss_rate=summary.data_loss_rate,
+                ack_loss_rate=summary.ack_loss_rate,
+                rtt=summary.rtt,
+                timeouts=summary.timeouts,
+                spurious_fraction=spurious_fraction(trace),
+                recovery_phase_count=recovery.phase_count,
+                mean_recovery_duration=recovery.mean_duration,
+                recovery_loss_rate=recovery.recovery_loss_rate,
+                transferred_bytes=summary.transferred_bytes,
+            )
+        )
+    return records
+
+
+def records_to_json(records: Sequence[FlowRecord]) -> str:
+    """Serialise flow records to a JSON document."""
+    return json.dumps([asdict(record) for record in records], indent=2)
+
+
+def records_from_json(payload: str) -> List[FlowRecord]:
+    """Parse flow records back from :func:`records_to_json` output."""
+    raw = json.loads(payload)
+    if not isinstance(raw, list):
+        raise ValueError("expected a JSON array of flow records")
+    return [FlowRecord(**item) for item in raw]

@@ -1,0 +1,110 @@
+"""Flow-trace containers: the schema a packet capture reduces to.
+
+A :class:`FlowTrace` is the dataset unit of the reproduction — the
+transport-layer observables of one TCP flow plus capture metadata
+(provider, phone, scenario, date), mirroring what the paper's team
+extracted from each wireshark capture.  The simulator's
+:class:`~repro.simulator.metrics.FlowLog` records are reused directly
+as the per-packet schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.simulator.metrics import (
+    AckRecord,
+    DataPacketRecord,
+    RecoveryPhaseRecord,
+    TimeoutRecord,
+)
+from repro.util.units import BYTES_PER_MSS
+
+__all__ = ["FlowMetadata", "FlowTrace"]
+
+
+@dataclass(frozen=True)
+class FlowMetadata:
+    """Capture context of one flow (Table-I dimensions)."""
+
+    flow_id: str
+    provider: str
+    technology: str
+    scenario: str  # "hsr" | "stationary" | "driving"
+    capture_month: str  # "2015-01" | "2015-10"
+    phone_model: str
+    duration: float
+    seed: int = 0
+
+
+@dataclass
+class FlowTrace:
+    """One flow's complete transport-layer observables."""
+
+    metadata: FlowMetadata
+    data_packets: List[DataPacketRecord] = field(default_factory=list)
+    acks: List[AckRecord] = field(default_factory=list)
+    timeouts: List[TimeoutRecord] = field(default_factory=list)
+    recovery_phases: List[RecoveryPhaseRecord] = field(default_factory=list)
+    delivered_payloads: int = 0
+    duplicate_payloads: int = 0
+
+    # -- headline statistics ------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Packets delivered to the receiver per second."""
+        return self.delivered_payloads / self.metadata.duration
+
+    @property
+    def transferred_bytes(self) -> int:
+        """Payload bytes that reached the receiver (MSS-sized packets)."""
+        return self.delivered_payloads * BYTES_PER_MSS
+
+    @property
+    def data_loss_rate(self) -> float:
+        """Lifetime data loss rate ``p_d``."""
+        if not self.data_packets:
+            return 0.0
+        return sum(1 for r in self.data_packets if r.lost) / len(self.data_packets)
+
+    @property
+    def ack_loss_rate(self) -> float:
+        """Lifetime ACK loss rate ``p_a``."""
+        if not self.acks:
+            return 0.0
+        return sum(1 for r in self.acks if r.lost) / len(self.acks)
+
+    @property
+    def data_loss_event_rate(self) -> float:
+        """Padhye's ``p``: the probability a packet is the *first* loss
+        of a round.
+
+        Under the in-round correlation assumption (kept by the paper),
+        a loss event wipes the rest of the round, so the lifetime loss
+        rate over-counts by the burst tail; the model's ``p`` is the
+        rate of maximal loss runs.
+        """
+        if not self.data_packets:
+            return 0.0
+        events = 0
+        previous_lost = False
+        for record in self.data_packets:  # recorded in send order
+            if record.lost and not previous_lost:
+                events += 1
+            previous_lost = record.lost
+        return events / len(self.data_packets)
+
+    def completed_recovery_phases(self) -> List[RecoveryPhaseRecord]:
+        return [phase for phase in self.recovery_phases if phase.complete]
+
+    def arrivals_by_seq(self) -> dict:
+        """seq -> sorted arrival times of every copy that reached the receiver."""
+        arrivals: dict = {}
+        for record in self.data_packets:
+            if record.arrival_time is not None:
+                arrivals.setdefault(record.seq, []).append(record.arrival_time)
+        for times in arrivals.values():
+            times.sort()
+        return arrivals

@@ -1,0 +1,115 @@
+"""Exporting trace series and campaign reports.
+
+CSV writers for the per-packet series behind Figs. 1/7/9 (so the plots
+can be redrawn in any tool) and a plain-text campaign report combining
+the Section-III statistics — the artefacts a measurement team would
+attach to a results directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional, Sequence, TextIO
+
+from repro.traces.analysis import arrival_latency_series
+from repro.traces.events import FlowTrace
+from repro.traces.timeouts import recovery_stats, spurious_fraction
+from repro.util.stats import mean
+
+__all__ = [
+    "write_latency_csv",
+    "write_cwnd_csv",
+    "write_flow_summary_csv",
+    "campaign_report",
+]
+
+
+def write_latency_csv(trace: FlowTrace, stream: Optional[TextIO] = None) -> str:
+    """Fig.-1 series as CSV: send_time, latency (−1 = lost), direction.
+
+    Writes to ``stream`` when given; always returns the CSV text.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["send_time_s", "latency_s", "direction", "lost"])
+    for point in arrival_latency_series(trace):
+        writer.writerow(
+            [f"{point.send_time:.6f}", f"{point.latency:.6f}", point.direction,
+             int(point.lost)]
+        )
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def write_cwnd_csv(cwnd_samples, stream: Optional[TextIO] = None) -> str:
+    """Window-evolution series (Figs. 7–9) as CSV: time, cwnd, phase."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "cwnd_packets", "phase"])
+    for sample in cwnd_samples:
+        writer.writerow([f"{sample.time:.6f}", f"{sample.cwnd:.4f}", sample.phase])
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def write_flow_summary_csv(
+    traces: Sequence[FlowTrace], stream: Optional[TextIO] = None
+) -> str:
+    """One row per flow: the headline statistics of the campaign."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["flow_id", "provider", "scenario", "throughput_pps", "data_loss",
+         "ack_loss", "timeouts", "spurious_fraction", "mean_recovery_s"]
+    )
+    for trace in traces:
+        stats = recovery_stats(trace)
+        spurious = spurious_fraction(trace)
+        writer.writerow(
+            [
+                trace.metadata.flow_id,
+                trace.metadata.provider,
+                trace.metadata.scenario,
+                f"{trace.throughput:.3f}",
+                f"{trace.data_loss_rate:.6f}",
+                f"{trace.ack_loss_rate:.6f}",
+                len(trace.timeouts),
+                "" if spurious is None else f"{spurious:.4f}",
+                "" if stats.mean_duration is None else f"{stats.mean_duration:.4f}",
+            ]
+        )
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def campaign_report(traces: Sequence[FlowTrace], title: str = "Campaign report") -> str:
+    """Plain-text Section-III summary of a trace population."""
+    if not traces:
+        raise ValueError("campaign_report needs at least one trace")
+    lines = [title, "=" * len(title)]
+    by_scenario: dict = {}
+    for trace in traces:
+        by_scenario.setdefault(trace.metadata.scenario, []).append(trace)
+    for scenario, group in sorted(by_scenario.items()):
+        lines.append(f"\n[{scenario}] {len(group)} flows")
+        lines.append(f"  throughput        {mean([t.throughput for t in group]):10.1f} pkt/s")
+        lines.append(f"  data loss rate    {mean([t.data_loss_rate for t in group]):10.4%}")
+        lines.append(f"  ACK loss rate     {mean([t.ack_loss_rate for t in group]):10.4%}")
+        spurious = [s for s in (spurious_fraction(t) for t in group) if s is not None]
+        if spurious:
+            lines.append(f"  spurious timeouts {mean(spurious):10.1%}")
+        recoveries = []
+        for trace in group:
+            stats = recovery_stats(trace)
+            if stats.mean_duration is not None:
+                recoveries.append(stats.mean_duration)
+        if recoveries:
+            lines.append(f"  mean recovery     {mean(recoveries):10.2f} s")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,109 @@
+"""Timeout classification and recovery-phase analysis (paper §III-B).
+
+The paper's classification rule, implemented verbatim: *"If the timeout
+event is spurious, the receiver will receive two packets with the same
+payload"* — i.e. a timeout whose sequence number had already been
+delivered before the timer fired was spurious; one whose retransmission
+is the only copy to arrive was a genuine data-loss timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.simulator.metrics import TimeoutRecord
+from repro.traces.events import FlowTrace
+from repro.util.stats import mean
+
+__all__ = [
+    "ClassifiedTimeout",
+    "classify_timeouts",
+    "spurious_fraction",
+    "RecoveryStats",
+    "recovery_stats",
+    "loss_rate_pair",
+    "timeout_sequence_lengths",
+]
+
+
+@dataclass(frozen=True)
+class ClassifiedTimeout:
+    """A timeout event plus its spurious/genuine verdict."""
+
+    record: TimeoutRecord
+    spurious: bool
+
+
+def classify_timeouts(trace: FlowTrace) -> List[ClassifiedTimeout]:
+    """Label every timeout in the trace as spurious or data-loss.
+
+    A timeout at time ``t`` for sequence ``s`` is **spurious** iff some
+    copy of ``s`` had already arrived at the receiver by ``t`` (the
+    receiver will then see the retransmission as a duplicate payload).
+    """
+    arrivals = trace.arrivals_by_seq()
+    classified: List[ClassifiedTimeout] = []
+    for record in trace.timeouts:
+        times = arrivals.get(record.seq, [])
+        spurious = bool(times) and times[0] <= record.time
+        classified.append(ClassifiedTimeout(record=record, spurious=spurious))
+    return classified
+
+
+def spurious_fraction(trace: FlowTrace) -> Optional[float]:
+    """Share of this flow's timeouts that were spurious (None if no timeouts)."""
+    classified = classify_timeouts(trace)
+    if not classified:
+        return None
+    return sum(1 for c in classified if c.spurious) / len(classified)
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Aggregate recovery-phase behaviour of one flow."""
+
+    phase_count: int
+    mean_duration: Optional[float]
+    max_duration: Optional[float]
+    retransmissions: int
+    retransmissions_lost: int
+    mean_timeouts_per_sequence: Optional[float]
+
+    @property
+    def recovery_loss_rate(self) -> Optional[float]:
+        """The paper's ``q``: in-recovery retransmission loss rate."""
+        if self.retransmissions == 0:
+            return None
+        return self.retransmissions_lost / self.retransmissions
+
+
+def recovery_stats(trace: FlowTrace) -> RecoveryStats:
+    """Reduce a flow's completed recovery phases to summary statistics."""
+    phases = trace.completed_recovery_phases()
+    durations = [phase.duration for phase in phases]
+    return RecoveryStats(
+        phase_count=len(phases),
+        mean_duration=mean(durations) if durations else None,
+        max_duration=max(durations) if durations else None,
+        retransmissions=sum(phase.retransmissions for phase in phases),
+        retransmissions_lost=sum(phase.retransmissions_lost for phase in phases),
+        mean_timeouts_per_sequence=(
+            mean([float(phase.timeouts) for phase in phases]) if phases else None
+        ),
+    )
+
+
+def loss_rate_pair(trace: FlowTrace) -> Tuple[float, Optional[float]]:
+    """(lifetime data-loss rate, in-recovery loss rate) — the Fig.-3 pair."""
+    stats = recovery_stats(trace)
+    return trace.data_loss_rate, stats.recovery_loss_rate
+
+
+def timeout_sequence_lengths(traces: Sequence[FlowTrace]) -> List[int]:
+    """Timeouts per completed recovery phase over a trace population
+    (the empirical counterpart of the model's ``E[R]``)."""
+    lengths: List[int] = []
+    for trace in traces:
+        lengths += [phase.timeouts for phase in trace.completed_recovery_phases()]
+    return lengths

@@ -1,0 +1,40 @@
+"""Shared utilities: seeded RNG streams, statistics, units, and errors."""
+
+from repro.util.errors import ConfigurationError, ModelDomainError, SimulationError
+from repro.util.rng import RngStream, spawn_streams
+from repro.util.stats import (
+    EmpiricalCdf,
+    geometric_mean,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+from repro.util.units import (
+    BYTES_PER_MSS,
+    kmh_to_mps,
+    mbps_to_pps,
+    mps_to_kmh,
+    pps_to_mbps,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "BYTES_PER_MSS",
+    "ConfigurationError",
+    "EmpiricalCdf",
+    "ModelDomainError",
+    "RngStream",
+    "SimulationError",
+    "geometric_mean",
+    "kmh_to_mps",
+    "mbps_to_pps",
+    "mean",
+    "median",
+    "mps_to_kmh",
+    "percentile",
+    "pps_to_mbps",
+    "seconds_to_ms",
+    "spawn_streams",
+    "stddev",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter object was constructed with invalid values.
+
+    Raised eagerly at construction time (not at use time) so that a bad
+    experiment configuration fails before any simulation work is done.
+    """
+
+
+class ModelDomainError(ReproError, ValueError):
+    """A closed-form model was evaluated outside its mathematical domain.
+
+    Example: a loss rate of exactly zero passed to the Padhye formula,
+    whose expected-round expression divides by ``p``.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state.
+
+    This always indicates a bug in the simulator (or an event injected
+    out of order), never a legitimate protocol condition; protocol
+    conditions such as timeouts are modelled, not raised.
+    """

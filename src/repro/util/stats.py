@@ -1,0 +1,144 @@
+"""Small statistics toolkit: summary statistics and empirical CDFs.
+
+Kept dependency-light (pure Python + math) because these functions are
+called from hot simulator paths; numpy is reserved for the bulk
+vectorised analyses in :mod:`repro.traces`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "mean",
+    "median",
+    "stddev",
+    "variance",
+    "percentile",
+    "geometric_mean",
+    "pearson_correlation",
+    "EmpiricalCdf",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ValueError on an empty sequence."""
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of middle two for even length)."""
+    if not values:
+        raise ValueError("median() of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance; 0.0 for a single element."""
+    if not values:
+        raise ValueError("variance() of empty sequence")
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("geometric_mean() of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean() requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns 0.0 when either sequence is constant (correlation is then
+    undefined; 0 is the convention most useful to the callers here,
+    which test for the *presence* of a positive trend).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("pearson_correlation() needs equal-length sequences")
+    if len(xs) < 2:
+        raise ValueError("pearson_correlation() needs at least two points")
+    mx, my = mean(xs), mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """Empirical cumulative distribution function over a sample.
+
+    Supports evaluation (``cdf(x)``), inverse evaluation
+    (``quantile(q)``), and export of step-plot points — the form in
+    which the paper's Figs. 3 and 6 are drawn.
+    """
+
+    sorted_values: Tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, values: Sequence[float]) -> "EmpiricalCdf":
+        if not values:
+            raise ValueError("EmpiricalCdf needs at least one sample")
+        return cls(tuple(sorted(values)))
+
+    def __call__(self, x: float) -> float:
+        """Fraction of samples ≤ x."""
+        return bisect_right(self.sorted_values, x) / len(self.sorted_values)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value v with cdf(v) ≥ q, for q in (0, 1]."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile q must be in (0, 1], got {q}")
+        index = math.ceil(q * len(self.sorted_values)) - 1
+        return self.sorted_values[max(0, index)]
+
+    @property
+    def n(self) -> int:
+        return len(self.sorted_values)
+
+    def mean(self) -> float:
+        return mean(self.sorted_values)
+
+    def step_points(self) -> List[Tuple[float, float]]:
+        """(x, F(x)) pairs suitable for drawing the CDF as a step plot."""
+        n = len(self.sorted_values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self.sorted_values)]

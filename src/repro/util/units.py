@@ -1,0 +1,64 @@
+"""Unit conversions used throughout the library.
+
+Internal conventions:
+
+* time is in **seconds**,
+* throughput at the model layer is in **packets (MSS) per second**,
+* train speed at the HSR layer is in **metres per second**,
+* distances are in **metres**.
+
+The helpers below convert to the units the paper reports (km/h, Mbps).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BYTES_PER_MSS",
+    "kmh_to_mps",
+    "mps_to_kmh",
+    "pps_to_mbps",
+    "mbps_to_pps",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "bytes_to_gb",
+]
+
+#: Maximum segment size assumed by the model layer (standard Ethernet
+#: payload minus IP/TCP headers).  The paper assumes all data packets
+#: are one MSS.
+BYTES_PER_MSS = 1460
+
+
+def kmh_to_mps(kmh: float) -> float:
+    """Convert kilometres-per-hour to metres-per-second."""
+    return kmh * 1000.0 / 3600.0
+
+
+def mps_to_kmh(mps: float) -> float:
+    """Convert metres-per-second to kilometres-per-hour."""
+    return mps * 3600.0 / 1000.0
+
+
+def pps_to_mbps(packets_per_second: float, mss_bytes: int = BYTES_PER_MSS) -> float:
+    """Convert a packet rate (MSS-sized packets/s) to megabits per second."""
+    return packets_per_second * mss_bytes * 8.0 / 1e6
+
+
+def mbps_to_pps(mbps: float, mss_bytes: int = BYTES_PER_MSS) -> float:
+    """Convert megabits per second to MSS-sized packets per second."""
+    return mbps * 1e6 / (mss_bytes * 8.0)
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1000.0
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert bytes to (decimal) gigabytes, as used in the paper's Table I."""
+    return num_bytes / 1e9

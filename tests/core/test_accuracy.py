@@ -1,0 +1,95 @@
+"""Unit tests for the deviation metric and model comparison (Fig. 10 machinery)."""
+
+import pytest
+
+from repro.core.accuracy import FlowObservation, compare_models, deviation_rate
+from repro.core.params import LinkParams
+
+
+def params(**overrides) -> LinkParams:
+    base = dict(rtt=0.1, timeout=0.5, data_loss=0.01, ack_loss=0.005, wmax=64.0)
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestDeviationRate:
+    def test_exact_prediction(self):
+        assert deviation_rate(100.0, 100.0) == 0.0
+
+    def test_overprediction(self):
+        assert deviation_rate(120.0, 100.0) == pytest.approx(0.2)
+
+    def test_underprediction_symmetric(self):
+        assert deviation_rate(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_trace(self):
+        with pytest.raises(ValueError):
+            deviation_rate(1.0, 0.0)
+
+
+class TestFlowObservation:
+    def test_valid(self):
+        obs = FlowObservation(params=params(), throughput=50.0, group="China Mobile")
+        assert obs.group == "China Mobile"
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(ValueError):
+            FlowObservation(params=params(), throughput=0.0)
+
+
+class TestCompareModels:
+    def _observations(self):
+        return [
+            FlowObservation(params=params(), throughput=100.0, group="A", flow_id="1"),
+            FlowObservation(params=params(rtt=0.2), throughput=50.0, group="A", flow_id="2"),
+            FlowObservation(params=params(rtt=0.05), throughput=200.0, group="B", flow_id="3"),
+        ]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_models([], {"m": lambda p: 1.0})
+
+    def test_perfect_model_zero_deviation(self):
+        observations = self._observations()
+        truths = iter([100.0, 50.0, 200.0])
+        lookup = {obs.flow_id: obs.throughput for obs in observations}
+        # A model that returns the exact observed throughput per RTT key.
+        by_rtt = {obs.params.rtt: obs.throughput for obs in observations}
+        comparison = compare_models(observations, {"oracle": lambda p: by_rtt[p.rtt]})
+        assert comparison.mean_deviation("oracle") == pytest.approx(0.0)
+
+    def test_constant_model_deviations(self):
+        observations = self._observations()
+        comparison = compare_models(observations, {"const": lambda p: 100.0})
+        # deviations: 0, 1.0, 0.5
+        assert comparison.deviations["const"] == pytest.approx([0.0, 1.0, 0.5])
+        assert comparison.mean_deviation("const") == pytest.approx(0.5)
+
+    def test_group_means(self):
+        observations = self._observations()
+        comparison = compare_models(observations, {"const": lambda p: 100.0})
+        assert comparison.group_means["const"]["A"] == pytest.approx(0.5)
+        assert comparison.group_means["const"]["B"] == pytest.approx(0.5)
+
+    def test_improvement(self):
+        observations = self._observations()
+        comparison = compare_models(
+            observations,
+            {"good": lambda p: 100.0 if p.rtt == 0.1 else (50.0 if p.rtt == 0.2 else 200.0),
+             "bad": lambda p: 100.0},
+        )
+        assert comparison.improvement("good", "bad") == pytest.approx(0.5)
+
+    def test_groups_preserve_first_seen_order(self):
+        observations = self._observations()
+        comparison = compare_models(observations, {"m": lambda p: 1.0})
+        assert comparison.groups == ["A", "B"]
+
+    def test_summary_rows_cover_groups_and_all(self):
+        observations = self._observations()
+        comparison = compare_models(observations, {"m": lambda p: 100.0})
+        rows = comparison.summary_rows()
+        groups = {row["group"] for row in rows}
+        assert groups == {"A", "B", "ALL"}
+        all_row = [r for r in rows if r["group"] == "ALL"][0]
+        assert all_row["mean_deviation_pct"] == pytest.approx(50.0)

@@ -1,0 +1,279 @@
+"""Unit tests for repro.core.components — each paper equation in isolation."""
+
+import math
+
+import pytest
+
+from repro.core import components as cf
+from repro.util.errors import ModelDomainError
+
+
+class TestFBackoff:
+    def test_zero_loss(self):
+        # f(0) = 1: a single timeout, no backoff.
+        assert cf.f_backoff(0.0) == pytest.approx(1.0)
+
+    def test_full_loss(self):
+        # f(1) = 1+1+2+4+8+16+32 = 64: the 64T cap of the paper's Fig. 2.
+        assert cf.f_backoff(1.0) == pytest.approx(64.0)
+
+    def test_hand_computed_value(self):
+        p = 0.5
+        expected = 1 + 0.5 + 2 * 0.25 + 4 * 0.125 + 8 * 0.0625 + 16 * 0.03125 + 32 * 0.015625
+        assert cf.f_backoff(p) == pytest.approx(expected)
+
+    def test_monotone_increasing(self):
+        values = [cf.f_backoff(p) for p in (0.0, 0.1, 0.3, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelDomainError):
+            cf.f_backoff(-0.1)
+        with pytest.raises(ModelDomainError):
+            cf.f_backoff(1.1)
+
+
+class TestFirstLossRound:
+    def test_zero_loss_diverges(self):
+        assert math.isinf(cf.first_loss_round(0.0, 2))
+
+    def test_decreases_with_loss(self):
+        assert cf.first_loss_round(0.001, 2) > cf.first_loss_round(0.01, 2) > cf.first_loss_round(0.1, 2)
+
+    def test_grows_with_b(self):
+        # With delayed ACK the window grows more slowly, so the first
+        # loss happens in a later round.
+        assert cf.first_loss_round(0.01, 4) > cf.first_loss_round(0.01, 1)
+
+    def test_small_loss_asymptotics(self):
+        # X_P ~ sqrt(2b(1-p)/(3p)) for small p.
+        p, b = 1e-6, 2
+        expected = math.sqrt(2 * b / (3 * p))
+        assert cf.first_loss_round(p, b) == pytest.approx(expected, rel=1e-2)
+
+    def test_hand_computed(self):
+        # p=0.1, b=2: head = 4/6; X_P = 2/3 + sqrt(2*2*0.9/0.3 + 4/9)
+        expected = 2 / 3 + math.sqrt(12 * 0.9 / 0.9 * 0.9 / 1.0 * (1 / 0.9) * 0.9 + 4 / 9)
+        # compute directly to avoid algebra slips:
+        expected = (2 + 2) / 6 + math.sqrt(2 * 2 * (1 - 0.1) / (3 * 0.1) + ((2 + 2) / 6) ** 2)
+        assert cf.first_loss_round(0.1, 2) == pytest.approx(expected)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelDomainError):
+            cf.first_loss_round(1.0, 2)
+        with pytest.raises(ModelDomainError):
+            cf.first_loss_round(0.1, 0)
+
+
+class TestExpectedCaRounds:
+    def test_padhye_limit(self):
+        # P_a -> 0 must give X_P + 1 (paper's L'Hopital check).
+        x_p = 25.0
+        assert cf.expected_ca_rounds(x_p, 0.0) == pytest.approx(x_p + 1.0)
+
+    def test_continuity_at_zero(self):
+        x_p = 25.0
+        near_zero = cf.expected_ca_rounds(x_p, 1e-12)
+        assert near_zero == pytest.approx(x_p + 1.0, rel=1e-6)
+
+    def test_certain_burst_loss(self):
+        # P_a = 1: every CA phase ends in its first round.
+        assert cf.expected_ca_rounds(25.0, 1.0) == pytest.approx(1.0)
+
+    def test_infinite_x_p(self):
+        # No data loss: phases end only by ACK burst loss, geometric mean 1/P_a.
+        assert cf.expected_ca_rounds(math.inf, 0.1) == pytest.approx(10.0)
+
+    def test_infinite_x_p_no_burst_raises(self):
+        with pytest.raises(ModelDomainError):
+            cf.expected_ca_rounds(math.inf, 0.0)
+
+    def test_decreasing_in_burst_loss(self):
+        x_p = 30.0
+        rounds = [cf.expected_ca_rounds(x_p, pa) for pa in (0.0, 0.01, 0.1, 0.5)]
+        assert rounds == sorted(rounds, reverse=True)
+
+    def test_hand_computed(self):
+        # X_P=2, P_a=0.5: E[X] = (1 - 0.5^3)/0.5 = 1.75
+        assert cf.expected_ca_rounds(2.0, 0.5) == pytest.approx(1.75)
+
+    def test_bounded_by_one_and_xp_plus_one(self):
+        x_p = 12.0
+        for pa in (0.0, 0.05, 0.3, 0.9, 1.0):
+            rounds = cf.expected_ca_rounds(x_p, pa)
+            assert 1.0 <= rounds <= x_p + 1.0
+
+
+class TestExpectedCaWindow:
+    def test_consistent_form(self):
+        # E[W] = (2/b)E[X] - 2
+        assert cf.expected_ca_window(30.0, 2) == pytest.approx(28.0)
+        assert cf.expected_ca_window(30.0, 1) == pytest.approx(58.0)
+
+    def test_paper_literal_form(self):
+        # E[W] = (b/2)E[X] - 2
+        assert cf.expected_ca_window(30.0, 4, paper_literal=True) == pytest.approx(58.0)
+
+    def test_forms_agree_for_b2(self):
+        # The paper's evaluation uses b=2 where both conventions coincide.
+        assert cf.expected_ca_window(17.0, 2) == cf.expected_ca_window(17.0, 2, paper_literal=True)
+
+    def test_clamped_at_one_packet(self):
+        assert cf.expected_ca_window(1.0, 2) == 1.0
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ModelDomainError):
+            cf.expected_ca_window(10.0, 0)
+
+
+class TestAckBurstLossProbability:
+    def test_zero_ack_loss(self):
+        assert cf.ack_burst_loss_probability(0.0, 30.0) == 0.0
+
+    def test_paper_form(self):
+        # P_a = p_a^w
+        assert cf.ack_burst_loss_probability(0.5, 4.0) == pytest.approx(0.5**4)
+
+    def test_per_ack_form(self):
+        # With b=2 only w/2 ACKs are sent per round.
+        assert cf.ack_burst_loss_probability(0.5, 4.0, b=2, per_ack=True) == pytest.approx(0.25)
+
+    def test_exponent_floor(self):
+        # A round always carries at least one ACK.
+        assert cf.ack_burst_loss_probability(0.3, 1.0, b=4, per_ack=True) == pytest.approx(0.3)
+
+    def test_increasing_in_ack_loss(self):
+        values = [cf.ack_burst_loss_probability(pa, 10.0) for pa in (0.1, 0.3, 0.5)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_window(self):
+        values = [cf.ack_burst_loss_probability(0.5, w) for w in (2.0, 5.0, 20.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelDomainError):
+            cf.ack_burst_loss_probability(1.0, 10.0)
+        with pytest.raises(ModelDomainError):
+            cf.ack_burst_loss_probability(0.5, 0.5)
+
+
+class TestFixedPoint:
+    def test_zero_ack_loss_is_zero(self):
+        assert cf.solve_ack_burst_fixed_point(0.0, 0.01, 2, 64.0) == 0.0
+
+    def test_fixed_point_is_self_consistent(self):
+        ack_loss, data_loss, b, wmax = 0.4, 0.01, 1, 64.0
+        pa = cf.solve_ack_burst_fixed_point(ack_loss, data_loss, b, wmax)
+        x_p = cf.first_loss_round(data_loss, b)
+        window = min(cf.expected_ca_window(cf.expected_ca_rounds(x_p, pa), b), wmax)
+        assert pa == pytest.approx(cf.ack_burst_loss_probability(ack_loss, window, b), rel=1e-6)
+
+    def test_low_ack_loss_negligible(self):
+        # 0.66% per-ACK loss with a realistic window under independence
+        # is astronomically unlikely to wipe a whole round.
+        pa = cf.solve_ack_burst_fixed_point(0.0066, 0.0075, 2, 64.0)
+        assert pa < 1e-20
+
+    def test_lossless_data_path(self):
+        pa = cf.solve_ack_burst_fixed_point(0.5, 0.0, 2, 8.0)
+        assert 0.0 < pa < 1.0
+
+    def test_monotone_in_ack_loss(self):
+        values = [
+            cf.solve_ack_burst_fixed_point(pa, 0.05, 1, 64.0)
+            for pa in (0.2, 0.4, 0.6)
+        ]
+        assert values == sorted(values)
+
+
+class TestTimeoutProbability:
+    def test_padhye_q(self):
+        assert cf.timeout_probability_padhye(30.0) == pytest.approx(0.1)
+        assert cf.timeout_probability_padhye(2.0) == 1.0
+
+    def test_padhye_q_rejects_bad_window(self):
+        with pytest.raises(ModelDomainError):
+            cf.timeout_probability_padhye(0.0)
+
+    def test_no_burst_loss_reduces_to_padhye(self):
+        assert cf.timeout_probability(0.2, 0.0, 25.0) == pytest.approx(0.2)
+
+    def test_burst_loss_always_raises_q(self):
+        q_p, x_p = 0.1, 25.0
+        assert cf.timeout_probability(q_p, 0.05, x_p) > q_p
+
+    def test_infinite_x_p_gives_certain_timeout(self):
+        assert cf.timeout_probability(0.0, 0.1, math.inf) == 1.0
+
+    def test_hand_computed(self):
+        # Q = 1 - (1 - 0.5)(1 - 0.5)^1 = 0.75
+        assert cf.timeout_probability(0.5, 0.5, 1.0) == pytest.approx(0.75)
+
+    def test_bounded_by_one(self):
+        assert cf.timeout_probability(0.9, 0.9, 50.0) <= 1.0
+
+
+class TestTimeoutSequence:
+    def test_consecutive_probability(self):
+        # p = 1 - (1-q)(1-P_a)
+        assert cf.consecutive_timeout_probability(0.3, 0.1) == pytest.approx(1 - 0.7 * 0.9)
+
+    def test_consecutive_probability_no_losses(self):
+        assert cf.consecutive_timeout_probability(0.0, 0.0) == 0.0
+
+    def test_expected_timeouts_geometric(self):
+        assert cf.expected_timeouts_per_sequence(0.0) == pytest.approx(1.0)
+        assert cf.expected_timeouts_per_sequence(0.5) == pytest.approx(2.0)
+        assert cf.expected_timeouts_per_sequence(0.75) == pytest.approx(4.0)
+
+    def test_expected_timeouts_rejects_p_one(self):
+        with pytest.raises(ModelDomainError):
+            cf.expected_timeouts_per_sequence(1.0)
+
+    def test_timeout_packets_paper_form(self):
+        # (1-q)^{E[R]}
+        assert cf.expected_timeout_packets(0.5, 2.0) == pytest.approx(0.25)
+
+    def test_timeout_packets_linear_form(self):
+        assert cf.expected_timeout_packets(0.5, 2.0, paper_form=False) == pytest.approx(1.0)
+
+    def test_timeout_duration(self):
+        # E[A^TO] = T f(p)/(1-p); at p=0 it is exactly T.
+        assert cf.expected_timeout_duration(0.5, 0.0) == pytest.approx(0.5)
+
+    def test_timeout_duration_grows_with_p(self):
+        durations = [cf.expected_timeout_duration(0.5, p) for p in (0.0, 0.2, 0.5, 0.8)]
+        assert durations == sorted(durations)
+
+    def test_timeout_duration_hand_computed(self):
+        t, p = 1.0, 0.5
+        assert cf.expected_timeout_duration(t, p) == pytest.approx(cf.f_backoff(p) / 0.5)
+
+
+class TestWindowLimitedComponents:
+    def test_flat_rounds_padhye_clamped(self):
+        # Large W_m with high loss pushes V_P negative -> clamp to 1.
+        assert cf.flat_rounds_padhye(0.5, 100.0, 2) == 1.0
+
+    def test_flat_rounds_padhye_low_loss(self):
+        # Low loss: V_P ~ 1/(p W_m), dominated by the first term.
+        value = cf.flat_rounds_padhye(1e-4, 10.0, 1)
+        expected = (1 - 1e-4) / (1e-4 * 10.0) + 1 - 3 * 10.0 / 8.0
+        assert value == pytest.approx(expected)
+
+    def test_flat_rounds_lossless_diverges(self):
+        assert math.isinf(cf.flat_rounds_padhye(0.0, 10.0, 2))
+
+    def test_expected_flat_rounds_padhye_limit(self):
+        assert cf.expected_flat_rounds(40.0, 0.0) == pytest.approx(40.0)
+
+    def test_expected_flat_rounds_burst(self):
+        # V_P=2, P_a=0.5 -> (1 - 0.25)/0.5 = 1.5
+        assert cf.expected_flat_rounds(2.0, 0.5) == pytest.approx(1.5)
+
+    def test_expected_flat_rounds_infinite_vp(self):
+        assert cf.expected_flat_rounds(math.inf, 0.25) == pytest.approx(4.0)
+
+    def test_expected_flat_rounds_decreasing_in_burst(self):
+        values = [cf.expected_flat_rounds(20.0, pa) for pa in (0.0, 0.1, 0.5)]
+        assert values == sorted(values, reverse=True)

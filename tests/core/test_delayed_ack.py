@@ -1,0 +1,93 @@
+"""Unit tests for the Section V-A delayed-ACK analysis."""
+
+import pytest
+
+from repro.core.delayed_ack import (
+    adaptive_delayed_window,
+    delayed_ack_tradeoff,
+    optimal_delayed_window,
+)
+from repro.core.enhanced import ModelOptions
+from repro.core.params import LinkParams
+
+
+def harsh_channel(**overrides) -> LinkParams:
+    """A channel where ACK loss is heavy enough for b to matter."""
+    base = dict(
+        rtt=0.12, timeout=0.8, data_loss=0.02, ack_loss=0.35, recovery_loss=0.3, wmax=32.0
+    )
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+def benign_channel(**overrides) -> LinkParams:
+    base = dict(
+        rtt=0.05, timeout=0.4, data_loss=0.005, ack_loss=0.001, recovery_loss=0.005, wmax=64.0
+    )
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestTradeoffSweep:
+    def test_one_point_per_b(self):
+        points = delayed_ack_tradeoff(harsh_channel(), b_values=(1, 2, 4))
+        assert [point.b for point in points] == [1, 2, 4]
+
+    def test_burst_loss_grows_with_b(self):
+        # Fewer ACKs per round -> easier to lose them all.
+        points = delayed_ack_tradeoff(harsh_channel(), b_values=(1, 2, 4, 8))
+        burst = [point.ack_burst_loss for point in points]
+        assert burst == sorted(burst)
+
+    def test_spurious_fraction_grows_with_b(self):
+        points = delayed_ack_tradeoff(harsh_channel(), b_values=(1, 2, 4, 8))
+        fractions = [point.spurious_timeout_fraction for point in points]
+        assert fractions == sorted(fractions)
+
+    def test_paper_pa_form_insensitive_to_b(self):
+        # With P_a = p_a^w (per_ack_burst=False) changing b does not
+        # change the ACK-burst probability itself — the Section V-A
+        # blind spot this module exists to expose.
+        points = delayed_ack_tradeoff(
+            harsh_channel(data_loss=0.02),
+            b_values=(1, 2),
+            options=ModelOptions(per_ack_burst=False, fixed_point=False,
+                                 ack_burst_override=0.05),
+        )
+        assert points[0].ack_burst_loss == points[1].ack_burst_loss
+
+    def test_throughputs_positive(self):
+        for point in delayed_ack_tradeoff(harsh_channel()):
+            assert point.throughput > 0.0
+
+
+class TestOptimalWindow:
+    def test_returns_argmax(self):
+        points = delayed_ack_tradeoff(harsh_channel())
+        best = optimal_delayed_window(harsh_channel())
+        assert best.throughput == max(point.throughput for point in points)
+
+    def test_harsh_channel_prefers_small_b(self):
+        # Heavy ACK loss: every ACK matters, small delayed window wins.
+        best = optimal_delayed_window(harsh_channel(ack_loss=0.45))
+        assert best.b <= 2
+
+
+class TestAdaptivePolicy:
+    def test_benign_channel_allows_large_window(self):
+        assert adaptive_delayed_window(benign_channel(), max_b=8) == 8
+
+    def test_harsh_channel_caps_window(self):
+        b = adaptive_delayed_window(
+            harsh_channel(ack_loss=0.45), max_b=8, spurious_budget=0.2
+        )
+        assert b < 8
+
+    def test_zero_budget_forces_b1_on_lossy_channel(self):
+        assert adaptive_delayed_window(harsh_channel(), max_b=8, spurious_budget=0.0) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            adaptive_delayed_window(benign_channel(), max_b=0)
+        with pytest.raises(ValueError):
+            adaptive_delayed_window(benign_channel(), spurious_budget=1.5)

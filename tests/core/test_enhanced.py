@@ -1,0 +1,275 @@
+"""Unit tests for the enhanced throughput model (paper Eq. 21)."""
+
+import math
+
+import pytest
+
+from repro.core.enhanced import (
+    ModelOptions,
+    enhanced_throughput,
+    padhye_paper_form,
+)
+from repro.core.padhye import padhye_full_throughput
+from repro.core.params import LinkParams
+from repro.util.errors import ModelDomainError
+
+
+def hsr_params(**overrides) -> LinkParams:
+    """Paper-calibrated HSR operating point (Section III measurements)."""
+    base = dict(
+        rtt=0.12,
+        timeout=0.8,
+        data_loss=0.0075,
+        ack_loss=0.0066,
+        recovery_loss=0.27,
+        wmax=64.0,
+        b=2,
+    )
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+def stationary_params(**overrides) -> LinkParams:
+    base = dict(
+        rtt=0.05,
+        timeout=0.4,
+        data_loss=0.001,
+        ack_loss=0.0001,
+        recovery_loss=0.001,
+        wmax=64.0,
+        b=2,
+    )
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestBasicBehaviour:
+    def test_positive_throughput(self):
+        assert enhanced_throughput(hsr_params()).throughput > 0.0
+
+    def test_prediction_carries_params(self):
+        params = hsr_params()
+        assert enhanced_throughput(params).params is params
+
+    def test_throughput_mbps_consistent(self):
+        prediction = enhanced_throughput(hsr_params())
+        assert prediction.throughput_mbps == pytest.approx(
+            prediction.throughput * 1460 * 8 / 1e6
+        )
+
+    def test_stationary_beats_hsr(self):
+        hsr = enhanced_throughput(hsr_params()).throughput
+        stationary = enhanced_throughput(stationary_params()).throughput
+        assert stationary > hsr
+
+    def test_deterministic(self):
+        a = enhanced_throughput(hsr_params()).throughput
+        b = enhanced_throughput(hsr_params()).throughput
+        assert a == b
+
+
+class TestPadhyeLimit:
+    """P_a -> 0 and q = p_d must recover the Padhye model (paper §IV-B)."""
+
+    def test_padhye_paper_form_equals_stationary_projection(self):
+        params = hsr_params()
+        direct = enhanced_throughput(params.as_stationary()).throughput
+        via_helper = padhye_paper_form(params).throughput
+        assert direct == pytest.approx(via_helper)
+
+    def test_agreement_with_original_padhye_closed_form(self):
+        # The paper-form baseline and the original Padhye full model
+        # should agree closely in the moderate-loss regime.
+        for p_d in (0.002, 0.005, 0.01, 0.03):
+            params = stationary_params(data_loss=p_d)
+            ours = padhye_paper_form(params).throughput
+            original = padhye_full_throughput(params.as_stationary())
+            assert ours == pytest.approx(original, rel=0.15)
+
+    def test_ack_loss_zero_means_no_burst_loss(self):
+        prediction = enhanced_throughput(hsr_params(ack_loss=0.0))
+        assert prediction.ack_burst_loss == 0.0
+        assert prediction.spurious_timeout_fraction == 0.0
+
+
+class TestMonotonicity:
+    def test_decreasing_in_data_loss(self):
+        tps = [
+            enhanced_throughput(hsr_params(data_loss=p)).throughput
+            for p in (0.001, 0.005, 0.02, 0.05)
+        ]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_decreasing_in_rtt(self):
+        tps = [
+            enhanced_throughput(hsr_params(rtt=rtt)).throughput
+            for rtt in (0.05, 0.1, 0.2, 0.4)
+        ]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_decreasing_in_recovery_loss(self):
+        tps = [
+            enhanced_throughput(hsr_params(recovery_loss=q)).throughput
+            for q in (0.05, 0.25, 0.4, 0.6)
+        ]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_decreasing_in_ack_burst_override(self):
+        tps = [
+            enhanced_throughput(
+                hsr_params(), ModelOptions(ack_burst_override=pa)
+            ).throughput
+            for pa in (0.0, 0.02, 0.05, 0.1, 0.2)
+        ]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_increasing_in_wmax_until_unconstrained(self):
+        tps = [
+            enhanced_throughput(hsr_params(data_loss=0.0005, wmax=w)).throughput
+            for w in (4.0, 8.0, 16.0, 32.0)
+        ]
+        assert tps == sorted(tps)
+
+
+class TestWindowLimitation:
+    def test_low_loss_small_wmax_is_window_limited(self):
+        prediction = enhanced_throughput(hsr_params(data_loss=0.0002, wmax=8.0))
+        assert prediction.window_limited
+
+    def test_high_loss_is_unconstrained(self):
+        prediction = enhanced_throughput(hsr_params(data_loss=0.05, wmax=64.0))
+        assert not prediction.window_limited
+
+    def test_expected_window_never_exceeds_wmax(self):
+        for p_d in (0.0002, 0.001, 0.01, 0.1):
+            for wmax in (4.0, 16.0, 64.0):
+                prediction = enhanced_throughput(hsr_params(data_loss=p_d, wmax=wmax))
+                assert prediction.expected_window <= wmax + 1e-9
+
+    def test_lossless_link_is_wmax_over_rtt(self):
+        params = hsr_params(data_loss=0.0, ack_loss=0.0, recovery_loss=0.0)
+        prediction = enhanced_throughput(params)
+        assert prediction.throughput == pytest.approx(params.wmax / params.rtt)
+        assert prediction.window_limited
+
+    def test_throughput_below_wmax_bound(self):
+        # No model prediction can exceed the window-limitation ceiling.
+        for p_d in (0.001, 0.01, 0.05):
+            params = hsr_params(data_loss=p_d)
+            prediction = enhanced_throughput(params)
+            assert prediction.throughput <= params.wmax / params.rtt + 1e-9
+
+    def test_branch_continuity(self):
+        # Throughput should not jump wildly across the branch switch.
+        params_lo = hsr_params(data_loss=0.0002, wmax=30.0)
+        lo = enhanced_throughput(params_lo)
+        hi = enhanced_throughput(params_lo.with_(wmax=31.0))
+        assert abs(lo.throughput - hi.throughput) / hi.throughput < 0.25
+
+
+class TestAckBurstEffects:
+    def test_spurious_fraction_grows_with_burst_override(self):
+        fractions = [
+            enhanced_throughput(
+                hsr_params(), ModelOptions(ack_burst_override=pa)
+            ).spurious_timeout_fraction
+            for pa in (0.01, 0.05, 0.1, 0.3)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_timeout_probability_grows_with_burst_override(self):
+        qs = [
+            enhanced_throughput(
+                hsr_params(), ModelOptions(ack_burst_override=pa)
+            ).timeout_probability
+            for pa in (0.0, 0.05, 0.2)
+        ]
+        assert qs == sorted(qs)
+
+    def test_override_rejects_out_of_range(self):
+        with pytest.raises(ModelDomainError):
+            enhanced_throughput(hsr_params(), ModelOptions(ack_burst_override=1.0))
+
+    def test_measured_burst_loss_halves_throughput_regime(self):
+        # With the paper's ~10% measured burst loss, throughput drops
+        # far below the no-burst prediction.
+        clean = enhanced_throughput(hsr_params()).throughput
+        bursty = enhanced_throughput(
+            hsr_params(), ModelOptions(ack_burst_override=0.10)
+        ).throughput
+        assert bursty < 0.8 * clean
+
+    def test_half_spurious_regime_exists(self):
+        # The paper measured ~49% spurious timeouts; the model reaches
+        # that regime for plausible burst-loss values.
+        prediction = enhanced_throughput(
+            hsr_params(), ModelOptions(ack_burst_override=0.04)
+        )
+        assert 0.2 < prediction.spurious_timeout_fraction < 0.9
+
+
+class TestModelVariants:
+    def test_paper_literal_close_for_b2(self):
+        # For b=2 the two window conventions coincide; only the +-1
+        # constant differs, so predictions should be within a few %.
+        params = hsr_params()
+        consistent = enhanced_throughput(params, ModelOptions()).throughput
+        literal = enhanced_throughput(params, ModelOptions(paper_literal=True)).throughput
+        assert literal == pytest.approx(consistent, rel=0.05)
+
+    def test_paper_literal_diverges_for_b1(self):
+        # For b=1 the conventions differ by ~4x in the X^2 coefficient.
+        params = hsr_params(b=1)
+        consistent = enhanced_throughput(params, ModelOptions()).throughput
+        literal = enhanced_throughput(params, ModelOptions(paper_literal=True)).throughput
+        assert literal < consistent
+
+    def test_timeout_yield_variants_negligible(self):
+        params = hsr_params()
+        paper = enhanced_throughput(
+            params, ModelOptions(timeout_yield_paper_form=True)
+        ).throughput
+        linear = enhanced_throughput(
+            params, ModelOptions(timeout_yield_paper_form=False)
+        ).throughput
+        assert paper == pytest.approx(linear, rel=0.02)
+
+    def test_fixed_point_vs_single_shot(self):
+        params = hsr_params(ack_loss=0.5, data_loss=0.02, b=1)
+        fp = enhanced_throughput(params, ModelOptions(fixed_point=True))
+        ss = enhanced_throughput(params, ModelOptions(fixed_point=False))
+        # Both must be positive and finite; fixed point is self-consistent.
+        assert fp.throughput > 0 and ss.throughput > 0
+        assert math.isfinite(fp.throughput)
+
+    def test_per_ack_burst_raises_pa(self):
+        params = hsr_params(ack_loss=0.2, data_loss=0.005, b=4)
+        plain = enhanced_throughput(params, ModelOptions(per_ack_burst=False))
+        per_ack = enhanced_throughput(params, ModelOptions(per_ack_burst=True))
+        assert per_ack.ack_burst_loss > plain.ack_burst_loss
+
+
+class TestInternalConsistency:
+    def test_expected_rounds_positive(self):
+        prediction = enhanced_throughput(hsr_params())
+        assert prediction.expected_rounds >= 1.0
+
+    def test_q_in_unit_interval(self):
+        for pa in (0.0, 0.05, 0.3):
+            prediction = enhanced_throughput(
+                hsr_params(), ModelOptions(ack_burst_override=pa)
+            )
+            assert 0.0 <= prediction.timeout_probability <= 1.0
+
+    def test_expected_timeouts_at_least_one(self):
+        prediction = enhanced_throughput(hsr_params())
+        assert prediction.expected_timeouts >= 1.0
+
+    def test_timeout_duration_at_least_base_timer(self):
+        params = hsr_params()
+        prediction = enhanced_throughput(params)
+        assert prediction.timeout_duration >= params.timeout
+
+    def test_ca_packets_at_least_one(self):
+        prediction = enhanced_throughput(hsr_params(data_loss=0.3))
+        assert prediction.ca_packets >= 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for the inverse-model fitting module."""
+
+import pytest
+
+from repro.core.enhanced import ModelOptions, enhanced_throughput
+from repro.core.fitting import (
+    fit_ack_burst,
+    fit_latent_parameters,
+    fit_population_recovery_loss,
+    fit_recovery_loss,
+)
+from repro.core.params import LinkParams
+
+
+def params(**overrides) -> LinkParams:
+    base = dict(rtt=0.12, timeout=0.8, data_loss=0.0075, ack_loss=0.0066,
+                recovery_loss=0.3, wmax=64.0, b=2)
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+def synth_throughput(q, pa=0.0, **overrides):
+    return enhanced_throughput(
+        params(**overrides).with_(recovery_loss=q),
+        ModelOptions(ack_burst_override=pa),
+    ).throughput
+
+
+class TestFitRecoveryLoss:
+    @pytest.mark.parametrize("true_q", [0.1, 0.3, 0.6])
+    def test_recovers_true_q(self, true_q):
+        observed = synth_throughput(true_q)
+        fitted = fit_recovery_loss(params(), observed)
+        assert fitted.recovery_loss == pytest.approx(true_q, abs=0.05)
+        assert fitted.deviation < 0.02
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(ValueError):
+            fit_recovery_loss(params(), 0.0)
+
+    def test_reports_evaluations(self):
+        fitted = fit_recovery_loss(params(), synth_throughput(0.3))
+        assert fitted.evaluations > 0
+
+
+class TestFitAckBurst:
+    @pytest.mark.parametrize("true_pa", [0.02, 0.08, 0.2])
+    def test_recovers_true_pa(self, true_pa):
+        observed = synth_throughput(0.3, pa=true_pa)
+        fitted = fit_ack_burst(params(recovery_loss=0.3), observed)
+        assert fitted.ack_burst == pytest.approx(true_pa, abs=0.05)
+        assert fitted.deviation < 0.02
+
+    def test_zero_burst_when_observed_matches_clean_model(self):
+        observed = synth_throughput(0.3, pa=0.0)
+        fitted = fit_ack_burst(params(recovery_loss=0.3), observed)
+        assert fitted.ack_burst == pytest.approx(0.0, abs=0.02)
+
+
+class TestJointFit:
+    def test_residual_small(self):
+        observed = synth_throughput(0.35, pa=0.04)
+        fitted = fit_latent_parameters(params(), observed)
+        # The pair is weakly identifiable from one flow; what must hold
+        # is that the fitted pair reproduces the observation.
+        assert fitted.deviation < 0.05
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            fit_latent_parameters(params(), 100.0, rounds=0)
+
+
+class TestPopulationFit:
+    def test_shared_q_recovered(self):
+        true_q = 0.3
+        observations = [
+            (params(data_loss=p_d), synth_throughput(true_q, data_loss=p_d))
+            for p_d in (0.003, 0.0075, 0.02)
+        ]
+        fitted = fit_population_recovery_loss(observations)
+        assert fitted.recovery_loss == pytest.approx(true_q, abs=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_population_recovery_loss([])

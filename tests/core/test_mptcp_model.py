@@ -1,0 +1,101 @@
+"""Unit tests for the Section V-B MPTCP analysis."""
+
+import pytest
+
+from repro.core.enhanced import enhanced_throughput
+from repro.core.mptcp_model import (
+    backup_mode_throughput,
+    duplex_mode_throughput,
+    effective_recovery_loss,
+    mptcp_gain,
+)
+from repro.core.params import LinkParams
+
+
+def path(**overrides) -> LinkParams:
+    base = dict(
+        rtt=0.12, timeout=0.8, data_loss=0.0075, ack_loss=0.0066,
+        recovery_loss=0.3, wmax=64.0,
+    )
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestEffectiveRecoveryLoss:
+    def test_independent_paths_multiply(self):
+        assert effective_recovery_loss(0.3, 0.3) == pytest.approx(0.09)
+
+    def test_perfect_backup_eliminates_q(self):
+        assert effective_recovery_loss(0.3, 0.0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            effective_recovery_loss(1.0, 0.3)
+        with pytest.raises(ValueError):
+            effective_recovery_loss(0.3, -0.1)
+
+
+class TestBackupMode:
+    def test_beats_single_path(self):
+        single = enhanced_throughput(path()).throughput
+        multi = backup_mode_throughput(path(), path()).throughput
+        assert multi > single
+
+    def test_mode_label(self):
+        assert backup_mode_throughput(path(), path()).mode == "backup"
+
+    def test_only_primary_carries_data(self):
+        prediction = backup_mode_throughput(path(), path())
+        assert prediction.secondary is None
+        assert prediction.subflow_throughputs == (prediction.primary.throughput,)
+
+    def test_gain_grows_with_recovery_loss(self):
+        # The worse q is, the more double retransmission helps.
+        gains = [
+            mptcp_gain(path(recovery_loss=q), mode="backup")
+            for q in (0.1, 0.3, 0.5)
+        ]
+        assert gains == sorted(gains)
+
+
+class TestDuplexMode:
+    def test_roughly_doubles_identical_paths(self):
+        single = enhanced_throughput(path()).throughput
+        multi = duplex_mode_throughput(path(), path()).throughput
+        # Sum of two subflows, each also enjoying the q reduction:
+        # at least 2x, bounded by a generous 4x.
+        assert 2.0 * single <= multi <= 4.0 * single
+
+    def test_heterogeneous_paths_sum(self):
+        prediction = duplex_mode_throughput(path(), path(rtt=0.3))
+        assert prediction.throughput == pytest.approx(
+            sum(prediction.subflow_throughputs)
+        )
+
+    def test_mode_label(self):
+        assert duplex_mode_throughput(path(), path()).mode == "duplex"
+
+
+class TestMptcpGain:
+    def test_duplex_gain_exceeds_backup_gain(self):
+        assert mptcp_gain(path(), mode="duplex") > mptcp_gain(path(), mode="backup")
+
+    def test_default_alternate_is_clone(self):
+        explicit = mptcp_gain(path(), path(), mode="duplex")
+        implicit = mptcp_gain(path(), mode="duplex")
+        assert implicit == pytest.approx(explicit)
+
+    def test_positive_gains(self):
+        assert mptcp_gain(path(), mode="duplex") > 0.0
+        assert mptcp_gain(path(), mode="backup") > 0.0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            mptcp_gain(path(), mode="turbo")
+
+    def test_paper_ordering_bad_coverage_gains_more(self):
+        # China-Telecom-like path (poor coverage -> heavy loss) gains
+        # relatively more from a second path than China-Mobile-like LTE.
+        telecom = path(data_loss=0.03, ack_loss=0.02, recovery_loss=0.45, rtt=0.25)
+        mobile = path(data_loss=0.005, ack_loss=0.004, recovery_loss=0.25, rtt=0.1)
+        assert mptcp_gain(telecom, mode="duplex") >= mptcp_gain(mobile, mode="duplex")

@@ -1,0 +1,104 @@
+"""Unit tests for the classic Padhye baseline (repro.core.padhye)."""
+
+import math
+
+import pytest
+
+from repro.core.padhye import (
+    padhye_approx_throughput,
+    padhye_expected_window,
+    padhye_full_throughput,
+    padhye_timeout_probability,
+)
+from repro.core.params import LinkParams
+from repro.util.errors import ModelDomainError
+
+
+def params(**overrides) -> LinkParams:
+    base = dict(rtt=0.1, timeout=0.5, data_loss=0.01, wmax=1000.0, b=1)
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestExpectedWindow:
+    def test_small_loss_asymptotics(self):
+        # W(p) ~ sqrt(8/(3bp)) for small p.
+        p = 1e-6
+        assert padhye_expected_window(p, 1) == pytest.approx(math.sqrt(8 / (3 * p)), rel=1e-2)
+
+    def test_decreasing_in_loss(self):
+        ws = [padhye_expected_window(p, 1) for p in (0.001, 0.01, 0.1)]
+        assert ws == sorted(ws, reverse=True)
+
+    def test_decreasing_in_b(self):
+        assert padhye_expected_window(0.01, 2) < padhye_expected_window(0.01, 1)
+
+    def test_rejects_domain(self):
+        with pytest.raises(ModelDomainError):
+            padhye_expected_window(0.0, 1)
+
+
+class TestTimeoutProbability:
+    def test_tiny_window_certain(self):
+        assert padhye_timeout_probability(0.1, 2.0) == 1.0
+
+    def test_bounded(self):
+        for p in (0.001, 0.01, 0.1, 0.5):
+            for w in (4.0, 10.0, 50.0):
+                assert 0.0 < padhye_timeout_probability(p, w) <= 1.0
+
+    def test_approaches_3_over_w_for_small_p(self):
+        w = 50.0
+        assert padhye_timeout_probability(1e-7, w) == pytest.approx(3.0 / w, rel=0.1)
+
+    def test_rejects_domain(self):
+        with pytest.raises(ModelDomainError):
+            padhye_timeout_probability(0.0, 10.0)
+        with pytest.raises(ModelDomainError):
+            padhye_timeout_probability(0.1, 0.5)
+
+
+class TestFullModel:
+    def test_positive(self):
+        assert padhye_full_throughput(params()) > 0.0
+
+    def test_decreasing_in_loss(self):
+        tps = [padhye_full_throughput(params(data_loss=p)) for p in (0.001, 0.01, 0.05, 0.2)]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_window_limited_branch(self):
+        limited = padhye_full_throughput(params(data_loss=0.0001, wmax=8.0))
+        assert limited <= 8.0 / 0.1 + 1e-9
+
+    def test_lossless_is_wmax_over_rtt(self):
+        assert padhye_full_throughput(params(data_loss=0.0, wmax=20.0)) == pytest.approx(200.0)
+
+    def test_agrees_with_approx_in_moderate_regime(self):
+        for p in (0.005, 0.01, 0.02):
+            full = padhye_full_throughput(params(data_loss=p))
+            approx = padhye_approx_throughput(params(data_loss=p))
+            assert full == pytest.approx(approx, rel=0.25)
+
+
+class TestApproxModel:
+    def test_sqrt_law_small_loss(self):
+        # Timeout term negligible at tiny p: B ~ (1/RTT) sqrt(3/(2bp)).
+        p = 1e-7
+        pr = params(data_loss=p, wmax=1e9)
+        expected = math.sqrt(3 / (2 * p)) / pr.rtt
+        assert padhye_approx_throughput(pr) == pytest.approx(expected, rel=0.01)
+
+    def test_wmax_cap(self):
+        pr = params(data_loss=1e-9, wmax=10.0)
+        assert padhye_approx_throughput(pr) == pytest.approx(10.0 / pr.rtt)
+
+    def test_decreasing_in_rtt(self):
+        tps = [padhye_approx_throughput(params(rtt=r)) for r in (0.05, 0.1, 0.2)]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_decreasing_in_timeout(self):
+        tps = [padhye_approx_throughput(params(timeout=t)) for t in (0.2, 0.5, 1.0)]
+        assert tps == sorted(tps, reverse=True)
+
+    def test_lossless_is_wmax_over_rtt(self):
+        assert padhye_approx_throughput(params(data_loss=0.0, wmax=5.0)) == pytest.approx(50.0)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.core.params."""
+
+import pytest
+
+from repro.core.params import RECOMMENDED_RECOVERY_LOSS_RANGE, LinkParams
+from repro.util.errors import ConfigurationError
+
+
+def make(**overrides) -> LinkParams:
+    base = dict(rtt=0.1, timeout=0.5, data_loss=0.01, ack_loss=0.005, wmax=64.0)
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        params = make(recovery_loss=0.3)
+        assert params.rtt == 0.1
+        assert params.recovery_loss == 0.3
+
+    @pytest.mark.parametrize("rtt", [0.0, -1.0])
+    def test_rejects_nonpositive_rtt(self, rtt):
+        with pytest.raises(ConfigurationError):
+            make(rtt=rtt)
+
+    @pytest.mark.parametrize("timeout", [0.0, -0.5])
+    def test_rejects_nonpositive_timeout(self, timeout):
+        with pytest.raises(ConfigurationError):
+            make(timeout=timeout)
+
+    @pytest.mark.parametrize("loss", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_data_loss(self, loss):
+        with pytest.raises(ConfigurationError):
+            make(data_loss=loss)
+
+    @pytest.mark.parametrize("loss", [-0.1, 1.0])
+    def test_rejects_bad_ack_loss(self, loss):
+        with pytest.raises(ConfigurationError):
+            make(ack_loss=loss)
+
+    @pytest.mark.parametrize("loss", [-0.1, 1.0])
+    def test_rejects_bad_recovery_loss(self, loss):
+        with pytest.raises(ConfigurationError):
+            make(recovery_loss=loss)
+
+    @pytest.mark.parametrize("b", [0, -1])
+    def test_rejects_bad_b(self, b):
+        with pytest.raises(ConfigurationError):
+            make(b=b)
+
+    def test_rejects_tiny_wmax(self):
+        with pytest.raises(ConfigurationError):
+            make(wmax=0.5)
+
+    def test_zero_losses_allowed(self):
+        params = make(data_loss=0.0, ack_loss=0.0, recovery_loss=0.0)
+        assert params.data_loss == 0.0
+
+
+class TestDefaults:
+    def test_recovery_loss_defaults_to_recommended_midpoint(self):
+        lo, hi = RECOMMENDED_RECOVERY_LOSS_RANGE
+        assert make().recovery_loss == pytest.approx((lo + hi) / 2.0)
+
+    def test_default_b_is_delayed_ack(self):
+        assert make().b == 2
+
+
+class TestHelpers:
+    def test_with_returns_modified_copy(self):
+        params = make()
+        changed = params.with_(rtt=0.2)
+        assert changed.rtt == 0.2
+        assert params.rtt == 0.1  # original untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigurationError):
+            make().with_(data_loss=2.0)
+
+    def test_as_stationary_strips_hsr_features(self):
+        params = make(data_loss=0.01, ack_loss=0.02, recovery_loss=0.35)
+        stationary = params.as_stationary()
+        assert stationary.ack_loss == 0.0
+        assert stationary.recovery_loss == stationary.data_loss == 0.01
+        # all other fields preserved
+        assert stationary.rtt == params.rtt
+        assert stationary.wmax == params.wmax
+        assert stationary.b == params.b
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make().rtt = 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for parameter sweeps and elasticities."""
+
+import pytest
+
+from repro.core.enhanced import ModelOptions
+from repro.core.params import LinkParams
+from repro.core.sensitivity import dominant_parameter, elasticity, sweep
+
+
+def params(**overrides) -> LinkParams:
+    base = dict(
+        rtt=0.12, timeout=0.8, data_loss=0.0075, ack_loss=0.0066,
+        recovery_loss=0.3, wmax=64.0,
+    )
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestSweep:
+    def test_one_point_per_value(self):
+        points = sweep(params(), "data_loss", [0.001, 0.01, 0.1])
+        assert [point.value for point in points] == [0.001, 0.01, 0.1]
+        assert all(point.field == "data_loss" for point in points)
+
+    def test_throughput_accessor(self):
+        point = sweep(params(), "rtt", [0.1])[0]
+        assert point.throughput == point.prediction.throughput
+
+    def test_b_cast_to_int(self):
+        points = sweep(params(), "b", [1, 2])
+        assert [point.prediction.params.b for point in points] == [1, 2]
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ValueError):
+            sweep(params(), "mtu", [1500])
+
+    def test_rtt_sweep_monotone(self):
+        points = sweep(params(), "rtt", [0.05, 0.1, 0.2, 0.4])
+        tps = [point.throughput for point in points]
+        assert tps == sorted(tps, reverse=True)
+
+
+class TestElasticity:
+    def test_rtt_elasticity_negative(self):
+        assert elasticity(params(), "rtt") < 0.0
+
+    def test_data_loss_elasticity_negative(self):
+        assert elasticity(params(), "data_loss") < 0.0
+
+    def test_recovery_loss_elasticity_negative(self):
+        assert elasticity(params(), "recovery_loss") < 0.0
+
+    def test_rtt_elasticity_near_minus_one_when_rtt_dominates(self):
+        # In a regime with negligible timeouts, TP ~ 1/RTT.
+        benign = params(data_loss=0.01, ack_loss=0.0, recovery_loss=0.01, timeout=0.1)
+        value = elasticity(benign, "rtt")
+        assert -1.2 < value < -0.5
+
+    def test_zero_value_raises(self):
+        with pytest.raises(ValueError):
+            elasticity(params(ack_loss=0.0), "ack_loss")
+
+
+class TestDominantParameter:
+    def test_returns_a_probed_field(self):
+        field = dominant_parameter(params())
+        assert field in ("rtt", "data_loss", "ack_loss", "recovery_loss")
+
+    def test_skips_zero_fields(self):
+        field = dominant_parameter(params(ack_loss=0.0))
+        assert field != "ack_loss"
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            dominant_parameter(params(ack_loss=0.0), fields=("ack_loss",))

@@ -1,0 +1,97 @@
+"""Unit tests for the variant models (NewReno, Veno) in the paper's framework."""
+
+import pytest
+
+from repro.core.enhanced import ModelOptions, enhanced_throughput
+from repro.core.params import LinkParams
+from repro.core.variants import (
+    VENO_RANDOM_LOSS_BACKOFF,
+    newreno_throughput,
+    variant_throughput,
+    veno_throughput,
+)
+from repro.util.errors import ModelDomainError
+
+
+def params(**overrides) -> LinkParams:
+    base = dict(rtt=0.12, timeout=0.8, data_loss=0.0075, ack_loss=0.0066,
+                recovery_loss=0.27, wmax=64.0, b=2)
+    base.update(overrides)
+    return LinkParams(**base)
+
+
+class TestNewReno:
+    def test_at_least_reno(self):
+        reno = enhanced_throughput(params()).throughput
+        newreno = newreno_throughput(params()).throughput
+        assert newreno >= reno
+
+    def test_gain_grows_with_loss(self):
+        # More loss -> more multi-loss windows -> more rescued timeouts.
+        gains = []
+        for p_d in (0.002, 0.01, 0.05):
+            reno = enhanced_throughput(params(data_loss=p_d)).throughput
+            newreno = newreno_throughput(params(data_loss=p_d)).throughput
+            gains.append(newreno / reno - 1.0)
+        assert gains == sorted(gains)
+
+    def test_converges_to_reno_at_low_loss(self):
+        p = params(data_loss=1e-5, ack_loss=0.0, recovery_loss=1e-5)
+        reno = enhanced_throughput(p).throughput
+        newreno = newreno_throughput(p).throughput
+        assert newreno == pytest.approx(reno, rel=0.02)
+
+    def test_timeout_probability_reduced(self):
+        reno = enhanced_throughput(params(data_loss=0.03))
+        newreno = newreno_throughput(params(data_loss=0.03))
+        assert newreno.timeout_probability <= reno.timeout_probability
+
+    def test_ack_burst_timeouts_not_rescued(self):
+        # With data loss ~ 0 and heavy ACK bursts, NewReno ~= Reno: the
+        # variant cannot see missing ACKs.
+        options = ModelOptions(ack_burst_override=0.1)
+        p = params(data_loss=1e-5)
+        reno = enhanced_throughput(p, options).throughput
+        newreno = newreno_throughput(p, options).throughput
+        assert newreno == pytest.approx(reno, rel=0.02)
+
+
+class TestVeno:
+    def test_beats_reno_under_random_loss(self):
+        reno = enhanced_throughput(params()).throughput
+        veno = veno_throughput(params()).throughput
+        assert veno > reno
+
+    def test_congestive_fraction_reduces_gain(self):
+        all_random = veno_throughput(params(), random_loss_fraction=1.0).throughput
+        all_congestive = veno_throughput(params(), random_loss_fraction=0.0).throughput
+        assert all_congestive < all_random
+
+    def test_all_congestive_equals_reno_window(self):
+        prediction = veno_throughput(params(), random_loss_fraction=0.0)
+        reno = enhanced_throughput(params())
+        assert prediction.expected_window == pytest.approx(reno.expected_window)
+
+    def test_window_capped_at_wmax(self):
+        prediction = veno_throughput(params(data_loss=0.0005, wmax=16.0))
+        assert prediction.expected_window <= 16.0 + 1e-9
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelDomainError):
+            veno_throughput(params(), random_loss_fraction=1.5)
+
+    def test_backoff_constant(self):
+        assert VENO_RANDOM_LOSS_BACKOFF == pytest.approx(0.8)
+
+
+class TestVariantTable:
+    def test_all_three_present(self):
+        table = variant_throughput(params())
+        assert set(table) == {"reno", "newreno", "veno"}
+
+    def test_ordering_under_hsr_conditions(self):
+        table = variant_throughput(params())
+        assert table["veno"] >= table["newreno"] >= table["reno"]
+
+    def test_positive(self):
+        assert all(value > 0.0 for value in variant_throughput(params()).values())

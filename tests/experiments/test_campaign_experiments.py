@@ -1,0 +1,119 @@
+"""Shape assertions for the campaign-scale experiments.
+
+Run at tiny scales to bound test time; every assertion checks the
+*shape* the paper reports, not absolute values (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+SCALE = 0.25  # miniature campaigns
+SEED = 2015
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_experiment("table1", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_experiment("fig3", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_experiment("fig4", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_experiment("fig6", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_experiment("fig10", scale=0.35, seed=SEED)
+
+
+class TestTable1:
+    def test_four_rows(self, table1):
+        assert len(table1.rows) == 4
+
+    def test_providers_covered(self, table1):
+        providers = {row["provider"] for row in table1.rows}
+        assert providers == {"China Mobile", "China Unicom", "China Telecom"}
+
+    def test_bytes_positive(self, table1):
+        assert table1.headline["total_gb"] > 0.0
+
+    def test_flow_counts_proportional(self, table1):
+        by_provider = {}
+        for row in table1.rows:
+            by_provider[row["provider"]] = by_provider.get(row["provider"], 0) + row["flows"]
+        # Mobile has ~125/255 of the flows in the paper's campaign.
+        assert by_provider["China Mobile"] >= by_provider["China Unicom"]
+
+
+class TestFig3:
+    def test_recovery_loss_dominates_lifetime_loss(self, fig3):
+        assert (
+            fig3.headline["mean_recovery_loss"]
+            > 3.0 * fig3.headline["mean_lifetime_loss"]
+        )
+
+    def test_quantile_rows_monotone(self, fig3):
+        quantiles = [row["quantile"] for row in fig3.rows]
+        lifetime = [row["lifetime_loss"] for row in fig3.rows]
+        assert quantiles == sorted(quantiles)
+        assert lifetime == sorted(lifetime)
+
+    def test_lifetime_loss_order_of_magnitude(self, fig3):
+        # Paper: 0.7526%; synthetic channel lands within a few x.
+        assert 0.001 <= fig3.headline["mean_lifetime_loss"] <= 0.05
+
+
+class TestFig4:
+    def test_positive_correlation(self, fig4):
+        assert fig4.headline["pearson_correlation"] > 0.0
+
+    def test_positive_envelope_slope(self, fig4):
+        assert fig4.headline["envelope_slope"] > 0.0
+
+    def test_points_within_envelope(self, fig4):
+        slope = fig4.headline["envelope_slope"]
+        low = fig4.headline["envelope_low_intercept"]
+        high = fig4.headline["envelope_high_intercept"]
+        for row in fig4.rows:
+            y = row["timeout_probability"]
+            x = row["ack_loss_rate"]
+            assert slope * x + low - 1e-9 <= y <= slope * x + high + 1e-9
+
+
+class TestFig6:
+    def test_hsr_ack_loss_elevated(self, fig6):
+        assert fig6.headline["elevation_factor"] > 3.0
+
+    def test_cdf_dominance(self, fig6):
+        for row in fig6.rows:
+            assert row["hsr_ack_loss"] >= row["stationary_ack_loss"] - 1e-9
+
+    def test_order_of_magnitude(self, fig6):
+        assert 0.001 <= fig6.headline["mean_hsr_ack_loss"] <= 0.08
+        assert fig6.headline["mean_stationary_ack_loss"] <= 0.01
+
+
+class TestFig10:
+    def test_enhanced_beats_padhye_overall(self, fig10):
+        assert fig10.headline["enhanced_mean_D"] < fig10.headline["padhye_mean_D"]
+
+    def test_improvement_positive(self, fig10):
+        assert fig10.headline["improvement_points"] > 0.05
+
+    def test_enhanced_beats_padhye_per_provider(self, fig10):
+        by_provider = {}
+        for row in fig10.rows:
+            by_provider.setdefault(row["provider"], {})[row["model"]] = row["mean_D_pct"]
+        for provider, models in by_provider.items():
+            assert models["enhanced"] < models["padhye"], provider

@@ -1,0 +1,167 @@
+"""Shape assertions for the single-flow experiments (Figs. 1, 2, 8, 9, 12)
+and the extension experiments."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+SEED = 2015
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_experiment("fig1", scale=0.5, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_experiment("fig2", scale=1.0, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_experiment("fig8", scale=0.5, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_experiment("fig9", scale=0.4, seed=SEED)
+
+
+class TestFig1:
+    def test_flow_has_timeouts(self, fig1):
+        assert fig1.headline["timeouts"] >= 2
+
+    def test_latency_near_paper_30ms(self, fig1):
+        assert 20.0 <= fig1.headline["mean_data_latency_ms"] <= 60.0
+        assert 20.0 <= fig1.headline["mean_ack_latency_ms"] <= 60.0
+
+    def test_losses_marked(self, fig1):
+        assert fig1.headline["lost_data"] > 0
+        assert fig1.headline["lost_acks"] > 0
+
+    def test_one_row_per_timeout(self, fig1):
+        assert len(fig1.rows) == fig1.headline["timeouts"]
+
+
+class TestFig2:
+    def test_phase_found(self, fig2):
+        assert fig2.rows, fig2.notes
+
+    def test_timer_doubles_along_sequence(self, fig2):
+        multiples = [row["timer_multiple"] for row in fig2.rows]
+        assert multiples == sorted(multiples)
+        if len(multiples) >= 2:
+            assert multiples[1] == 2 * multiples[0]
+
+    def test_last_retransmission_delivered(self, fig2):
+        assert fig2.rows[-1]["retransmission"] == "delivered"
+
+    def test_recovery_loss_elevated(self, fig2):
+        assert fig2.headline["in_recovery_loss_rate"] > 0.0
+
+
+class TestFig8:
+    def test_cycles_found(self, fig8):
+        assert fig8.headline["cycles"] >= 2
+
+    def test_q_in_unit_interval(self, fig8):
+        assert 0.0 < fig8.headline["empirical_Q_1_over_n"] <= 1.0
+
+    def test_sequences_have_timeouts(self, fig8):
+        assert fig8.headline["mean_timeouts_per_sequence"] >= 1.0
+
+
+class TestFig9:
+    def test_flow_spends_time_at_wmax(self, fig9):
+        assert fig9.headline["fraction_of_ca_time_at_wmax"] > 0.3
+
+    def test_rows_cover_ramp_and_flat(self, fig9):
+        segments = {row["segment"] for row in fig9.rows}
+        assert len(segments) == 2
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return run_experiment("fig12", scale=0.5, seed=SEED)
+
+    def test_every_provider_gains(self, fig12):
+        assert fig12.headline["mobile_gain_pct"] > 0.0
+        assert fig12.headline["unicom_gain_pct"] > 0.0
+        assert fig12.headline["telecom_gain_pct"] > 0.0
+
+    def test_paper_ordering(self, fig12):
+        # Worst coverage gains most: Telecom > Unicom > Mobile.
+        assert (
+            fig12.headline["telecom_gain_pct"]
+            > fig12.headline["unicom_gain_pct"]
+            > fig12.headline["mobile_gain_pct"]
+        )
+
+
+class TestExtensions:
+    @pytest.fixture(scope="class")
+    def delack(self):
+        return run_experiment("delack")
+
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_experiment("eq21_ablation")
+
+    def test_delack_adaptive_contrast(self, delack):
+        # The adaptive policy allows a large delayed window on the benign
+        # channel but clamps it on the harsh one.
+        assert delack.headline["adaptive_b_stationary"] > delack.headline["adaptive_b_hsr_harsh"]
+
+    def test_delack_burst_grows_with_b(self, delack):
+        rows = [row for row in delack.rows if row["channel"] == "hsr-harsh"]
+        bursts = [row["ack_burst_P_a"] for row in rows]
+        # Non-decreasing up to fixed-point solver noise (~1e-12) where
+        # P_a saturates at the per-ACK loss rate.
+        for earlier, later in zip(bursts, bursts[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_ablation_b2_gap_small(self, ablation):
+        assert ablation.headline["mean_literal_gap_b2"] < 0.1
+
+    def test_ablation_b1_b4_gaps_large(self, ablation):
+        assert ablation.headline["mean_literal_gap_b1"] > 0.3
+        assert ablation.headline["mean_literal_gap_b4"] > 0.3
+
+
+class TestSpeedSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_experiment("speed_sweep", scale=0.5, seed=SEED)
+
+    def test_one_row_per_speed(self, sweep):
+        assert len(sweep.rows) == 6
+
+    def test_driving_barely_hurts(self, sweep):
+        # Xiao et al. [8]: ~100 km/h has limited influence.
+        assert sweep.headline["driving_retention"] > 0.5
+
+    def test_hsr_collapses(self, sweep):
+        assert sweep.headline["collapse_factor_300"] > 1.3
+
+    def test_model_monotone_decreasing(self, sweep):
+        model = [row["model_throughput_pps"] for row in sweep.rows]
+        assert model == sorted(model, reverse=True)
+
+
+class TestVariantsExperiment:
+    @pytest.fixture(scope="class")
+    def variants(self):
+        return run_experiment("variants", scale=0.3, seed=SEED)
+
+    def test_newreno_fewer_timeouts(self, variants):
+        assert (
+            variants.headline["sim_newreno_timeouts"]
+            <= variants.headline["sim_reno_timeouts"]
+        )
+
+    def test_model_rows_ordered(self, variants):
+        for row in variants.rows:
+            if row["source"] == "model":
+                assert row["veno"] >= row["newreno"] >= row["reno"]

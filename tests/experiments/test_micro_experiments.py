@@ -1,0 +1,52 @@
+"""Shape assertions for the scripted micro-experiments (Figs. 5, 7, 11)."""
+
+from repro.experiments.registry import run_experiment
+
+
+class TestFig5:
+    def test_all_lost_is_pure_spurious_timeout(self):
+        result = run_experiment("fig5")
+        assert result.headline["case_a_timeouts"] >= 1
+        assert result.headline["case_a_data_lost"] == 0
+
+    def test_partial_loss_no_timeout(self):
+        result = run_experiment("fig5")
+        assert result.headline["case_b_timeouts"] == 0
+
+    def test_rows_describe_both_cases(self):
+        result = run_experiment("fig5")
+        assert len(result.rows) == 2
+        verdicts = [row["verdict"] for row in result.rows]
+        assert verdicts == ["spurious timeout", "no timeout"]
+
+
+class TestFig7:
+    def test_ack_burst_case_has_no_data_loss(self):
+        result = run_experiment("fig7")
+        assert result.headline["case_b_data_lost"] == 0
+        assert result.headline["case_b_timeouts"] >= 1
+        assert result.headline["case_b_duplicate_payloads"] >= 1
+
+    def test_data_loss_case_loses_data(self):
+        result = run_experiment("fig7")
+        assert result.headline["case_a_data_lost"] >= 1
+
+    def test_trajectories_cover_both_cases(self):
+        result = run_experiment("fig7")
+        cases = {row["case"] for row in result.rows}
+        assert cases == {"data-loss ending", "ACK-burst ending"}
+
+
+class TestFig11:
+    def test_all_lost_times_out(self):
+        result = run_experiment("fig11")
+        assert result.headline["timeouts_all_lost"] >= 1
+
+    def test_surviving_cumulative_ack_prevents_timeout(self):
+        result = run_experiment("fig11")
+        assert result.headline["timeouts_ack_a_survives"] == 0
+
+    def test_no_duplicates_when_ack_survives(self):
+        result = run_experiment("fig11")
+        survivor_row = result.rows[1]
+        assert survivor_row["duplicate_payloads"] == 0

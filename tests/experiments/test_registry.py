@@ -1,0 +1,80 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    format_result,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.runner import main
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        ids = set(list_experiments())
+        expected = {f"fig{i}" for i in range(1, 13)} | {
+            "table1", "delack", "eq21_ablation", "variants", "speed_sweep",
+            "trip_profile",
+        }
+        assert expected <= ids
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_run_by_id(self):
+        result = run_experiment("fig5")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "fig5"
+
+    def test_titles_nonempty(self):
+        assert all(title for title in list_experiments().values())
+
+
+class TestFormatting:
+    def test_format_with_rows_and_headline(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="Title",
+            rows=[{"a": 1, "b": 2.5}, {"a": 10, "b": None}],
+            headline={"key": 3.0},
+            notes="a note",
+        )
+        text = format_result(result)
+        assert "Title" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+        assert "-" in text  # None cell
+        assert "key: 3" in text
+        assert "a note" in text
+
+    def test_format_empty_result(self):
+        text = format_result(ExperimentResult(experiment_id="x", title="T"))
+        assert "T" in text
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "table1" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "fig5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "fig5"
+        assert payload["headline"]["case_b_timeouts"] == 0
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["run", "nope"]) == 2

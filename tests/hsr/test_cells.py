@@ -1,0 +1,108 @@
+"""Unit tests for the cell layout and handoff schedule."""
+
+import pytest
+
+from repro.hsr.cells import CellLayout, handoff_times, outage_windows
+from repro.hsr.mobility import btr_profile, stationary_profile
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+class TestCellLayout:
+    def test_boundaries_between(self):
+        layout = CellLayout(spacing=1000.0, offset=500.0)
+        assert layout.boundaries_between(0.0, 2600.0) == [500.0, 1500.0, 2500.0]
+
+    def test_boundary_interval_open_closed(self):
+        layout = CellLayout(spacing=1000.0, offset=500.0)
+        # start exactly on a boundary: excluded; end exactly on one: included.
+        assert layout.boundaries_between(500.0, 1500.0) == [1500.0]
+
+    def test_no_boundaries_in_short_span(self):
+        layout = CellLayout(spacing=1000.0, offset=500.0)
+        assert layout.boundaries_between(600.0, 700.0) == []
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            CellLayout(spacing=0.0)
+        with pytest.raises(ConfigurationError):
+            CellLayout(spacing=100.0, offset=100.0)
+
+    def test_rejects_reversed_span(self):
+        with pytest.raises(ConfigurationError):
+            CellLayout().boundaries_between(100.0, 50.0)
+
+
+class TestHandoffTimes:
+    def test_no_handoffs_when_stationary(self):
+        times = handoff_times(stationary_profile(), CellLayout(), duration=300.0)
+        assert times == []
+
+    def test_cruise_handoff_rate(self):
+        # At 83.3 m/s with 2.5 km cells: one handoff every ~30 s.
+        profile = btr_profile()
+        times = handoff_times(profile, CellLayout(spacing=2500.0), duration=300.0,
+                              start_time=400.0)
+        assert 8 <= len(times) <= 12
+
+    def test_crossing_times_sorted_and_in_range(self):
+        profile = btr_profile()
+        times = handoff_times(profile, CellLayout(), duration=200.0, start_time=400.0)
+        assert times == sorted(times)
+        assert all(400.0 <= t <= 600.0 for t in times)
+
+    def test_crossings_land_on_boundaries(self):
+        profile = btr_profile()
+        layout = CellLayout(spacing=2500.0, offset=1250.0)
+        times = handoff_times(profile, layout, duration=120.0, start_time=400.0)
+        for t in times:
+            position = profile.position_at(t)
+            nearest = round((position - layout.offset) / layout.spacing)
+            boundary = layout.offset + nearest * layout.spacing
+            assert position == pytest.approx(boundary, abs=1.0)
+
+    def test_acceleration_phase_has_fewer_handoffs(self):
+        profile = btr_profile()
+        slow = handoff_times(profile, CellLayout(), duration=100.0, start_time=0.0)
+        fast = handoff_times(profile, CellLayout(), duration=100.0, start_time=400.0)
+        assert len(slow) <= len(fast)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            handoff_times(btr_profile(), CellLayout(), duration=0.0)
+
+
+class TestOutageWindows:
+    def test_one_window_per_crossing(self):
+        rng = RngStream(1)
+        windows = outage_windows([10.0, 50.0, 90.0], rng)
+        assert len(windows) == 3
+
+    def test_windows_sorted_disjoint(self):
+        rng = RngStream(2)
+        windows = outage_windows([float(i) for i in range(0, 100, 3)], rng,
+                                 mean_outage=2.0)
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert e1 < s2 or e1 <= s2  # disjoint after merging
+            assert e1 > s1
+
+    def test_overlapping_windows_merged(self):
+        rng = RngStream(3)
+        windows = outage_windows([10.0, 10.2, 10.4], rng, mean_outage=5.0,
+                                 min_outage=2.0)
+        assert len(windows) == 1
+        assert windows[0][0] == pytest.approx(10.0)
+
+    def test_durations_clipped(self):
+        rng = RngStream(4)
+        windows = outage_windows([float(i * 100) for i in range(50)], rng,
+                                 mean_outage=1.0, min_outage=0.5, max_outage=2.0)
+        for start, end in windows:
+            assert 0.5 - 1e-9 <= end - start <= 2.0 + 1e-9
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ConfigurationError):
+            outage_windows([1.0], RngStream(5), mean_outage=0.0)
+
+    def test_empty_crossings(self):
+        assert outage_windows([], RngStream(6)) == []

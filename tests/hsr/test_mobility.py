@@ -1,0 +1,86 @@
+"""Unit tests for train mobility profiles."""
+
+import pytest
+
+from repro.hsr.mobility import (
+    MobilityProfile,
+    btr_profile,
+    driving_profile,
+    stationary_profile,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.units import kmh_to_mps, mps_to_kmh
+
+
+class TestBtrProfile:
+    def test_matches_paper_geometry(self):
+        profile = btr_profile()
+        assert profile.route_length == pytest.approx(120_000.0)
+        assert mps_to_kmh(profile.peak_speed) == pytest.approx(300.0)
+
+    def test_trip_duration_near_33_minutes(self):
+        # The paper: "only needs 33 minutes for one-way trip".  The
+        # trapezoidal idealisation is a bit faster (no intermediate
+        # slowdowns); it must land in the right ballpark.
+        duration_minutes = btr_profile().trip_duration / 60.0
+        assert 20.0 <= duration_minutes <= 35.0
+
+    def test_cruise_speed_reached(self):
+        profile = btr_profile()
+        mid_trip = profile.trip_duration / 2.0
+        assert profile.speed_at(mid_trip) == pytest.approx(profile.peak_speed)
+
+    def test_starts_and_ends_at_rest(self):
+        profile = btr_profile()
+        assert profile.speed_at(0.0) == 0.0
+        assert profile.speed_at(profile.trip_duration + 1.0) == 0.0
+
+    def test_position_monotone(self):
+        profile = btr_profile()
+        times = [i * 10.0 for i in range(200)]
+        positions = [profile.position_at(t) for t in times]
+        assert positions == sorted(positions)
+
+    def test_position_reaches_route_length(self):
+        profile = btr_profile()
+        assert profile.position_at(profile.trip_duration) == pytest.approx(
+            profile.route_length, rel=1e-6
+        )
+
+    def test_position_consistent_with_speed(self):
+        # position(t+dt) - position(t) ~ speed(t)*dt on the cruise leg.
+        profile = btr_profile()
+        t, dt = 600.0, 1.0
+        delta = profile.position_at(t + dt) - profile.position_at(t)
+        assert delta == pytest.approx(profile.speed_at(t) * dt, rel=1e-6)
+
+
+class TestOtherProfiles:
+    def test_stationary_never_moves(self):
+        profile = stationary_profile()
+        assert profile.speed_at(1000.0) == 0.0
+        assert profile.position_at(1000.0) == 0.0
+        assert profile.trip_duration == float("inf")
+
+    def test_driving_peak_speed(self):
+        assert driving_profile().peak_speed == pytest.approx(kmh_to_mps(100.0))
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            btr_profile().speed_at(-1.0)
+        with pytest.raises(ConfigurationError):
+            btr_profile().position_at(-1.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobilityProfile(name="x", peak_speed=-1.0)
+
+    def test_route_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobilityProfile(name="x", peak_speed=100.0, acceleration=0.1, route_length=1000.0)
+
+    def test_zero_acceleration_moving_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobilityProfile(name="x", peak_speed=10.0, acceleration=0.0)

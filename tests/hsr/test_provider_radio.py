@@ -1,0 +1,100 @@
+"""Unit tests for provider presets and the speed->quality mapping."""
+
+import pytest
+
+from repro.hsr.provider import (
+    ALL_PROVIDERS,
+    CHINA_MOBILE,
+    CHINA_TELECOM,
+    CHINA_UNICOM,
+    Provider,
+    provider_by_name,
+)
+from repro.hsr.radio import REFERENCE_SPEED, channel_quality
+from repro.util.errors import ConfigurationError
+
+
+class TestProviders:
+    def test_three_carriers(self):
+        assert len(ALL_PROVIDERS) == 3
+        assert {provider.name for provider in ALL_PROVIDERS} == {
+            "China Mobile", "China Unicom", "China Telecom",
+        }
+
+    def test_mobile_is_lte_others_3g(self):
+        assert CHINA_MOBILE.technology == "LTE"
+        assert CHINA_UNICOM.technology == "3G"
+        assert CHINA_TELECOM.technology == "3G"
+
+    def test_telecom_has_worst_coverage(self):
+        # The paper: Telecom's backbone "mainly covers the southern part
+        # of China" -> worst coverage on the Beijing-Tianjin corridor.
+        assert CHINA_TELECOM.coverage_penalty > CHINA_UNICOM.coverage_penalty
+        assert CHINA_UNICOM.coverage_penalty > CHINA_MOBILE.coverage_penalty
+
+    def test_lte_has_lowest_rtt(self):
+        assert CHINA_MOBILE.base_rtt < CHINA_UNICOM.base_rtt < CHINA_TELECOM.base_rtt
+
+    def test_lookup_by_name(self):
+        assert provider_by_name("China Mobile") is CHINA_MOBILE
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            provider_by_name("T-Mobile")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Provider(name="x", technology="5G", one_way_delay=0.01,
+                     base_data_loss=0.001, base_ack_loss=0.001)
+        with pytest.raises(ConfigurationError):
+            Provider(name="x", technology="3G", one_way_delay=0.01,
+                     base_data_loss=0.001, base_ack_loss=0.001,
+                     coverage_penalty=0.5)
+
+
+class TestChannelQuality:
+    def test_stationary_point_has_base_losses(self):
+        quality = channel_quality(CHINA_MOBILE, 0.0)
+        assert quality.data_loss == pytest.approx(CHINA_MOBILE.base_data_loss)
+        assert quality.ack_loss == pytest.approx(CHINA_MOBILE.base_ack_loss)
+        assert not quality.has_ack_bursts
+
+    def test_losses_grow_with_speed(self):
+        speeds = [0.0, 20.0, 50.0, REFERENCE_SPEED]
+        data = [channel_quality(CHINA_MOBILE, s).data_loss for s in speeds]
+        ack = [channel_quality(CHINA_MOBILE, s).ack_loss for s in speeds]
+        assert data == sorted(data)
+        assert ack == sorted(ack)
+
+    def test_hsr_speed_activates_ack_bursts(self):
+        quality = channel_quality(CHINA_MOBILE, REFERENCE_SPEED)
+        assert quality.has_ack_bursts
+        assert quality.ack_burst_mean_good > quality.ack_burst_mean_bad
+
+    def test_worse_coverage_means_more_frequent_bursts(self):
+        mobile = channel_quality(CHINA_MOBILE, REFERENCE_SPEED)
+        telecom = channel_quality(CHINA_TELECOM, REFERENCE_SPEED)
+        # Relative to its own spacing constant, the penalty shortens the
+        # good-state sojourn; compare normalised gap.
+        assert (telecom.ack_burst_mean_good / CHINA_TELECOM.ack_burst_spacing
+                < mobile.ack_burst_mean_good / CHINA_MOBILE.ack_burst_spacing)
+
+    def test_rto_floor_grows_with_speed(self):
+        slow = channel_quality(CHINA_MOBILE, 0.0)
+        fast = channel_quality(CHINA_MOBILE, REFERENCE_SPEED)
+        assert fast.rto_floor > slow.rto_floor
+
+    def test_ack_loss_ratio_matches_paper_shape(self):
+        # Paper: HSR ACK loss ~9x the stationary rate.
+        stationary = channel_quality(CHINA_MOBILE, 0.0).ack_loss
+        hsr = channel_quality(CHINA_MOBILE, REFERENCE_SPEED).ack_loss
+        assert 4.0 <= hsr / stationary <= 15.0
+
+    def test_losses_capped(self):
+        quality = channel_quality(CHINA_TELECOM, REFERENCE_SPEED * 1.4)
+        assert quality.data_loss <= 0.5
+        assert quality.ack_loss <= 0.5
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            channel_quality(CHINA_MOBILE, -1.0)

@@ -1,0 +1,128 @@
+"""Tests for scenario composition and its calibrated behaviour."""
+
+import statistics
+
+import pytest
+
+from repro.hsr.provider import CHINA_MOBILE, CHINA_TELECOM
+from repro.hsr.scenario import (
+    driving_scenario,
+    hsr_scenario,
+    stationary_scenario,
+)
+from repro.simulator import run_flow
+from repro.util.errors import ConfigurationError
+
+
+def run_scenario(scenario, duration=120.0, seed=11):
+    built = scenario.build(duration=duration, seed=seed)
+    return run_flow(built.config, built.data_loss, built.ack_loss, seed=seed)
+
+
+class TestBuild:
+    def test_hsr_has_outages(self):
+        built = hsr_scenario().build(duration=120.0, seed=1)
+        assert len(built.outages) >= 2
+
+    def test_stationary_has_no_outages(self):
+        built = stationary_scenario().build(duration=120.0, seed=1)
+        assert built.outages == ()
+
+    def test_outages_in_flow_local_time(self):
+        built = hsr_scenario().build(duration=120.0, seed=1)
+        for start, end in built.outages:
+            assert 0.0 <= start < end <= 121.0 + 15.0  # last window may spill over
+
+    def test_config_carries_provider_rtt(self):
+        built = hsr_scenario(CHINA_TELECOM).build(duration=10.0, seed=1)
+        assert built.config.base_rtt == pytest.approx(CHINA_TELECOM.base_rtt)
+
+    def test_rto_floor_clears_delack_race(self):
+        built = stationary_scenario(CHINA_TELECOM).build(duration=10.0, seed=1)
+        assert built.config.min_rto > built.config.base_rtt + built.config.delack_timeout
+
+    def test_wmax_override(self):
+        built = hsr_scenario().build(duration=10.0, seed=1, wmax=16.0)
+        assert built.config.wmax == 16.0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            hsr_scenario().build(duration=0.0, seed=1)
+
+    def test_deterministic_given_seed(self):
+        a = hsr_scenario().build(duration=60.0, seed=5)
+        b = hsr_scenario().build(duration=60.0, seed=5)
+        assert a.outages == b.outages
+
+    def test_cruise_speed(self):
+        assert hsr_scenario().cruise_speed() == pytest.approx(83.333, rel=1e-3)
+        assert stationary_scenario().cruise_speed() == 0.0
+        assert driving_scenario().cruise_speed() > 0.0
+
+
+class TestCalibratedBehaviour:
+    """The headline shape of the paper's Section III must hold."""
+
+    def test_hsr_throughput_below_stationary(self):
+        hsr = run_scenario(hsr_scenario())
+        stationary = run_scenario(stationary_scenario())
+        assert hsr.throughput < 0.7 * stationary.throughput
+
+    def test_hsr_has_many_timeouts_stationary_few(self):
+        # Stationary flows do time out occasionally (round-correlated
+        # loss defeats fast retransmit with probability ~3/W, as in the
+        # Padhye world), but far less often than HSR flows.
+        hsr = run_scenario(hsr_scenario())
+        stationary = run_scenario(stationary_scenario())
+        assert len(hsr.log.timeouts) >= 5
+        assert len(stationary.log.timeouts) < 0.6 * len(hsr.log.timeouts)
+
+    def test_hsr_ack_loss_much_higher(self):
+        hsr = run_scenario(hsr_scenario())
+        stationary = run_scenario(stationary_scenario())
+        assert hsr.ack_loss_rate > 3.0 * max(stationary.ack_loss_rate, 1e-4)
+
+    def test_hsr_loss_rates_in_paper_ballpark(self):
+        result = run_scenario(hsr_scenario(), duration=180.0)
+        assert 0.002 <= result.data_loss_rate <= 0.03
+        assert 0.002 <= result.ack_loss_rate <= 0.04
+
+    def test_hsr_recovery_much_longer_than_stationary(self):
+        hsr_durations = []
+        for seed in (3, 5, 7):
+            result = run_scenario(hsr_scenario(), duration=180.0, seed=seed)
+            hsr_durations += [
+                phase.duration for phase in result.log.completed_recovery_phases()
+            ]
+        assert hsr_durations
+        # Paper: 5.05 s HSR vs 0.65 s stationary.  Require a clearly
+        # elevated mean; the stationary side has (almost) no phases at
+        # all, which is the stronger statement tested above.
+        assert statistics.mean(hsr_durations) > 0.5
+
+    def test_hsr_spurious_timeouts_present(self):
+        result = run_scenario(hsr_scenario(), duration=180.0)
+        assert result.log.duplicate_payloads >= 3
+
+    def test_recovery_retransmission_loss_in_recommended_range(self):
+        # The paper recommends q in [0.25, 0.4]; allow a generous band.
+        lost = retx = 0
+        for seed in (3, 5, 7, 9):
+            result = run_scenario(hsr_scenario(), duration=180.0, seed=seed)
+            for phase in result.log.completed_recovery_phases():
+                retx += phase.retransmissions
+                lost += phase.retransmissions_lost
+        assert retx > 0
+        assert 0.1 <= lost / retx <= 0.5
+
+    def test_driving_between_stationary_and_hsr(self):
+        stationary = run_scenario(stationary_scenario())
+        driving = run_scenario(driving_scenario())
+        hsr = run_scenario(hsr_scenario())
+        assert hsr.throughput < driving.throughput
+        assert driving.throughput < stationary.throughput * 1.05
+
+    def test_telecom_worst_throughput(self):
+        mobile = run_scenario(hsr_scenario(CHINA_MOBILE))
+        telecom = run_scenario(hsr_scenario(CHINA_TELECOM))
+        assert telecom.throughput < mobile.throughput

@@ -1,0 +1,72 @@
+"""Tests for the whole-trip simulation."""
+
+import pytest
+
+from repro.hsr.mobility import MobilityProfile, stationary_profile
+from repro.hsr.provider import CHINA_UNICOM
+from repro.hsr.trip import simulate_trip
+from repro.util.errors import ConfigurationError
+from repro.util.units import kmh_to_mps
+
+
+@pytest.fixture(scope="module")
+def short_trip():
+    # A shortened line so the whole journey fits a quick test.
+    profile = MobilityProfile(
+        name="short", peak_speed=kmh_to_mps(300.0), route_length=40_000.0
+    )
+    return simulate_trip(profile=profile, segment_duration=90.0, seed=5)
+
+
+class TestTripStructure:
+    def test_segments_cover_trip(self, short_trip):
+        assert len(short_trip) >= 3
+        for earlier, later in zip(short_trip, short_trip[1:]):
+            assert later.start_time == pytest.approx(earlier.end_time)
+
+    def test_positions_monotone(self, short_trip):
+        positions = [segment.position_km for segment in short_trip]
+        assert positions == sorted(positions)
+
+    def test_speed_profile_ramps(self, short_trip):
+        # First segment starts at rest; some middle segment cruises.
+        assert short_trip[0].speed_kmh == pytest.approx(0.0)
+        assert max(segment.speed_kmh for segment in short_trip) > 250.0
+
+    def test_throughput_positive_everywhere(self, short_trip):
+        assert all(segment.throughput > 0.0 for segment in short_trip)
+
+
+class TestTripBehaviour:
+    def test_cruise_worse_than_station_segments(self, short_trip):
+        slow = [s for s in short_trip if s.speed_kmh < 100.0]
+        fast = [s for s in short_trip if s.speed_kmh > 250.0]
+        assert slow and fast
+        slow_tp = sum(s.throughput for s in slow) / len(slow)
+        fast_tp = sum(s.throughput for s in fast) / len(fast)
+        assert fast_tp < slow_tp
+
+    def test_cruise_has_more_timeouts(self, short_trip):
+        slow = [s for s in short_trip if s.speed_kmh < 100.0]
+        fast = [s for s in short_trip if s.speed_kmh > 250.0]
+        assert max(s.timeouts for s in fast) >= max(s.timeouts for s in slow)
+
+
+class TestValidation:
+    def test_max_segments_respected(self):
+        segments = simulate_trip(segment_duration=60.0, seed=1, max_segments=2)
+        assert len(segments) == 2
+
+    def test_provider_selectable(self):
+        segments = simulate_trip(
+            provider=CHINA_UNICOM, segment_duration=120.0, seed=1, max_segments=1
+        )
+        assert segments[0].throughput > 0.0
+
+    def test_stationary_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_trip(profile=stationary_profile())
+
+    def test_bad_segment_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_trip(segment_duration=0.0)

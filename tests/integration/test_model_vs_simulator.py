@@ -1,0 +1,127 @@
+"""Integration: the closed-form models against simulator ground truth.
+
+The decisive cross-validation of the reproduction — the simulator was
+built independently of the model code, so agreement here is evidence
+both are right.
+"""
+
+import pytest
+
+from repro.core.enhanced import ModelOptions, enhanced_throughput, padhye_paper_form
+from repro.core.padhye import padhye_full_throughput
+from repro.core.params import LinkParams
+from repro.simulator import ConnectionConfig, NoLoss, RoundCorrelatedLoss, run_flow
+from repro.util.rng import RngStream
+
+
+def padhye_world_flow(trigger_rate, seed, wmax=64.0, duration=300.0):
+    """A flow in the exact world the models assume: round-correlated
+    data loss, no ACK loss."""
+    config = ConnectionConfig(
+        forward_delay=0.03, reverse_delay=0.03, wmax=wmax, b=2,
+        duration=duration, min_rto=0.3,
+    )
+    rng = RngStream(seed, "integration")
+    result = run_flow(
+        config,
+        data_loss=RoundCorrelatedLoss(
+            rng.spawn("data"), trigger_rate=trigger_rate,
+            round_duration=config.base_rtt,
+        ),
+        ack_loss=NoLoss(),
+        seed=seed,
+    )
+    return result
+
+
+class TestPadhyeRegimeAgreement:
+    """In the Padhye world the models should track the simulator within
+    the tolerance typical of closed-form TCP models (tens of percent)."""
+
+    @pytest.mark.parametrize("trigger_rate", [0.001, 0.003, 0.01])
+    def test_enhanced_model_tracks_simulation(self, trigger_rate):
+        result = padhye_world_flow(trigger_rate, seed=17)
+        params = LinkParams(
+            rtt=result.config.base_rtt * 1.4,  # + delayed-ACK waiting
+            timeout=0.35,
+            data_loss=result.log.data_sent and (
+                # loss-event rate, the models' p
+                sum(
+                    1
+                    for earlier, later in zip(
+                        result.log.data_packets, result.log.data_packets[1:]
+                    )
+                    if later.lost and not earlier.lost
+                )
+                / result.log.data_sent
+            ),
+            ack_loss=0.0,
+            recovery_loss=trigger_rate,
+            wmax=result.config.wmax,
+            b=2,
+        )
+        predicted = enhanced_throughput(params).throughput
+        simulated = result.throughput
+        assert predicted == pytest.approx(simulated, rel=0.5)
+
+    def test_ordering_preserved_across_loss_rates(self):
+        throughputs = [
+            padhye_world_flow(rate, seed=23).throughput
+            for rate in (0.001, 0.005, 0.02)
+        ]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_padhye_forms_agree_with_each_other(self):
+        # The paper-form baseline and the original Padhye closed form
+        # stay close over the relevant grid (cross-check of both
+        # implementations).
+        for p in (0.001, 0.005, 0.02, 0.05):
+            params = LinkParams(
+                rtt=0.08, timeout=0.5, data_loss=p, ack_loss=0.0,
+                recovery_loss=p, wmax=200.0, b=2,
+            )
+            ours = padhye_paper_form(params).throughput
+            original = padhye_full_throughput(params)
+            assert ours == pytest.approx(original, rel=0.2)
+
+
+class TestEnhancedTermsMatchSimulatedDegradation:
+    def test_ack_burst_degradation_direction(self):
+        """Adding ACK burst loss to the simulation must degrade
+        throughput, and the model with measured P_a must move the same
+        way."""
+        from repro.simulator import GilbertElliottLoss
+
+        config = ConnectionConfig(duration=240.0, wmax=64.0, min_rto=0.4)
+        rng = RngStream(31, "burst")
+        clean = run_flow(
+            config,
+            RoundCorrelatedLoss(rng.spawn("d1"), 0.001, config.base_rtt),
+            NoLoss(),
+            seed=31,
+        )
+        bursty = run_flow(
+            config,
+            RoundCorrelatedLoss(rng.spawn("d2"), 0.001, config.base_rtt),
+            GilbertElliottLoss(rng.spawn("a"), mean_good_duration=8.0,
+                               mean_bad_duration=0.8),
+            seed=31,
+        )
+        assert bursty.throughput < clean.throughput
+
+        params = LinkParams(
+            rtt=0.085, timeout=0.45, data_loss=0.001, ack_loss=0.0,
+            recovery_loss=0.1, wmax=64.0, b=2,
+        )
+        model_clean = enhanced_throughput(params).throughput
+        model_bursty = enhanced_throughput(
+            params, ModelOptions(ack_burst_override=0.05)
+        ).throughput
+        assert model_bursty < model_clean
+
+        sim_drop = 1.0 - bursty.throughput / clean.throughput
+        model_drop = 1.0 - model_bursty / model_clean
+        # Both see a substantial degradation (same direction, same
+        # order of magnitude).
+        assert sim_drop > 0.1
+        assert model_drop > 0.1

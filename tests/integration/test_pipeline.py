@@ -1,0 +1,92 @@
+"""Integration: the full scenario → simulator → traces → model pipeline."""
+
+import pytest
+
+from repro.core.enhanced import ModelOptions, enhanced_throughput
+from repro.core.mptcp_model import mptcp_gain
+from repro.hsr import CHINA_MOBILE, CHINA_TELECOM, hsr_scenario, stationary_scenario
+from repro.simulator import run_backup, run_flow
+from repro.traces import (
+    FlowMetadata,
+    capture_flow,
+    classify_timeouts,
+    dataset_records,
+    generate_dataset,
+    measured_model_inputs,
+    records_from_json,
+    records_to_json,
+)
+
+
+def run_traced(scenario, duration, seed):
+    built = scenario.build(duration=duration, seed=seed)
+    result = run_flow(built.config, built.data_loss, built.ack_loss, seed=seed)
+    metadata = FlowMetadata(
+        flow_id=f"{scenario.name}/{seed}", provider=scenario.provider.name,
+        technology=scenario.provider.technology,
+        scenario="hsr" if scenario.mobility.peak_speed else "stationary",
+        capture_month="2015-10", phone_model="test", duration=duration, seed=seed,
+    )
+    return capture_flow(result, metadata)
+
+
+class TestEndToEnd:
+    def test_scenario_to_model_roundtrip(self):
+        trace = run_traced(hsr_scenario(), duration=120.0, seed=3)
+        measured = measured_model_inputs(trace)
+        assert measured is not None
+        prediction = enhanced_throughput(
+            measured.params, ModelOptions(ack_burst_override=measured.ack_burst_probability)
+        )
+        # The model's prediction for the measured parameters lands
+        # within the same order of magnitude as the simulated truth.
+        assert 0.2 * measured.throughput <= prediction.throughput <= 5.0 * measured.throughput
+
+    def test_spurious_classification_consistent_with_receiver(self):
+        # The trace-layer classification (original copy arrived before
+        # the timeout) must agree with the receiver's duplicate count:
+        # every spurious timeout forces a duplicate payload.
+        trace = run_traced(hsr_scenario(), duration=120.0, seed=5)
+        spurious = sum(1 for c in classify_timeouts(trace) if c.spurious)
+        assert trace.duplicate_payloads >= spurious
+
+    def test_dataset_serialisation_roundtrip(self):
+        dataset = generate_dataset(seed=5, duration=30.0, flow_scale=0.02)
+        records = dataset_records(dataset.traces)
+        assert records_from_json(records_to_json(records)) == records
+
+    def test_hsr_worse_than_stationary_same_provider(self):
+        hsr = run_traced(hsr_scenario(CHINA_MOBILE), duration=120.0, seed=7)
+        stationary = run_traced(stationary_scenario(CHINA_MOBILE), duration=120.0, seed=7)
+        assert hsr.throughput < stationary.throughput
+        assert hsr.ack_loss_rate > stationary.ack_loss_rate
+
+
+class TestMptcpConsistency:
+    def test_backup_mode_sim_and_model_agree_in_direction(self):
+        # Simulated backup mode on a harsh channel vs plain flow.
+        scenario = hsr_scenario(CHINA_TELECOM)
+        built = scenario.build(duration=90.0, seed=11)
+        plain = run_flow(built.config, built.data_loss, built.ack_loss, seed=11)
+
+        rebuilt = scenario.build(duration=90.0, seed=11)
+        clean_backup = hsr_scenario(CHINA_MOBILE).build(duration=90.0, seed=12)
+        backed = run_backup(
+            rebuilt.config, rebuilt.data_loss, rebuilt.ack_loss,
+            backup_data_loss=clean_backup.data_loss, seed=11,
+        )
+        assert backed.throughput >= plain.throughput * 0.95
+
+        # The analytic counterpart: backup mode gain is positive.
+        from repro.core.params import LinkParams
+
+        params = LinkParams(rtt=0.16, timeout=1.0, data_loss=0.01,
+                            ack_loss=0.008, recovery_loss=0.4, wmax=64.0)
+        assert mptcp_gain(params, mode="backup") > 0.0
+
+    def test_duplex_gain_exceeds_backup_gain_analytically(self):
+        from repro.core.params import LinkParams
+
+        params = LinkParams(rtt=0.16, timeout=1.0, data_loss=0.01,
+                            ack_loss=0.008, recovery_loss=0.4, wmax=64.0)
+        assert mptcp_gain(params, mode="duplex") > mptcp_gain(params, mode="backup")

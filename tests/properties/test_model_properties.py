@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on the closed-form models.
+
+These probe the model over its whole domain rather than hand-picked
+points: positivity, boundedness by the window-limitation ceiling,
+monotonicity in each loss parameter, and the Padhye limit.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import components as cf
+from repro.core.enhanced import ModelOptions, enhanced_throughput
+from repro.core.params import LinkParams
+
+# Strategy for a valid operating point.
+rtts = st.floats(min_value=0.01, max_value=1.0)
+timeouts = st.floats(min_value=0.1, max_value=10.0)
+data_losses = st.floats(min_value=1e-5, max_value=0.4)
+ack_losses = st.floats(min_value=0.0, max_value=0.6)
+recovery_losses = st.floats(min_value=0.0, max_value=0.9)
+wmaxes = st.floats(min_value=2.0, max_value=256.0)
+bs = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def link_params(draw):
+    return LinkParams(
+        rtt=draw(rtts),
+        timeout=draw(timeouts),
+        data_loss=draw(data_losses),
+        ack_loss=draw(ack_losses),
+        recovery_loss=draw(recovery_losses),
+        wmax=draw(wmaxes),
+        b=draw(bs),
+    )
+
+
+@st.composite
+def sane_link_params(draw):
+    """Operating points inside the model's intended domain.
+
+    When loss is so heavy that the equilibrium window clamps at one
+    packet, the closed form degenerates (its floor clamps can invert
+    monotonicity); the paper's model targets windows of several
+    packets, so the monotonicity properties are asserted there.
+    """
+    return LinkParams(
+        rtt=draw(rtts),
+        timeout=draw(timeouts),
+        data_loss=draw(st.floats(min_value=1e-5, max_value=0.04)),
+        ack_loss=draw(st.floats(min_value=1e-6, max_value=0.15)),
+        recovery_loss=draw(st.floats(min_value=0.0, max_value=0.6)),
+        wmax=draw(st.floats(min_value=16.0, max_value=256.0)),
+        b=draw(st.integers(min_value=1, max_value=2)),
+    )
+
+
+class TestEnhancedModelProperties:
+    @given(link_params())
+    @settings(max_examples=200, deadline=None)
+    def test_throughput_positive_and_finite(self, params):
+        prediction = enhanced_throughput(params)
+        assert prediction.throughput > 0.0
+        assert math.isfinite(prediction.throughput)
+
+    @given(link_params())
+    @settings(max_examples=200, deadline=None)
+    def test_throughput_bounded_by_window_ceiling(self, params):
+        prediction = enhanced_throughput(params)
+        assert prediction.throughput <= params.wmax / params.rtt + 1e-6
+
+    @given(link_params())
+    @settings(max_examples=200, deadline=None)
+    def test_internal_probabilities_valid(self, params):
+        prediction = enhanced_throughput(params)
+        assert 0.0 <= prediction.timeout_probability <= 1.0
+        assert 0.0 <= prediction.consecutive_timeout_probability < 1.0
+        assert 0.0 <= prediction.ack_burst_loss < 1.0
+        assert 0.0 <= prediction.spurious_timeout_fraction <= 1.0 + 1e-9
+        assert prediction.expected_timeouts >= 1.0
+        assert prediction.expected_rounds >= 1.0
+        assert prediction.expected_window >= 1.0
+
+    @given(sane_link_params(), st.floats(min_value=1.1, max_value=4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_decreasing_in_data_loss(self, params, factor):
+        worse_loss = min(params.data_loss * factor, 0.45)
+        better = enhanced_throughput(params).throughput
+        worse = enhanced_throughput(params.with_(data_loss=worse_loss)).throughput
+        assert worse <= better * (1.0 + 1e-9)
+
+    @given(sane_link_params(), st.floats(min_value=1.1, max_value=4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_decreasing_in_rtt(self, params, factor):
+        better = enhanced_throughput(params).throughput
+        worse = enhanced_throughput(params.with_(rtt=params.rtt * factor)).throughput
+        assert worse <= better * (1.0 + 1e-9)
+
+    @given(sane_link_params(), st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=150, deadline=None)
+    def test_decreasing_in_ack_burst_override(self, params, pa):
+        baseline = enhanced_throughput(
+            params, ModelOptions(ack_burst_override=0.0)
+        ).throughput
+        degraded = enhanced_throughput(
+            params, ModelOptions(ack_burst_override=pa)
+        ).throughput
+        assert degraded <= baseline * (1.0 + 1e-9)
+
+    @given(sane_link_params())
+    @settings(max_examples=150, deadline=None)
+    def test_stationary_projection_never_slower(self, params):
+        # Removing ACK loss and recovery-loss elevation can only help.
+        hsr = enhanced_throughput(params).throughput
+        stationary = enhanced_throughput(
+            params.with_(
+                ack_loss=0.0, recovery_loss=min(params.data_loss, params.recovery_loss)
+            )
+        ).throughput
+        assert stationary >= hsr * (1.0 - 1e-9)
+
+    @given(link_params())
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, params):
+        assert (
+            enhanced_throughput(params).throughput
+            == enhanced_throughput(params).throughput
+        )
+
+
+class TestComponentProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_f_backoff_range(self, p):
+        value = cf.f_backoff(p)
+        assert 1.0 <= value <= 64.0
+
+    @given(st.floats(min_value=1e-6, max_value=0.99), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_first_loss_round_at_least_one(self, p, b):
+        assert cf.first_loss_round(p, b) >= 1.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_expected_rounds_bounds(self, x_p, pa):
+        rounds = cf.expected_ca_rounds(x_p, pa)
+        assert 1.0 - 1e-9 <= rounds <= x_p + 1.0 + 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_consecutive_timeout_probability_bounds(self, q, pa):
+        p = cf.consecutive_timeout_probability(q, pa)
+        assert max(q, pa) - 1e-12 <= p < 1.0
+
+    @given(
+        st.floats(min_value=1e-4, max_value=0.6),
+        st.floats(min_value=1.0, max_value=512.0),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ack_burst_probability_bounds(self, pa, window, b):
+        value = cf.ack_burst_loss_probability(pa, window, b, per_ack=True)
+        # Can underflow to exactly 0.0 for huge windows; never exceeds
+        # the single-ACK loss rate (the exponent is floored at 1).
+        assert 0.0 <= value <= pa + 1e-12

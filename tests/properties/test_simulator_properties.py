@@ -1,0 +1,127 @@
+"""Property-based tests on the simulator substrate.
+
+Invariants: conservation (delivered + lost + in-flight = sent),
+cumulative-ACK monotonicity, RTO boundedness, channel loss-rate
+convergence, and determinism under a fixed seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    BernoulliLoss,
+    ConnectionConfig,
+    GilbertElliottLoss,
+    RoundCorrelatedLoss,
+    RtoEstimator,
+    run_flow,
+)
+from repro.util.rng import RngStream
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+loss_rates = st.floats(min_value=0.0, max_value=0.2)
+
+
+def _run(seed, data_rate, ack_rate, duration=8.0):
+    rng = RngStream(seed, "prop")
+    return run_flow(
+        ConnectionConfig(duration=duration, wmax=32.0),
+        BernoulliLoss(data_rate, rng.spawn("d")),
+        BernoulliLoss(ack_rate, rng.spawn("a")),
+        seed=seed,
+    )
+
+
+class TestFlowInvariants:
+    @given(seeds, loss_rates, loss_rates)
+    @settings(max_examples=25, deadline=None)
+    def test_conservation(self, seed, data_rate, ack_rate):
+        result = _run(seed, data_rate, ack_rate)
+        log = result.log
+        arrived = sum(1 for r in log.data_packets if r.arrival_time is not None)
+        in_flight = sum(
+            1 for r in log.data_packets if r.arrival_time is None and not r.lost
+        )
+        assert arrived + log.data_lost + in_flight == log.data_sent
+
+    @given(seeds, loss_rates, loss_rates)
+    @settings(max_examples=25, deadline=None)
+    def test_delivered_bounded_by_arrivals(self, seed, data_rate, ack_rate):
+        result = _run(seed, data_rate, ack_rate)
+        log = result.log
+        arrived = sum(1 for r in log.data_packets if r.arrival_time is not None)
+        assert log.delivered_payloads + log.duplicate_payloads == arrived
+
+    @given(seeds, loss_rates, loss_rates)
+    @settings(max_examples=25, deadline=None)
+    def test_ack_values_monotone_per_send_order(self, seed, data_rate, ack_rate):
+        result = _run(seed, data_rate, ack_rate)
+        values = [a.ack_seq for a in result.log.acks]
+        assert all(later >= earlier for earlier, later in zip(values, values[1:]))
+
+    @given(seeds, loss_rates, loss_rates)
+    @settings(max_examples=25, deadline=None)
+    def test_cwnd_positive(self, seed, data_rate, ack_rate):
+        result = _run(seed, data_rate, ack_rate)
+        assert all(sample.cwnd >= 1.0 for sample in result.log.cwnd_samples)
+
+    @given(seeds, loss_rates, loss_rates)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_under_seed(self, seed, data_rate, ack_rate):
+        first = _run(seed, data_rate, ack_rate, duration=4.0)
+        second = _run(seed, data_rate, ack_rate, duration=4.0)
+        assert first.log.data_sent == second.log.data_sent
+        assert first.throughput == second.throughput
+
+    @given(seeds, loss_rates, loss_rates)
+    @settings(max_examples=25, deadline=None)
+    def test_recovery_phase_intervals_disjoint(self, seed, data_rate, ack_rate):
+        result = _run(seed, data_rate, ack_rate)
+        phases = result.log.completed_recovery_phases()
+        ordered = sorted(phases, key=lambda phase: phase.start_time)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier.end_time <= later.start_time + 1e-9
+
+
+class TestRtoProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_rto_within_configured_band(self, samples):
+        rto = RtoEstimator(initial_rto=1.0, min_rto=0.2, max_rto=60.0)
+        for sample in samples:
+            rto.on_measurement(sample)
+            assert 0.2 <= rto.base_rto <= 60.0
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_backoff_never_exceeds_64x(self, timeouts):
+        rto = RtoEstimator(initial_rto=1.0, max_rto=1000.0)
+        for _ in range(timeouts):
+            rto.on_timeout()
+        assert rto.current_rto <= 64.0 + 1e-9
+
+
+class TestChannelProperties:
+    @given(seeds, st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_bernoulli_rate_converges(self, seed, rate):
+        model = BernoulliLoss(rate, RngStream(seed, "b"))
+        n = 4000
+        losses = sum(model.is_lost(float(i)) for i in range(n))
+        assert abs(losses / n - rate) < 0.05
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_gilbert_elliott_monotone_time_safe(self, seed):
+        model = GilbertElliottLoss(RngStream(seed, "ge"), 2.0, 0.5)
+        for i in range(1000):
+            model.is_lost(i * 0.01)  # must never raise
+
+    @given(seeds, st.floats(min_value=0.001, max_value=0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_round_correlated_rate_at_least_trigger(self, seed, trigger):
+        model = RoundCorrelatedLoss(RngStream(seed, "rc"), trigger, 0.05)
+        n = 3000
+        losses = sum(model.is_lost(i * 0.002) for i in range(n))
+        # Lifetime rate must exceed the trigger rate (correlated tail).
+        assert losses / n >= trigger * 0.3

@@ -1,0 +1,103 @@
+"""Behavioural tests for the NewReno sender variant."""
+
+import pytest
+
+from repro.simulator import (
+    BernoulliLoss,
+    ConnectionConfig,
+    NoLoss,
+    RoundCorrelatedLoss,
+    TraceDrivenLoss,
+    run_flow,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+def config(**overrides) -> ConnectionConfig:
+    base = dict(duration=30.0, wmax=32.0)
+    base.update(overrides)
+    return ConnectionConfig(**base)
+
+
+class TestVariantSelection:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_flow(config(duration=1.0), NoLoss(), NoLoss(), variant="cubic")
+
+    def test_lossless_behaviour_identical(self):
+        reno = run_flow(config(duration=10.0), NoLoss(), NoLoss(), seed=1)
+        newreno = run_flow(
+            config(duration=10.0), NoLoss(), NoLoss(), seed=1, variant="newreno"
+        )
+        assert reno.throughput == newreno.throughput
+        assert reno.log.data_sent == newreno.log.data_sent
+
+
+class TestPartialAckRecovery:
+    def test_multi_loss_window_repaired_without_timeout(self):
+        # Two separated losses inside one window: classic Reno usually
+        # times out on the second hole; NewReno's partial-ACK
+        # retransmission repairs both in one fast recovery.
+        losses = [60, 64]
+        newreno = run_flow(
+            config(b=1, duration=20.0),
+            data_loss=TraceDrivenLoss(losses),
+            ack_loss=NoLoss(),
+            seed=2,
+            variant="newreno",
+        )
+        assert len(newreno.log.timeouts) == 0
+        retx = [r for r in newreno.log.data_packets if r.is_retransmission]
+        assert len(retx) >= 2  # both holes retransmitted
+
+    def test_fewer_timeouts_than_reno_on_correlated_loss(self):
+        rng_a, rng_b = RngStream(5, "a"), RngStream(5, "b")
+        cfg = config(duration=90.0)
+        reno = run_flow(
+            cfg,
+            RoundCorrelatedLoss(rng_a.spawn("d"), 0.002, cfg.base_rtt),
+            NoLoss(), seed=5,
+        )
+        newreno = run_flow(
+            cfg,
+            RoundCorrelatedLoss(rng_b.spawn("d"), 0.002, cfg.base_rtt),
+            NoLoss(), seed=5, variant="newreno",
+        )
+        assert len(newreno.log.timeouts) <= len(reno.log.timeouts)
+
+    def test_throughput_not_worse_than_reno(self):
+        rng = RngStream(7, "x")
+        cfg = config(duration=60.0)
+        reno = run_flow(
+            cfg, RoundCorrelatedLoss(RngStream(7, "d"), 0.003, cfg.base_rtt),
+            NoLoss(), seed=7,
+        )
+        newreno = run_flow(
+            cfg, RoundCorrelatedLoss(RngStream(7, "d"), 0.003, cfg.base_rtt),
+            NoLoss(), seed=7, variant="newreno",
+        )
+        assert newreno.throughput >= 0.9 * reno.throughput
+
+    def test_spurious_timeouts_unchanged(self):
+        # Pure ACK outage: NewReno times out exactly like Reno — it
+        # cannot see missing ACKs (the paper's variant-agnostic point).
+        cfg = config(duration=15.0, min_rto=0.4)
+        reno = run_flow(
+            cfg, NoLoss(), TraceDrivenLoss(range(10, 18)), seed=9,
+        )
+        newreno = run_flow(
+            cfg, NoLoss(), TraceDrivenLoss(range(10, 18)), seed=9, variant="newreno",
+        )
+        assert len(newreno.log.timeouts) == len(reno.log.timeouts)
+
+    def test_sequence_delivery_complete(self):
+        result = run_flow(
+            config(b=1, duration=20.0),
+            data_loss=TraceDrivenLoss([60, 64]),
+            ack_loss=NoLoss(),
+            seed=2,
+            variant="newreno",
+        )
+        delivered = {r.seq for r in result.log.data_packets if r.arrival_time is not None}
+        assert delivered == set(range(len(delivered)))

@@ -1,0 +1,225 @@
+"""Unit and behavioural tests for the Reno sender via full connections."""
+
+import math
+
+import pytest
+
+from repro.simulator.channel import BernoulliLoss, NoLoss, TraceDrivenLoss
+from repro.simulator.connection import ConnectionConfig, run_flow
+from repro.util.rng import RngStream
+
+
+def config(**overrides) -> ConnectionConfig:
+    base = dict(forward_delay=0.03, reverse_delay=0.03, duration=20.0, wmax=32.0)
+    base.update(overrides)
+    return ConnectionConfig(**base)
+
+
+class TestLosslessBehaviour:
+    def test_throughput_approaches_window_bound(self):
+        result = run_flow(config(duration=30.0), NoLoss(), NoLoss())
+        bound = result.config.wmax / result.config.base_rtt
+        assert result.throughput > 0.9 * bound
+        assert result.throughput <= bound * 1.01
+
+    def test_no_losses_no_timeouts(self):
+        result = run_flow(config(), NoLoss(), NoLoss())
+        assert result.log.data_lost == 0
+        assert len(result.log.timeouts) == 0
+        assert len(result.log.recovery_phases) == 0
+
+    def test_no_duplicate_payloads(self):
+        result = run_flow(config(), NoLoss(), NoLoss())
+        assert result.log.duplicate_payloads == 0
+
+    def test_sequence_numbers_delivered_contiguously(self):
+        result = run_flow(config(duration=5.0), NoLoss(), NoLoss())
+        # Every sent payload up to the last delivered must have arrived.
+        seqs = {record.seq for record in result.log.data_packets if not record.lost}
+        assert seqs == set(range(len(seqs)))
+
+    def test_window_growth_reaches_wmax(self):
+        result = run_flow(config(duration=30.0), NoLoss(), NoLoss())
+        assert max(sample.cwnd for sample in result.log.cwnd_samples) == pytest.approx(
+            result.config.wmax
+        )
+
+    def test_deterministic_given_seed(self):
+        a = run_flow(config(), NoLoss(), NoLoss(), seed=7)
+        b = run_flow(config(), NoLoss(), NoLoss(), seed=7)
+        assert a.throughput == b.throughput
+        assert a.log.data_sent == b.log.data_sent
+
+
+class TestFastRetransmit:
+    def test_single_loss_recovers_without_timeout(self):
+        # Drop one packet mid-flow; triple dup ACKs (b=1 so every packet
+        # acks) should repair it without any RTO.
+        result = run_flow(
+            config(b=1, duration=10.0),
+            data_loss=TraceDrivenLoss([50]),
+            ack_loss=NoLoss(),
+        )
+        assert len(result.log.timeouts) == 0
+        retransmissions = [r for r in result.log.data_packets if r.is_retransmission]
+        assert len(retransmissions) == 1
+
+    def test_loss_halves_window(self):
+        result = run_flow(
+            config(b=1, duration=10.0),
+            data_loss=TraceDrivenLoss([100]),
+            ack_loss=NoLoss(),
+        )
+        phases = [s.phase for s in result.log.cwnd_samples]
+        assert "fast_recovery" in phases
+
+    def test_duplicate_payload_free_fast_retransmit(self):
+        # A genuinely lost packet retransmitted via fast retransmit is
+        # not a spurious retransmission: no duplicate payloads.
+        result = run_flow(
+            config(b=1, duration=10.0),
+            data_loss=TraceDrivenLoss([50]),
+            ack_loss=NoLoss(),
+        )
+        assert result.log.duplicate_payloads == 0
+
+
+class TestTimeoutRecovery:
+    def test_ack_burst_loss_causes_spurious_timeout(self):
+        # Lose a long run of consecutive ACKs: data arrives but the
+        # sender times out -> receiver sees duplicate payloads.
+        result = run_flow(
+            config(duration=15.0),
+            data_loss=NoLoss(),
+            ack_loss=TraceDrivenLoss(range(10, 200)),
+        )
+        assert len(result.log.timeouts) >= 1
+        assert result.log.duplicate_payloads >= 1
+        assert result.log.data_lost == 0  # no data was lost: pure spurious
+
+    def test_recovery_phase_recorded(self):
+        result = run_flow(
+            config(duration=15.0),
+            data_loss=NoLoss(),
+            ack_loss=TraceDrivenLoss(range(10, 18)),
+        )
+        phases = result.log.completed_recovery_phases()
+        assert len(phases) >= 1
+        assert all(phase.duration > 0 for phase in phases)
+        assert all(phase.timeouts >= 1 for phase in phases)
+
+    def test_consecutive_timeouts_backoff_exponentially(self):
+        # Lose data packets for a long stretch: RTOs must escalate.
+        result = run_flow(
+            config(duration=40.0),
+            data_loss=TraceDrivenLoss(range(20, 500)),
+            ack_loss=NoLoss(),
+        )
+        timeouts = result.log.timeouts
+        assert len(timeouts) >= 3
+        rtos = [t.rto_value for t in timeouts[:4]]
+        for earlier, later in zip(rtos, rtos[1:]):
+            assert later >= earlier * 1.9
+
+    def test_backoff_exponent_capped(self):
+        result = run_flow(
+            config(duration=300.0),
+            data_loss=TraceDrivenLoss(range(20, 100000)),
+            ack_loss=NoLoss(),
+        )
+        assert max(t.backoff_exponent for t in result.log.timeouts) <= 6
+
+    def test_only_one_packet_retransmitted_per_timeout(self):
+        result = run_flow(
+            config(duration=30.0),
+            data_loss=TraceDrivenLoss(range(20, 300)),
+            ack_loss=NoLoss(),
+        )
+        in_recovery = [r for r in result.log.data_packets if r.in_timeout_recovery]
+        assert len(in_recovery) == len(result.log.timeouts)
+
+    def test_slow_start_after_recovery(self):
+        result = run_flow(
+            config(duration=30.0),
+            data_loss=TraceDrivenLoss(range(20, 25)),
+            ack_loss=NoLoss(),
+        )
+        # After the recovery phase completes, phase returns to slow start.
+        phases = [s.phase for s in result.log.cwnd_samples]
+        assert "timeout_recovery" in phases
+        index = phases.index("timeout_recovery")
+        assert "slow_start" in phases[index + 1 :]
+
+    def test_recovery_loss_counters(self):
+        # A long outage swallows the in-flight window and the first few
+        # RTO retransmissions: the recovery phase must count its own
+        # lost retransmissions.
+        result = run_flow(
+            config(duration=60.0),
+            data_loss=TraceDrivenLoss(range(20, 36)),
+            ack_loss=NoLoss(),
+        )
+        phases = result.log.completed_recovery_phases()
+        assert phases
+        total_retx = sum(p.retransmissions for p in phases)
+        total_lost = sum(p.retransmissions_lost for p in phases)
+        assert total_retx >= 2
+        assert 0 < total_lost < total_retx
+
+
+class TestStochasticBehaviour:
+    def test_empirical_loss_rates_near_configured(self):
+        rng = RngStream(5)
+        result = run_flow(
+            config(duration=120.0, wmax=64.0),
+            data_loss=BernoulliLoss(0.01, rng.spawn("d")),
+            ack_loss=BernoulliLoss(0.01, rng.spawn("a")),
+            seed=5,
+        )
+        assert result.data_loss_rate == pytest.approx(0.01, abs=0.008)
+        assert result.ack_loss_rate == pytest.approx(0.01, abs=0.008)
+
+    def test_higher_loss_lower_throughput(self):
+        rng = RngStream(6)
+        low = run_flow(
+            config(duration=60.0),
+            BernoulliLoss(0.002, rng.spawn("d1")),
+            NoLoss(), seed=1,
+        )
+        high = run_flow(
+            config(duration=60.0),
+            BernoulliLoss(0.05, rng.spawn("d2")),
+            NoLoss(), seed=1,
+        )
+        assert high.throughput < low.throughput
+
+    def test_cwnd_never_exceeds_wmax(self):
+        rng = RngStream(7)
+        result = run_flow(
+            config(duration=60.0, wmax=16.0),
+            BernoulliLoss(0.005, rng.spawn("d")),
+            NoLoss(), seed=2,
+        )
+        # Fast-recovery window inflation may exceed wmax transiently
+        # (real stacks cap the *effective* window, not cwnd itself).
+        assert all(
+            s.cwnd <= 16.0 + 1e-9
+            for s in result.log.cwnd_samples
+            if s.phase != "fast_recovery"
+        )
+
+    def test_delivered_never_exceeds_sent(self):
+        rng = RngStream(8)
+        result = run_flow(
+            config(duration=30.0),
+            BernoulliLoss(0.02, rng.spawn("d")),
+            BernoulliLoss(0.02, rng.spawn("a")),
+            seed=3,
+        )
+        assert result.log.delivered_payloads <= result.log.data_sent
+
+    def test_rtt_floor_respected(self):
+        result = run_flow(config(duration=5.0), NoLoss(), NoLoss())
+        for record in result.log.data_packets:
+            if record.latency is not None:
+                assert record.latency >= result.config.forward_delay - 1e-12

@@ -1,0 +1,92 @@
+"""Unit tests for the RFC 6298 RTO estimator."""
+
+import pytest
+
+from repro.simulator.rto import MAX_BACKOFF_FACTOR, RtoEstimator
+from repro.util.errors import ConfigurationError
+
+
+class TestInitialState:
+    def test_initial_rto_before_any_sample(self):
+        rto = RtoEstimator(initial_rto=1.0)
+        assert rto.current_rto == pytest.approx(1.0)
+
+    def test_initial_rto_respects_clamp(self):
+        rto = RtoEstimator(initial_rto=100.0, max_rto=60.0)
+        assert rto.base_rto == pytest.approx(60.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            RtoEstimator(initial_rto=0.0)
+        with pytest.raises(ConfigurationError):
+            RtoEstimator(min_rto=2.0, max_rto=1.0)
+
+
+class TestMeasurement:
+    def test_first_sample_initialises_srtt(self):
+        rto = RtoEstimator()
+        rto.on_measurement(0.1)
+        assert rto.srtt == pytest.approx(0.1)
+        assert rto.rttvar == pytest.approx(0.05)
+
+    def test_rfc_first_sample_rto(self):
+        rto = RtoEstimator(min_rto=0.0001)
+        rto.on_measurement(0.1)
+        # RTO = SRTT + max(G, 4*RTTVAR) = 0.1 + 0.2
+        assert rto.base_rto == pytest.approx(0.3)
+
+    def test_smoothing_converges_to_constant_rtt(self):
+        rto = RtoEstimator(min_rto=0.01)
+        for _ in range(200):
+            rto.on_measurement(0.08)
+        assert rto.srtt == pytest.approx(0.08, rel=1e-3)
+        assert rto.rttvar < 1e-3
+
+    def test_variance_reacts_to_jitter(self):
+        steady = RtoEstimator(min_rto=0.01)
+        jittery = RtoEstimator(min_rto=0.01)
+        for i in range(100):
+            steady.on_measurement(0.1)
+            jittery.on_measurement(0.05 if i % 2 == 0 else 0.15)
+        assert jittery.base_rto > steady.base_rto
+
+    def test_min_rto_floor(self):
+        rto = RtoEstimator(min_rto=0.2)
+        for _ in range(100):
+            rto.on_measurement(0.001)
+        assert rto.base_rto >= 0.2
+
+    def test_rejects_nonpositive_sample(self):
+        with pytest.raises(ConfigurationError):
+            RtoEstimator().on_measurement(0.0)
+
+
+class TestBackoff:
+    def test_each_timeout_doubles(self):
+        rto = RtoEstimator(initial_rto=1.0)
+        values = [rto.current_rto]
+        for _ in range(3):
+            rto.on_timeout()
+            values.append(rto.current_rto)
+        assert values == pytest.approx([1.0, 2.0, 4.0, 8.0])
+
+    def test_backoff_capped_at_64x(self):
+        rto = RtoEstimator(initial_rto=1.0, max_rto=100.0)
+        for _ in range(20):
+            rto.on_timeout()
+        assert rto.current_rto == pytest.approx(64.0)
+        assert 2**rto.backoff_exponent == MAX_BACKOFF_FACTOR
+
+    def test_recovery_resets_backoff(self):
+        rto = RtoEstimator(initial_rto=1.0)
+        for _ in range(4):
+            rto.on_timeout()
+        rto.on_recovery()
+        assert rto.backoff_exponent == 0
+        assert rto.current_rto == pytest.approx(1.0)
+
+    def test_backoff_applies_to_measured_base(self):
+        rto = RtoEstimator(min_rto=0.0001)
+        rto.on_measurement(0.1)  # base 0.3
+        rto.on_timeout()
+        assert rto.current_rto == pytest.approx(0.6)

@@ -1,0 +1,80 @@
+"""Smoke tests for the package's public surface.
+
+Guards the advertised API: the top-level re-exports, the subpackage
+``__all__`` lists, and the version string — what a downstream user
+imports first.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        assert callable(repro.enhanced_throughput)
+        assert callable(repro.padhye_paper_form)
+        assert callable(repro.deviation_rate)
+        assert callable(repro.mptcp_gain)
+        assert repro.LinkParams is not None
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.core",
+        "repro.simulator",
+        "repro.hsr",
+        "repro.traces",
+        "repro.experiments",
+        "repro.util",
+    ],
+)
+class TestSubpackages:
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+    def test_all_has_no_duplicates(self, module_name):
+        module = importlib.import_module(module_name)
+        names = list(module.__all__)
+        assert len(names) == len(set(names)), f"{module_name}.__all__ has duplicates"
+
+    def test_docstring_present(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+
+class TestEndToEndSurface:
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart must keep working verbatim."""
+        from repro import LinkParams, ModelOptions, enhanced_throughput, padhye_paper_form
+
+        hsr = LinkParams(
+            rtt=0.12, timeout=0.8, data_loss=0.0075, ack_loss=0.0066,
+            recovery_loss=0.27, wmax=64.0, b=2,
+        )
+        enhanced = enhanced_throughput(hsr)
+        baseline = padhye_paper_form(hsr)
+        bursty = enhanced_throughput(hsr, ModelOptions(ack_burst_override=0.10))
+        assert 0.0 < bursty.throughput < enhanced.throughput < baseline.throughput
+
+    def test_simulator_snippet_from_readme(self):
+        from repro.hsr import CHINA_TELECOM, hsr_scenario
+        from repro.simulator import run_flow
+
+        scenario = hsr_scenario(CHINA_TELECOM)
+        built = scenario.build(duration=20.0, seed=7)
+        result = run_flow(built.config, built.data_loss, built.ack_loss, seed=7)
+        assert result.throughput > 0.0

@@ -1,0 +1,121 @@
+"""Tests for the Fig-4 scatter machinery and measured model inputs."""
+
+import pytest
+
+from repro.core.params import LinkParams
+from repro.hsr import hsr_scenario
+from repro.simulator import ConnectionConfig, NoLoss, TraceDrivenLoss, run_flow
+from repro.traces.capture import capture_flow
+from repro.traces.correlation import (
+    ScatterPoint,
+    measured_model_inputs,
+    scatter_correlation,
+    scatter_envelope,
+    timeout_ack_scatter,
+)
+from repro.traces.events import FlowMetadata
+
+
+def make_trace(data_loss=None, ack_loss=None, duration=20.0, flow_id="t/0", seed=9):
+    result = run_flow(
+        ConnectionConfig(duration=duration),
+        data_loss or NoLoss(),
+        ack_loss or NoLoss(),
+        seed=seed,
+    )
+    meta = FlowMetadata(
+        flow_id=flow_id, provider="China Mobile", technology="LTE",
+        scenario="hsr", capture_month="2015-01", phone_model="Samsung Note 3",
+        duration=duration, seed=seed,
+    )
+    return capture_flow(result, meta)
+
+
+def hsr_trace(seed, duration=60.0):
+    scenario = hsr_scenario()
+    built = scenario.build(duration=duration, seed=seed)
+    result = run_flow(built.config, built.data_loss, built.ack_loss, seed=seed)
+    meta = FlowMetadata(
+        flow_id=f"hsr/{seed}", provider="China Mobile", technology="LTE",
+        scenario="hsr", capture_month="2015-10", phone_model="Samsung Note 3",
+        duration=duration, seed=seed,
+    )
+    return capture_flow(result, meta)
+
+
+class TestScatter:
+    def test_quiet_flow_excluded(self):
+        points = timeout_ack_scatter([make_trace()])
+        assert points == []
+
+    def test_one_point_per_lossy_flow(self):
+        traces = [hsr_trace(seed) for seed in (1, 2, 3)]
+        points = timeout_ack_scatter(traces)
+        assert len(points) == 3
+        assert {point.flow_id for point in points} == {t.metadata.flow_id for t in traces}
+
+    def test_probabilities_in_unit_interval(self):
+        points = timeout_ack_scatter([hsr_trace(seed) for seed in range(4)])
+        for point in points:
+            assert 0.0 <= point.timeout_probability <= 1.0
+            assert 0.0 <= point.ack_loss_rate < 1.0
+
+
+class TestEnvelope:
+    def _points(self):
+        return [
+            ScatterPoint("a", 0.01, 0.2),
+            ScatterPoint("b", 0.02, 0.4),
+            ScatterPoint("c", 0.03, 0.5),
+            ScatterPoint("d", 0.04, 0.9),
+        ]
+
+    def test_envelope_contains_all_points(self):
+        points = self._points()
+        (slope_lo, int_lo), (slope_hi, int_hi) = scatter_envelope(points)
+        for point in points:
+            low = slope_lo * point.ack_loss_rate + int_lo
+            high = slope_hi * point.ack_loss_rate + int_hi
+            assert low - 1e-9 <= point.timeout_probability <= high + 1e-9
+
+    def test_positive_slope_for_positive_trend(self):
+        (slope_lo, _), (slope_hi, _) = scatter_envelope(self._points())
+        assert slope_lo > 0.0
+        assert slope_lo == pytest.approx(slope_hi)  # parallel envelope lines
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            scatter_envelope([ScatterPoint("a", 0.1, 0.2)])
+
+    def test_correlation_positive_on_trend(self):
+        assert scatter_correlation(self._points()) > 0.8
+
+
+class TestMeasuredInputs:
+    def test_extracts_valid_params(self):
+        inputs = measured_model_inputs(hsr_trace(seed=3))
+        assert inputs is not None
+        assert isinstance(inputs.params, LinkParams)
+        assert inputs.params.rtt > 0.0
+        assert inputs.throughput > 0.0
+        assert 0.0 <= inputs.ack_burst_probability < 1.0
+
+    def test_quiet_flow_uses_recommended_q(self):
+        inputs = measured_model_inputs(make_trace())
+        assert inputs is not None
+        assert inputs.params.recovery_loss == pytest.approx(0.325)
+
+    def test_timeout_override(self):
+        inputs = measured_model_inputs(hsr_trace(seed=4), timeout_value=2.0)
+        assert inputs.params.timeout == 2.0
+
+    def test_dead_trace_returns_none(self):
+        trace = make_trace()
+        trace.acks = []
+        trace.delivered_payloads = 0
+        assert measured_model_inputs(trace) is None
+
+    def test_spurious_heavy_flow_measures_positive_burst(self):
+        trace = make_trace(ack_loss=TraceDrivenLoss(range(10, 18)))
+        inputs = measured_model_inputs(trace)
+        assert inputs.ack_burst_probability > 0.0

@@ -1,0 +1,86 @@
+"""Tests for FlowTrace containers and the simulator->trace adapter."""
+
+import pytest
+
+from repro.simulator import ConnectionConfig, NoLoss, TraceDrivenLoss, run_flow
+from repro.traces.capture import capture_flow
+from repro.traces.events import FlowMetadata, FlowTrace
+
+
+def metadata(**overrides) -> FlowMetadata:
+    base = dict(
+        flow_id="t/0", provider="China Mobile", technology="LTE",
+        scenario="hsr", capture_month="2015-01", phone_model="Samsung Note 3",
+        duration=10.0, seed=1,
+    )
+    base.update(overrides)
+    return FlowMetadata(**base)
+
+
+def simulate(data_loss=None, ack_loss=None, duration=10.0, **config):
+    result = run_flow(
+        ConnectionConfig(duration=duration, **config),
+        data_loss or NoLoss(),
+        ack_loss or NoLoss(),
+        seed=3,
+    )
+    return capture_flow(result, metadata(duration=duration))
+
+
+class TestCapture:
+    def test_metadata_attached(self):
+        trace = simulate()
+        assert trace.metadata.provider == "China Mobile"
+
+    def test_records_shared_with_log(self):
+        result = run_flow(ConnectionConfig(duration=5.0), NoLoss(), NoLoss())
+        trace = capture_flow(result, metadata(duration=5.0))
+        assert trace.data_packets is result.log.data_packets
+        assert trace.delivered_payloads == result.log.delivered_payloads
+
+
+class TestDerivedStats:
+    def test_throughput(self):
+        trace = simulate(duration=10.0)
+        assert trace.throughput == pytest.approx(trace.delivered_payloads / 10.0)
+
+    def test_transferred_bytes(self):
+        trace = simulate()
+        assert trace.transferred_bytes == trace.delivered_payloads * 1460
+
+    def test_loss_rates_zero_on_clean_channel(self):
+        trace = simulate()
+        assert trace.data_loss_rate == 0.0
+        assert trace.ack_loss_rate == 0.0
+
+    def test_data_loss_rate_counts_drops(self):
+        trace = simulate(data_loss=TraceDrivenLoss([10, 11, 12]))
+        assert trace.data_loss_rate == pytest.approx(3 / len(trace.data_packets))
+
+    def test_loss_event_rate_merges_runs(self):
+        # Transmissions 10..12 lost consecutively: one loss event.
+        trace = simulate(data_loss=TraceDrivenLoss([10, 11, 12]))
+        events = trace.data_loss_event_rate * len(trace.data_packets)
+        assert events == pytest.approx(1.0)
+
+    def test_loss_event_rate_counts_separate_runs(self):
+        trace = simulate(data_loss=TraceDrivenLoss([10, 50, 90]))
+        events = trace.data_loss_event_rate * len(trace.data_packets)
+        assert events == pytest.approx(3.0)
+
+    def test_loss_event_rate_le_loss_rate(self):
+        trace = simulate(data_loss=TraceDrivenLoss(range(10, 30)))
+        assert trace.data_loss_event_rate <= trace.data_loss_rate
+
+    def test_arrivals_by_seq_sorted(self):
+        trace = simulate()
+        arrivals = trace.arrivals_by_seq()
+        assert arrivals
+        for times in arrivals.values():
+            assert times == sorted(times)
+
+    def test_empty_trace_rates(self):
+        trace = FlowTrace(metadata=metadata())
+        assert trace.data_loss_rate == 0.0
+        assert trace.ack_loss_rate == 0.0
+        assert trace.data_loss_event_rate == 0.0

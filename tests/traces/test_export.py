@@ -1,0 +1,96 @@
+"""Tests for CSV export and the campaign text report."""
+
+import csv
+import io
+
+import pytest
+
+from repro.simulator import ConnectionConfig, NoLoss, TraceDrivenLoss, run_flow
+from repro.traces.capture import capture_flow
+from repro.traces.events import FlowMetadata
+from repro.traces.export import (
+    campaign_report,
+    write_cwnd_csv,
+    write_flow_summary_csv,
+    write_latency_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_and_result():
+    result = run_flow(
+        ConnectionConfig(duration=10.0),
+        TraceDrivenLoss([20]),
+        NoLoss(),
+        seed=3,
+    )
+    meta = FlowMetadata(
+        flow_id="exp/0", provider="China Mobile", technology="LTE",
+        scenario="hsr", capture_month="2015-10", phone_model="Samsung Note 3",
+        duration=10.0, seed=3,
+    )
+    return capture_flow(result, meta), result
+
+
+class TestLatencyCsv:
+    def test_header_and_rows(self, trace_and_result):
+        trace, _ = trace_and_result
+        text = write_latency_csv(trace)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["send_time_s", "latency_s", "direction", "lost"]
+        assert len(rows) > 100
+
+    def test_lost_row_marked(self, trace_and_result):
+        trace, _ = trace_and_result
+        rows = list(csv.DictReader(io.StringIO(write_latency_csv(trace))))
+        lost = [row for row in rows if row["lost"] == "1"]
+        assert len(lost) == 1
+        assert float(lost[0]["latency_s"]) == -1.0
+
+    def test_stream_write(self, trace_and_result):
+        trace, _ = trace_and_result
+        stream = io.StringIO()
+        text = write_latency_csv(trace, stream)
+        assert stream.getvalue() == text
+
+
+class TestCwndCsv:
+    def test_round_trip(self, trace_and_result):
+        _, result = trace_and_result
+        text = write_cwnd_csv(result.log.cwnd_samples)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(result.log.cwnd_samples)
+        assert {row["phase"] for row in rows} >= {"slow_start"}
+
+    def test_values_parse(self, trace_and_result):
+        _, result = trace_and_result
+        rows = list(csv.DictReader(io.StringIO(write_cwnd_csv(result.log.cwnd_samples))))
+        assert all(float(row["cwnd_packets"]) >= 1.0 for row in rows)
+
+
+class TestSummaryCsv:
+    def test_one_row_per_flow(self, trace_and_result):
+        trace, _ = trace_and_result
+        rows = list(csv.DictReader(io.StringIO(write_flow_summary_csv([trace, trace]))))
+        assert len(rows) == 2
+        assert rows[0]["provider"] == "China Mobile"
+
+    def test_statistics_present(self, trace_and_result):
+        trace, _ = trace_and_result
+        row = list(csv.DictReader(io.StringIO(write_flow_summary_csv([trace]))))[0]
+        assert float(row["throughput_pps"]) > 0.0
+        assert float(row["data_loss"]) > 0.0
+
+
+class TestCampaignReport:
+    def test_report_contains_sections(self, trace_and_result):
+        trace, _ = trace_and_result
+        report = campaign_report([trace], title="Test campaign")
+        assert "Test campaign" in report
+        assert "[hsr]" in report
+        assert "throughput" in report
+        assert "data loss rate" in report
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            campaign_report([])

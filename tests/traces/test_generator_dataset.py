@@ -1,0 +1,122 @@
+"""Tests for the Table-I campaign generator and serialisation."""
+
+import pytest
+
+from repro.traces.dataset import (
+    dataset_records,
+    records_from_json,
+    records_to_json,
+    table1_rows,
+)
+from repro.traces.generator import (
+    PAPER_CAMPAIGN,
+    generate_dataset,
+    generate_stationary_reference,
+)
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_dataset(seed=7, duration=30.0, flow_scale=0.03)
+
+
+@pytest.fixture(scope="module")
+def stationary_dataset():
+    return generate_stationary_reference(seed=8, duration=30.0, flows_per_provider=2)
+
+
+class TestPaperCampaign:
+    def test_matches_table1_structure(self):
+        assert len(PAPER_CAMPAIGN) == 4
+        assert sum(entry.flows for entry in PAPER_CAMPAIGN) == 255  # 52+73+65+65
+
+    def test_months_and_trips(self):
+        january = [e for e in PAPER_CAMPAIGN if e.capture_month == "2015-01"]
+        october = [e for e in PAPER_CAMPAIGN if e.capture_month == "2015-10"]
+        assert len(january) == 1 and january[0].trips == 8
+        assert len(october) == 3 and all(e.trips == 24 for e in october)
+
+
+class TestGenerateDataset:
+    def test_flow_scale_shrinks_campaign(self, small_dataset):
+        assert 4 <= small_dataset.flow_count <= 16
+
+    def test_every_cell_represented(self, small_dataset):
+        providers = {trace.metadata.provider for trace in small_dataset.traces}
+        assert providers == {"China Mobile", "China Unicom", "China Telecom"}
+
+    def test_traces_are_hsr(self, small_dataset):
+        assert all(t.metadata.scenario == "hsr" for t in small_dataset.traces)
+
+    def test_flows_delivered_data(self, small_dataset):
+        assert all(t.delivered_payloads > 0 for t in small_dataset.traces)
+        assert small_dataset.total_bytes > 0
+
+    def test_unique_flow_ids(self, small_dataset):
+        ids = [t.metadata.flow_id for t in small_dataset.traces]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self):
+        a = generate_dataset(seed=7, duration=10.0, flow_scale=0.01)
+        b = generate_dataset(seed=7, duration=10.0, flow_scale=0.01)
+        assert [t.delivered_payloads for t in a.traces] == [
+            t.delivered_payloads for t in b.traces
+        ]
+
+    def test_by_provider_filter(self, small_dataset):
+        mobile = small_dataset.by_provider("China Mobile")
+        assert mobile
+        assert all(t.metadata.provider == "China Mobile" for t in mobile)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset(duration=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_dataset(flow_scale=0.0)
+
+
+class TestStationaryReference:
+    def test_scenario_label(self, stationary_dataset):
+        assert all(
+            t.metadata.scenario == "stationary" for t in stationary_dataset.traces
+        )
+
+    def test_flow_count(self, stationary_dataset):
+        assert stationary_dataset.flow_count == 6
+
+    def test_cleaner_than_hsr(self, small_dataset, stationary_dataset):
+        hsr_ack = sum(t.ack_loss_rate for t in small_dataset.traces) / small_dataset.flow_count
+        st_ack = sum(t.ack_loss_rate for t in stationary_dataset.traces) / stationary_dataset.flow_count
+        assert st_ack < hsr_ack
+
+
+class TestTable1Rows:
+    def test_one_row_per_entry(self, small_dataset):
+        rows = table1_rows(small_dataset)
+        assert len(rows) == 4
+
+    def test_row_flow_counts_sum(self, small_dataset):
+        rows = table1_rows(small_dataset)
+        assert sum(row.flows for row in rows) == small_dataset.flow_count
+
+    def test_sizes_positive(self, small_dataset):
+        for row in table1_rows(small_dataset):
+            assert row.trace_size_gb > 0.0
+
+
+class TestSerialisation:
+    def test_roundtrip(self, small_dataset):
+        records = dataset_records(small_dataset.traces)
+        payload = records_to_json(records)
+        restored = records_from_json(payload)
+        assert restored == records
+
+    def test_records_carry_statistics(self, small_dataset):
+        records = dataset_records(small_dataset.traces)
+        assert all(record.throughput > 0.0 for record in records)
+        assert all(record.rtt is not None for record in records)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError):
+            records_from_json('{"not": "a list"}')

@@ -1,0 +1,93 @@
+"""Tests for round segmentation and the direct P_a estimator."""
+
+import pytest
+
+from repro.simulator import ConnectionConfig, NoLoss, run_flow
+from repro.simulator.channel import HandoffLoss
+from repro.simulator.metrics import AckRecord
+from repro.traces.capture import capture_flow
+from repro.traces.events import FlowMetadata
+from repro.traces.rounds import (
+    measured_ack_burst_rate,
+    segment_ack_rounds,
+)
+from repro.util.rng import RngStream
+
+
+def ack(send_time, lost=False, tid=0):
+    return AckRecord(
+        transmission_id=tid, ack_seq=0, send_time=send_time,
+        arrival_time=None if lost else send_time + 0.03,
+        dropped=lost,
+    )
+
+
+class TestSegmentation:
+    def test_empty(self):
+        assert segment_ack_rounds([], rtt=0.1) == []
+
+    def test_single_burst_is_one_round(self):
+        acks = [ack(1.0), ack(1.01), ack(1.02)]
+        rounds = segment_ack_rounds(acks, rtt=0.1)
+        assert len(rounds) == 1
+        assert rounds[0].acks == 3
+        assert rounds[0].lost == 0
+
+    def test_gap_splits_rounds(self):
+        acks = [ack(1.0), ack(1.01), ack(1.2), ack(1.21)]
+        rounds = segment_ack_rounds(acks, rtt=0.1)
+        assert len(rounds) == 2
+        assert [r.acks for r in rounds] == [2, 2]
+
+    def test_all_lost_round_detected(self):
+        acks = [ack(1.0), ack(1.01), ack(1.2, lost=True), ack(1.21, lost=True)]
+        rounds = segment_ack_rounds(acks, rtt=0.1)
+        assert not rounds[0].all_lost
+        assert rounds[1].all_lost
+
+    def test_partially_lost_round_not_burst(self):
+        acks = [ack(1.0, lost=True), ack(1.01)]
+        rounds = segment_ack_rounds(acks, rtt=0.1)
+        assert len(rounds) == 1
+        assert not rounds[0].all_lost
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            segment_ack_rounds([ack(1.0)], rtt=0.0)
+
+
+class TestMeasuredBurstRate:
+    def _trace(self, ack_loss=None, duration=20.0):
+        result = run_flow(
+            ConnectionConfig(duration=duration, forward_delay=0.05,
+                             reverse_delay=0.05, min_rto=0.5),
+            NoLoss(),
+            ack_loss or NoLoss(),
+            seed=4,
+        )
+        meta = FlowMetadata(
+            flow_id="r/0", provider="China Mobile", technology="LTE",
+            scenario="hsr", capture_month="2015-10", phone_model="p",
+            duration=duration, seed=4,
+        )
+        return capture_flow(result, meta)
+
+    def test_clean_flow_zero_burst_rate(self):
+        assert measured_ack_burst_rate(self._trace()) == 0.0
+
+    def test_ack_outage_produces_positive_rate(self):
+        trace = self._trace(
+            ack_loss=HandoffLoss(RngStream(1, "x"), [(5.0, 6.5)], loss_during=1.0)
+        )
+        rate = measured_ack_burst_rate(trace)
+        assert rate is not None
+        assert rate > 0.0
+
+    def test_no_acks_returns_none(self):
+        trace = self._trace()
+        trace.acks = []
+        assert measured_ack_burst_rate(trace, rtt=0.1) is None
+
+    def test_explicit_rtt_used(self):
+        trace = self._trace()
+        assert measured_ack_burst_rate(trace, rtt=0.12) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for timeout classification and recovery analysis (paper §III-B)."""
+
+import pytest
+
+from repro.simulator import ConnectionConfig, NoLoss, TraceDrivenLoss, run_flow
+from repro.traces.capture import capture_flow
+from repro.traces.events import FlowMetadata
+from repro.traces.timeouts import (
+    classify_timeouts,
+    loss_rate_pair,
+    recovery_stats,
+    spurious_fraction,
+    timeout_sequence_lengths,
+)
+
+
+def make_trace(data_loss=None, ack_loss=None, duration=20.0, **config):
+    result = run_flow(
+        ConnectionConfig(duration=duration, **config),
+        data_loss or NoLoss(),
+        ack_loss or NoLoss(),
+        seed=9,
+    )
+    meta = FlowMetadata(
+        flow_id="t/0", provider="China Mobile", technology="LTE",
+        scenario="hsr", capture_month="2015-01", phone_model="Samsung Note 3",
+        duration=duration, seed=9,
+    )
+    return capture_flow(result, meta)
+
+
+class TestClassification:
+    def test_clean_flow_has_no_timeouts(self):
+        assert classify_timeouts(make_trace()) == []
+        assert spurious_fraction(make_trace()) is None
+
+    def test_pure_ack_loss_timeouts_are_spurious(self):
+        # All data arrives; a long ACK outage forces timeouts.
+        trace = make_trace(ack_loss=TraceDrivenLoss(range(10, 18)))
+        classified = classify_timeouts(trace)
+        assert classified
+        assert all(c.spurious for c in classified)
+        assert spurious_fraction(trace) == 1.0
+
+    def test_pure_data_loss_timeouts_are_genuine(self):
+        # A long data outage: the sender's window and retransmissions die.
+        trace = make_trace(data_loss=TraceDrivenLoss(range(20, 36)), duration=40.0)
+        classified = classify_timeouts(trace)
+        assert classified
+        assert not any(c.spurious for c in classified)
+        assert spurious_fraction(trace) == 0.0
+
+    def test_one_verdict_per_timeout(self):
+        trace = make_trace(data_loss=TraceDrivenLoss(range(20, 36)), duration=40.0)
+        assert len(classify_timeouts(trace)) == len(trace.timeouts)
+
+
+class TestRecoveryStats:
+    def test_clean_flow_empty_stats(self):
+        stats = recovery_stats(make_trace())
+        assert stats.phase_count == 0
+        assert stats.mean_duration is None
+        assert stats.recovery_loss_rate is None
+
+    def test_data_outage_recovery_counted(self):
+        trace = make_trace(data_loss=TraceDrivenLoss(range(20, 36)), duration=60.0)
+        stats = recovery_stats(trace)
+        assert stats.phase_count >= 1
+        assert stats.mean_duration > 0.5
+        assert stats.retransmissions >= 2
+        assert 0.0 < stats.recovery_loss_rate < 1.0
+        assert stats.mean_timeouts_per_sequence >= 2.0
+
+    def test_max_at_least_mean(self):
+        trace = make_trace(data_loss=TraceDrivenLoss(range(20, 36)), duration=60.0)
+        stats = recovery_stats(trace)
+        assert stats.max_duration >= stats.mean_duration
+
+
+class TestAggregates:
+    def test_loss_rate_pair_shape(self):
+        trace = make_trace(data_loss=TraceDrivenLoss(range(20, 36)), duration=60.0)
+        lifetime, recovery = loss_rate_pair(trace)
+        assert 0.0 < lifetime < 1.0
+        # During the outage the retransmission loss rate dwarfs the
+        # lifetime rate — the Fig. 3 contrast.
+        assert recovery > lifetime
+
+    def test_timeout_sequence_lengths(self):
+        traces = [
+            make_trace(data_loss=TraceDrivenLoss(range(20, 36)), duration=60.0),
+            make_trace(),
+        ]
+        lengths = timeout_sequence_lengths(traces)
+        assert lengths
+        assert all(length >= 1 for length in lengths)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import RngStream, derive_seed, spawn_streams
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_path(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_elements_not_concatenated(self):
+        # ("ab",) and ("a", "b") must not collide via naive concatenation.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_accepts_non_string_path(self):
+        assert derive_seed(42, 1, 2.5) == derive_seed(42, 1, 2.5)
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(123)
+        b = RngStream(123)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seed_different_sequence(self):
+        a = RngStream(123)
+        b = RngStream(124)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_bernoulli_extremes(self):
+        stream = RngStream(1)
+        assert stream.bernoulli(0.0) is False
+        assert stream.bernoulli(1.0) is True
+        assert stream.bernoulli(-0.5) is False
+        assert stream.bernoulli(1.5) is True
+
+    def test_bernoulli_rate_converges(self):
+        stream = RngStream(7)
+        n = 20000
+        hits = sum(stream.bernoulli(0.3) for _ in range(n))
+        assert abs(hits / n - 0.3) < 0.02
+
+    def test_uniform_bounds(self):
+        stream = RngStream(5)
+        for _ in range(1000):
+            value = stream.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds(self):
+        stream = RngStream(5)
+        values = {stream.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_geometric_at_least_one(self):
+        stream = RngStream(9)
+        assert all(stream.geometric(0.5) >= 1 for _ in range(100))
+
+    def test_geometric_certain_success(self):
+        stream = RngStream(9)
+        assert stream.geometric(1.0) == 1
+
+    def test_geometric_mean(self):
+        stream = RngStream(11)
+        n = 5000
+        total = sum(stream.geometric(0.25) for _ in range(n))
+        assert abs(total / n - 4.0) < 0.25
+
+    def test_geometric_rejects_invalid_probability(self):
+        stream = RngStream(1)
+        with pytest.raises(ValueError):
+            stream.geometric(0.0)
+        with pytest.raises(ValueError):
+            stream.geometric(1.5)
+
+    def test_spawn_independent_and_deterministic(self):
+        root = RngStream(99)
+        child_a1 = root.spawn("a")
+        child_a2 = RngStream(99).spawn("a")
+        child_b = RngStream(99).spawn("b")
+        seq_a1 = [child_a1.random() for _ in range(5)]
+        seq_a2 = [child_a2.random() for _ in range(5)]
+        seq_b = [child_b.random() for _ in range(5)]
+        assert seq_a1 == seq_a2
+        assert seq_a1 != seq_b
+
+    def test_spawn_does_not_consume_parent_state(self):
+        a = RngStream(5)
+        b = RngStream(5)
+        a.spawn("child")
+        assert a.random() == b.random()
+
+    def test_choice_and_shuffle(self):
+        stream = RngStream(3)
+        items = [1, 2, 3, 4]
+        assert stream.choice(items) in items
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_expovariate_positive(self):
+        stream = RngStream(3)
+        assert all(stream.expovariate(2.0) >= 0.0 for _ in range(100))
+
+    def test_lognormal_positive(self):
+        stream = RngStream(3)
+        assert all(stream.lognormal(0.0, 1.0) > 0.0 for _ in range(100))
+
+
+class TestSpawnStreams:
+    def test_one_stream_per_name(self):
+        streams = spawn_streams(42, ["data", "ack", "workload"])
+        assert set(streams) == {"data", "ack", "workload"}
+
+    def test_streams_are_independent(self):
+        streams = spawn_streams(42, ["x", "y"])
+        assert streams["x"].random() != streams["y"].random()
+
+    def test_reproducible(self):
+        first = spawn_streams(42, ["x"])["x"].random()
+        second = spawn_streams(42, ["x"])["x"].random()
+        assert first == second

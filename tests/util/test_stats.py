@@ -1,0 +1,134 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    EmpiricalCdf,
+    geometric_mean,
+    mean,
+    median,
+    pearson_correlation,
+    percentile,
+    stddev,
+    variance,
+)
+
+
+class TestSummaryStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_median_even(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == pytest.approx(2.5)
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_variance_and_stddev(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert variance(values) == pytest.approx(4.0)
+        assert stddev(values) == pytest.approx(2.0)
+
+    def test_variance_single_element(self):
+        assert variance([5.0]) == pytest.approx(0.0)
+
+    def test_percentile_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == pytest.approx(1.0)
+        assert percentile(values, 100) == pytest.approx(4.0)
+
+    def test_percentile_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_percentile_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [2.0, 4.0, 6.0]
+        assert pearson_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [6.0, 4.0, 2.0]
+        assert pearson_correlation(xs, ys) == pytest.approx(-1.0)
+
+    def test_constant_sequence_returns_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [1.0, 2.0])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [2.0])
+
+
+class TestEmpiricalCdf:
+    def test_from_samples_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([])
+
+    def test_evaluation(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == pytest.approx(0.0)
+        assert cdf(1.0) == pytest.approx(0.25)
+        assert cdf(2.5) == pytest.approx(0.5)
+        assert cdf(4.0) == pytest.approx(1.0)
+        assert cdf(100.0) == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        cdf = EmpiricalCdf.from_samples([3.0, 1.0, 2.0, 2.0])
+        xs = [0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0]
+        values = [cdf(x) for x in xs]
+        assert values == sorted(values)
+
+    def test_quantile(self):
+        cdf = EmpiricalCdf.from_samples([10.0, 20.0, 30.0, 40.0])
+        assert cdf.quantile(0.25) == pytest.approx(10.0)
+        assert cdf.quantile(0.5) == pytest.approx(20.0)
+        assert cdf.quantile(1.0) == pytest.approx(40.0)
+
+    def test_quantile_rejects_bad_q(self):
+        cdf = EmpiricalCdf.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.1)
+
+    def test_quantile_inverts_cdf(self):
+        cdf = EmpiricalCdf.from_samples([5.0, 1.0, 9.0, 3.0, 7.0])
+        for q in (0.2, 0.4, 0.6, 0.8, 1.0):
+            assert cdf(cdf.quantile(q)) >= q - 1e-12
+
+    def test_step_points(self):
+        cdf = EmpiricalCdf.from_samples([2.0, 1.0])
+        assert cdf.step_points() == [(1.0, 0.5), (2.0, 1.0)]
+
+    def test_mean_and_n(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 3.0])
+        assert cdf.n == 2
+        assert cdf.mean() == pytest.approx(2.0)

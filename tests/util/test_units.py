@@ -1,0 +1,49 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    BYTES_PER_MSS,
+    bytes_to_gb,
+    kmh_to_mps,
+    mbps_to_pps,
+    mps_to_kmh,
+    ms_to_seconds,
+    pps_to_mbps,
+    seconds_to_ms,
+)
+
+
+def test_kmh_roundtrip():
+    assert mps_to_kmh(kmh_to_mps(300.0)) == pytest.approx(300.0)
+
+
+def test_kmh_known_value():
+    # 300 km/h — the paper's HSR steady speed — is 83.33 m/s.
+    assert kmh_to_mps(300.0) == pytest.approx(83.3333, rel=1e-4)
+
+
+def test_pps_mbps_roundtrip():
+    assert mbps_to_pps(pps_to_mbps(123.0)) == pytest.approx(123.0)
+
+
+def test_pps_to_mbps_known_value():
+    # 1 packet of 1460 bytes per second = 11680 bits/s = 0.01168 Mbps.
+    assert pps_to_mbps(1.0) == pytest.approx(0.01168)
+
+
+def test_custom_mss():
+    assert pps_to_mbps(1.0, mss_bytes=1000) == pytest.approx(0.008)
+
+
+def test_time_conversions():
+    assert seconds_to_ms(1.5) == pytest.approx(1500.0)
+    assert ms_to_seconds(1500.0) == pytest.approx(1.5)
+
+
+def test_bytes_to_gb():
+    assert bytes_to_gb(40.47e9) == pytest.approx(40.47)
+
+
+def test_mss_constant_is_standard():
+    assert BYTES_PER_MSS == 1460
