@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""End-to-end resilience smoke test.
+
+One command that proves the robustness path works as a system:
+
+1. runs the full experiment CLI (``python -m repro.experiments all
+   --scale 0.1``) under an aggressive fault plan and per-flow watchdogs,
+   asserting a zero exit code and non-empty output — every experiment
+   must survive injected handoff storms, deep fades, ACK blackouts and
+   RTT spikes;
+2. runs a campaign in-process with the same chaos plus a deliberately
+   broken flow, asserting the partial dataset and a non-empty,
+   deterministic :class:`~repro.robustness.campaign.CampaignReport`.
+
+Usage::
+
+    python scripts/smoke.py            # full smoke (a few minutes)
+    python scripts/smoke.py --fast     # in-process campaign check only
+
+Exits 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+CHAOS_INTENSITY = 1.0
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.8-friendly
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def smoke_cli() -> None:
+    """The whole experiment battery under chaos must exit 0."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "repro.experiments", "all",
+        "--scale", "0.1",
+        "--chaos", str(CHAOS_INTENSITY),
+        "--timeout-s", "600",
+        "--max-events", "50000000",
+    ]
+    print("smoke: running", " ".join(command), flush=True)
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stderr)
+        fail(f"CLI exited {completed.returncode} under chaos")
+    if "==" not in completed.stdout:
+        fail("CLI produced no experiment reports")
+    experiments = completed.stdout.count("== ")
+    print(f"smoke: CLI ok — {experiments} experiment reports under chaos")
+
+
+def smoke_campaign() -> None:
+    """A chaotic campaign with a broken flow must degrade, not die."""
+    import repro.traces.generator as generator_module
+    from repro.robustness import FaultPlan, RetryPolicy, Watchdog
+    from repro.util.errors import SimulationError
+
+    plan = FaultPlan.aggressive(CHAOS_INTENSITY)
+    watchdog = Watchdog.default()
+
+    # Break one flow persistently: run_flow raises for every seed the
+    # retry policy will derive for flow index 2 of the first cell.
+    policy = RetryPolicy()
+    from repro.traces.generator import PAPER_CAMPAIGN
+    from repro.util.rng import RngStream
+
+    entry = PAPER_CAMPAIGN[0]
+    base = (
+        RngStream(2015, "dataset")
+        .spawn(entry.capture_month, entry.provider.name, 2)
+        .seed
+        & 0x7FFFFFFF
+    )
+    bad_seeds = {
+        policy.seed_for_attempt(base, attempt)
+        for attempt in range(policy.max_attempts)
+    }
+    real_run_flow = generator_module.run_flow
+
+    def breaking_run_flow(config, data_loss=None, ack_loss=None, seed=0, **kwargs):
+        if seed in bad_seeds:
+            raise SimulationError("smoke-injected failure")
+        return real_run_flow(
+            config, data_loss=data_loss, ack_loss=ack_loss, seed=seed, **kwargs
+        )
+
+    generator_module.run_flow = breaking_run_flow
+    try:
+        reports = []
+        for _ in range(2):  # twice: the report must be byte-identical
+            dataset = generator_module.generate_dataset(
+                seed=2015,
+                duration=10.0,
+                flow_scale=0.08,  # 20 flows
+                fault_plan=plan,
+                watchdog=watchdog,
+            )
+            reports.append(dataset.report)
+    finally:
+        generator_module.run_flow = real_run_flow
+
+    report = reports[0]
+    print(f"smoke: campaign report — {report.summary()}")
+    if report.attempted < 20:
+        fail(f"campaign attempted only {report.attempted} flows")
+    if not report.failures:
+        fail("report is empty: the injected failure was not recorded")
+    if report.quarantined != 1:
+        fail(f"expected exactly 1 quarantined flow, got {report.quarantined}")
+    if dataset.flow_count != report.succeeded or dataset.flow_count < 19:
+        fail(
+            f"partial dataset inconsistent: {dataset.flow_count} traces, "
+            f"{report.succeeded} succeeded"
+        )
+    if reports[0].to_json() != reports[1].to_json():
+        fail("campaign report is not deterministic across reruns")
+    print("smoke: campaign resilience ok — degraded deterministically, no data loss")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="skip the full CLI battery, run only the in-process campaign check",
+    )
+    args = parser.parse_args()
+    smoke_campaign()
+    if not args.fast:
+        smoke_cli()
+    print("SMOKE PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

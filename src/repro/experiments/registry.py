@@ -10,14 +10,16 @@ durations) so benchmarks can run miniatures of the same experiment;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
+    "ExperimentFailure",
     "ExperimentResult",
     "experiment",
     "get_experiment",
     "list_experiments",
     "run_experiment",
+    "run_experiment_safe",
     "format_result",
 ]
 
@@ -74,6 +76,40 @@ def run_experiment(
     """Run one experiment by id."""
     runner = get_experiment(experiment_id)
     return runner(scale=scale, seed=seed)
+
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment that raised instead of producing a result."""
+
+    experiment_id: str
+    error_type: str
+    error: str
+
+    def summary(self) -> str:
+        return f"FAILED {self.experiment_id}: {self.error_type}: {self.error}"
+
+
+def run_experiment_safe(
+    experiment_id: str, scale: float = 1.0, seed: int = 2015
+) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
+    """Run one experiment, converting any crash into a failure record.
+
+    Exactly one element of the returned pair is non-``None``.  An
+    unknown ``experiment_id`` still raises :class:`KeyError` — that is
+    a caller mistake, not an experiment failure.  Batch drivers (the
+    ``all`` command) use this so one broken experiment cannot abort the
+    rest of the run.
+    """
+    runner = get_experiment(experiment_id)  # KeyError propagates
+    try:
+        return runner(scale=scale, seed=seed), None
+    except Exception as error:
+        return None, ExperimentFailure(
+            experiment_id=experiment_id,
+            error_type=type(error).__name__,
+            error=str(error),
+        )
 
 
 def format_result(result: ExperimentResult) -> str:

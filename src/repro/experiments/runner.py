@@ -9,6 +9,17 @@ Usage::
 Every table and figure of the paper has an id here (``table1``,
 ``fig1`` … ``fig12``) plus the extension experiments (``delack``,
 ``eq21_ablation``).
+
+Robustness controls (see README "Robustness & fault injection"):
+
+* ``--timeout-s`` / ``--max-events`` install a per-flow watchdog, so a
+  degenerate simulation fails with ``BudgetExceededError`` instead of
+  hanging the batch;
+* ``--chaos INTENSITY`` installs an aggressive
+  :class:`~repro.robustness.faults.FaultPlan` for campaign-based
+  experiments — the resilience smoke path;
+* ``all`` isolates experiments: one failure prints a one-line summary,
+  the rest keep running, and the exit code is 1 if anything failed.
 """
 
 from __future__ import annotations
@@ -22,7 +33,14 @@ from typing import List, Optional
 from repro.experiments.registry import (
     format_result,
     list_experiments,
-    run_experiment,
+    run_experiment_safe,
+)
+from repro.robustness.faults import FaultPlan, fault_scope
+from repro.robustness.watchdog import (
+    DEFAULT_EVENT_BUDGET,
+    DEFAULT_WALL_CLOCK_S,
+    Watchdog,
+    watchdog_scope,
 )
 
 __all__ = ["main"]
@@ -49,6 +67,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2015)
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
+    parser.add_argument(
+        "--timeout-s", type=float, default=DEFAULT_WALL_CLOCK_S,
+        help=f"per-flow wall-clock watchdog in seconds, 0 disables "
+             f"(default {DEFAULT_WALL_CLOCK_S:g})")
+    parser.add_argument(
+        "--max-events", type=int, default=DEFAULT_EVENT_BUDGET,
+        help=f"per-flow simulator event budget, 0 disables "
+             f"(default {DEFAULT_EVENT_BUDGET})")
+    parser.add_argument(
+        "--chaos", type=float, default=0.0, metavar="INTENSITY",
+        help="inject an aggressive fault plan at this intensity into "
+             "campaign experiments (default 0 = off)")
+
+
+def _watchdog_from(args: argparse.Namespace) -> Optional[Watchdog]:
+    max_events = args.max_events if args.max_events > 0 else None
+    wall_clock = args.timeout_s if args.timeout_s > 0 else None
+    if max_events is None and wall_clock is None:
+        return None
+    return Watchdog(max_events=max_events, wall_clock_s=wall_clock)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -57,19 +95,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id, title in list_experiments().items():
             print(f"{experiment_id:14s} {title}")
         return 0
-    ids = [args.experiment_id] if args.command == "run" else list(list_experiments())
-    exit_code = 0
-    for experiment_id in ids:
-        try:
-            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        except KeyError as error:
-            print(error, file=sys.stderr)
+    if args.command == "run":
+        ids = [args.experiment_id]
+        if args.experiment_id not in list_experiments():
+            known = ", ".join(sorted(list_experiments()))
+            print(
+                f"unknown experiment {args.experiment_id!r}; known: {known}",
+                file=sys.stderr,
+            )
             return 2
-        if args.json:
-            print(json.dumps(asdict(result), indent=2))
-        else:
-            print(format_result(result))
-            print()
+    else:
+        ids = list(list_experiments())
+
+    plan = FaultPlan.aggressive(args.chaos) if args.chaos > 0 else None
+    exit_code = 0
+    with watchdog_scope(_watchdog_from(args)), fault_scope(plan):
+        for experiment_id in ids:
+            result, failure = run_experiment_safe(
+                experiment_id, scale=args.scale, seed=args.seed
+            )
+            if failure is not None:
+                print(failure.summary(), file=sys.stderr)
+                exit_code = 1
+                continue
+            if args.json:
+                print(json.dumps(asdict(result), indent=2))
+            else:
+                print(format_result(result))
+                print()
     return exit_code
 
 

@@ -11,8 +11,8 @@ Presets mirror the paper's measurement settings: ``hsr_scenario``
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple
 
 from repro.hsr.cells import CellLayout, handoff_times, outage_windows
 from repro.hsr.mobility import (
@@ -80,6 +80,11 @@ class Scenario:
     #: time into the trip at which the measured flow starts; the BTR
     #: default places it in the 300 km/h cruise segment.
     flow_start_offset: float = 300.0
+    #: optional post-build transform ``(built, seed) -> built`` — the
+    #: attachment point for fault injection (:mod:`repro.robustness.faults`)
+    #: and other channel wrappers, applied as the last step of
+    #: :meth:`build`.
+    channel_hook: Optional[Callable[["BuiltChannels", int], "BuiltChannels"]] = None
 
     def cruise_speed(self) -> float:
         """Train speed during the measured window."""
@@ -174,12 +179,21 @@ class Scenario:
             initial_rto=max(1.0, 2.0 * rto_floor),
             delack_timeout=delack,
         )
-        return BuiltChannels(
+        built = BuiltChannels(
             data_loss=_compose(data_components),
             ack_loss=_compose(ack_components),
             config=config,
             outages=tuple(windows),
         )
+        if self.channel_hook is not None:
+            built = self.channel_hook(built, seed)
+        return built
+
+    def with_channel_hook(
+        self, hook: Optional[Callable[["BuiltChannels", int], "BuiltChannels"]]
+    ) -> "Scenario":
+        """A copy of this scenario with ``hook`` as its post-build transform."""
+        return replace(self, channel_hook=hook)
 
 
 def hsr_scenario(provider: Provider = CHINA_MOBILE, name: Optional[str] = None) -> Scenario:

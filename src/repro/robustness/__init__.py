@@ -1,0 +1,58 @@
+"""Fault injection and resilient campaign execution.
+
+The paper's dataset was collected under hostile, highly variable radio
+conditions; this subpackage makes the reproduction's long synthetic
+campaigns survive the same regime:
+
+* :mod:`repro.robustness.faults` — :class:`FaultPlan`, seeded chaos
+  hooks (handoff storms, deep fades, ACK blackouts, RTT spikes) that
+  wrap scenario channels;
+* :mod:`repro.robustness.watchdog` — :class:`Watchdog` budgets that
+  turn runaway simulations into catchable
+  :class:`~repro.util.errors.BudgetExceededError`;
+* :mod:`repro.robustness.campaign` — :class:`RetryPolicy` and the
+  :class:`CampaignReport` returned by resilient
+  :func:`~repro.traces.generator.generate_dataset` runs;
+* :mod:`repro.robustness.validate` — post-capture trace validation
+  backing the quarantine path.
+"""
+
+from repro.robustness.campaign import (
+    CampaignReport,
+    FlowFailure,
+    QuarantineRecord,
+    RetryPolicy,
+)
+from repro.robustness.faults import (
+    FaultPlan,
+    current_fault_plan,
+    fault_scope,
+    with_faults,
+)
+from repro.robustness.validate import ValidationResult, check_trace, validate_trace
+from repro.robustness.watchdog import (
+    DEFAULT_EVENT_BUDGET,
+    DEFAULT_WALL_CLOCK_S,
+    Watchdog,
+    current_watchdog,
+    watchdog_scope,
+)
+
+__all__ = [
+    "CampaignReport",
+    "DEFAULT_EVENT_BUDGET",
+    "DEFAULT_WALL_CLOCK_S",
+    "FaultPlan",
+    "FlowFailure",
+    "QuarantineRecord",
+    "RetryPolicy",
+    "ValidationResult",
+    "Watchdog",
+    "check_trace",
+    "current_fault_plan",
+    "current_watchdog",
+    "fault_scope",
+    "validate_trace",
+    "watchdog_scope",
+    "with_faults",
+]

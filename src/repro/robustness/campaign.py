@@ -1,0 +1,149 @@
+"""Resilient-campaign bookkeeping: retries, quarantine, and the report.
+
+The paper's dataset (Table I) was collected under hostile radio
+conditions where individual flows fail routinely; a campaign that
+aborts on the first bad flow loses everything collected so far.  This
+module holds the *accounting* side of per-flow isolation — the
+:class:`RetryPolicy` that derives deterministic retry seeds and the
+:class:`CampaignReport` the generator returns alongside the partial
+dataset — while :mod:`repro.traces.generator` holds the execution loop.
+
+Everything here is deliberately wall-clock-free: two campaign runs with
+the same root seed produce byte-identical reports
+(:meth:`CampaignReport.to_json`), including under injected faults, so a
+degraded run is exactly reproducible for debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "CampaignReport",
+    "FlowFailure",
+    "QuarantineRecord",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class FlowFailure:
+    """One failed attempt at simulating one flow."""
+
+    flow_id: str
+    attempt: int  # 0 = first try, 1.. = retries
+    seed: int  # the exact seed of the failed attempt (reproduces it)
+    error_type: str
+    error: str
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A flow abandoned after exhausting its retry budget."""
+
+    flow_id: str
+    seed: int  # the flow's base seed (attempt 0)
+    reason: str
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times a failed flow is retried, and with which seeds.
+
+    Retry seeds are derived from the flow's base seed with the same
+    SplitMix64 path scheme the rest of the library uses, so they are
+    deterministic, collision-free across attempts, and independent of
+    how many *other* flows failed — the property behind byte-identical
+    reports under retries.
+    """
+
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def seed_for_attempt(self, base_seed: int, attempt: int) -> int:
+        """Seed for the given attempt (attempt 0 = the base seed)."""
+        if attempt == 0:
+            return base_seed
+        return derive_seed(base_seed, "retry", attempt) & 0x7FFFFFFF
+
+
+@dataclass
+class CampaignReport:
+    """Structured outcome of one resilient campaign run.
+
+    ``attempted`` counts flows (not attempts); every attempted flow ends
+    up either ``succeeded`` or ``quarantined``, so
+    ``attempted == succeeded + quarantined`` always holds.  ``retried``
+    counts extra attempts beyond each flow's first.
+    """
+
+    attempted: int = 0
+    succeeded: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    failures: List[FlowFailure] = field(default_factory=list)
+    quarantines: List[QuarantineRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every attempted flow eventually succeeded."""
+        return self.quarantined == 0
+
+    def record_failure(self, failure: FlowFailure) -> None:
+        self.failures.append(failure)
+
+    def record_quarantine(self, record: QuarantineRecord) -> None:
+        self.quarantines.append(record)
+        self.quarantined += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "attempted": self.attempted,
+            "succeeded": self.succeeded,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "failures": [asdict(failure) for failure in self.failures],
+            "quarantines": [asdict(record) for record in self.quarantines],
+        }
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON — byte-identical across
+        reruns with the same seed."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def summary(self) -> str:
+        """One line for logs: ``17/20 flows ok, 5 retries, 3 quarantined``."""
+        return (
+            f"{self.succeeded}/{self.attempted} flows ok, "
+            f"{self.retried} retries, {self.quarantined} quarantined"
+        )
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [f"campaign report: {self.summary()}"]
+        for failure in self.failures:
+            lines.append(
+                f"  attempt {failure.attempt} of {failure.flow_id} "
+                f"(seed {failure.seed}) failed: "
+                f"{failure.error_type}: {failure.error}"
+            )
+        for record in self.quarantines:
+            lines.append(
+                f"  quarantined {record.flow_id} (seed {record.seed}): "
+                f"{record.reason}"
+            )
+        return "\n".join(lines)

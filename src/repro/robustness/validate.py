@@ -1,0 +1,158 @@
+"""Post-capture trace validation: quarantine bad flows, keep the stats clean.
+
+A single corrupt :class:`~repro.traces.events.FlowTrace` — timestamps
+running backwards, an arrival recorded for a dropped packet, an ACK
+acknowledging data that was never sent — silently poisons every
+campaign-level statistic built on top of it (Table I volumes, the
+Fig. 10 deviation CDF, loss-rate fits).  :func:`validate_trace` checks
+the structural invariants every honest capture satisfies and returns
+the list of violations; the campaign layer quarantines offenders with
+those reasons instead of aggregating them.
+
+The module deliberately duck-types the trace (and imports nothing from
+:mod:`repro.traces`) so it sits below the trace layer in the import
+graph and :mod:`repro.traces.capture` can call into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.traces.events import FlowTrace
+
+__all__ = ["ValidationResult", "validate_trace", "check_trace"]
+
+#: Slack for "did this happen within the flow's duration" checks; jitter
+#: never schedules anything this far past the horizon.
+_TIME_SLACK = 1e-9
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one trace."""
+
+    flow_id: str
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def _check_wire_records(records, duration: float, kind: str, issues: List[str]) -> int:
+    """Shared per-transmission invariants; returns the max seq/ack seen."""
+    previous_send = -float("inf")
+    highest = -1
+    for index, record in enumerate(records):
+        label = f"{kind}[{index}]"
+        seq = record.seq if kind == "data" else record.ack_seq
+        highest = max(highest, seq)
+        if seq < 0:
+            issues.append(f"{label}: negative sequence number {seq}")
+        if record.send_time < 0.0:
+            issues.append(f"{label}: negative send time {record.send_time}")
+        if record.send_time < previous_send - _TIME_SLACK:
+            issues.append(
+                f"{label}: send time {record.send_time} precedes previous "
+                f"{previous_send} (records must be in send order)"
+            )
+        previous_send = max(previous_send, record.send_time)
+        if record.send_time > duration + _TIME_SLACK:
+            issues.append(
+                f"{label}: sent at {record.send_time} after flow end {duration}"
+            )
+        if record.dropped and record.arrival_time is not None:
+            issues.append(
+                f"{label}: marked lost but has an arrival time "
+                f"{record.arrival_time}"
+            )
+        if record.arrival_time is not None:
+            if record.arrival_time < record.send_time - _TIME_SLACK:
+                issues.append(
+                    f"{label}: arrived at {record.arrival_time} before it was "
+                    f"sent at {record.send_time}"
+                )
+            if record.arrival_time > duration + _TIME_SLACK:
+                issues.append(
+                    f"{label}: arrived at {record.arrival_time} after flow "
+                    f"end {duration}"
+                )
+    return highest
+
+
+def validate_trace(trace: "FlowTrace") -> List[str]:
+    """Return every structural violation found in ``trace`` (empty = valid).
+
+    Checks, in order: metadata sanity, per-direction wire-record
+    invariants (monotone send order, causal arrivals, loss-flag
+    consistency, horizon bounds), seqno/ACK consistency (cumulative ACKs
+    never acknowledge unsent data), payload-counter consistency, and
+    timeout/recovery-phase bounds.
+    """
+    issues: List[str] = []
+    duration = trace.metadata.duration
+    if duration <= 0.0:
+        issues.append(f"metadata: non-positive duration {duration}")
+        return issues  # every time-bound check below would be noise
+
+    max_seq = _check_wire_records(trace.data_packets, duration, "data", issues)
+    _check_wire_records(trace.acks, duration, "ack", issues)
+
+    # Cumulative ACKs acknowledge the next expected byte, so an ack_seq
+    # may exceed the highest *data* seq by at most one packet.
+    for index, ack in enumerate(trace.acks):
+        if ack.ack_seq > max_seq + 1:
+            issues.append(
+                f"ack[{index}]: acknowledges seq {ack.ack_seq} but highest "
+                f"data seq sent is {max_seq}"
+            )
+
+    if trace.delivered_payloads < 0:
+        issues.append(f"delivered_payloads is negative: {trace.delivered_payloads}")
+    if trace.duplicate_payloads < 0:
+        issues.append(f"duplicate_payloads is negative: {trace.duplicate_payloads}")
+    arrivals = sum(
+        1 for record in trace.data_packets if record.arrival_time is not None
+    )
+    if trace.delivered_payloads + trace.duplicate_payloads > arrivals:
+        issues.append(
+            f"payload counters ({trace.delivered_payloads} delivered + "
+            f"{trace.duplicate_payloads} duplicate) exceed the {arrivals} "
+            f"recorded arrivals"
+        )
+
+    previous_timeout = -float("inf")
+    for index, timeout in enumerate(trace.timeouts):
+        if not 0.0 <= timeout.time <= duration + _TIME_SLACK:
+            issues.append(
+                f"timeout[{index}]: fired at {timeout.time}, outside "
+                f"[0, {duration}]"
+            )
+        if timeout.time < previous_timeout - _TIME_SLACK:
+            issues.append(
+                f"timeout[{index}]: fired at {timeout.time}, before the "
+                f"previous timeout at {previous_timeout}"
+            )
+        previous_timeout = max(previous_timeout, timeout.time)
+
+    for index, phase in enumerate(trace.recovery_phases):
+        if phase.end_time is not None and phase.end_time < phase.start_time:
+            issues.append(
+                f"recovery[{index}]: ends at {phase.end_time} before it "
+                f"starts at {phase.start_time}"
+            )
+        if phase.retransmissions_lost > phase.retransmissions:
+            issues.append(
+                f"recovery[{index}]: {phase.retransmissions_lost} lost "
+                f"retransmissions out of only {phase.retransmissions} sent"
+            )
+    return issues
+
+
+def check_trace(trace: "FlowTrace") -> ValidationResult:
+    """Validate ``trace`` and wrap the outcome in a :class:`ValidationResult`."""
+    return ValidationResult(
+        flow_id=trace.metadata.flow_id, issues=validate_trace(trace)
+    )

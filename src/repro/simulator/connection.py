@@ -112,6 +112,7 @@ def run_flow(
     variant: str = "reno",
     bottleneck_rate: Optional[float] = None,
     bottleneck_buffer: int = 64,
+    watchdog=None,
 ) -> FlowResult:
     """Simulate one TCP flow and return its result.
 
@@ -120,6 +121,14 @@ def run_flow(
     (paper Section V-B backup mode).  ``variant`` selects the sender:
     ``"reno"`` (the paper's kernel) or ``"newreno"`` (RFC 6582 partial
     ACKs, the extension comparison).
+
+    ``watchdog`` (a :class:`repro.robustness.watchdog.Watchdog`) bounds
+    the run: its event/sim-time/wall-clock budgets are plumbed into the
+    engine and raise :class:`~repro.util.errors.BudgetExceededError`
+    instead of letting a degenerate channel state hang the campaign.
+    When omitted, the ambient watchdog installed by
+    :func:`repro.robustness.watchdog.watchdog_scope` (e.g. via the
+    experiment CLI's ``--timeout-s``/``--max-events`` flags) applies.
     """
     sender_classes = {"reno": RenoSender, "newreno": NewRenoSender}
     if variant not in sender_classes:
@@ -181,6 +190,15 @@ def run_flow(
     data_link.deliver = lambda segment, time: receiver.on_data(segment, time)
     ack_link.deliver = lambda ack, time: sender.on_ack(ack, time)
 
+    if watchdog is None:
+        # Imported lazily: robustness sits above the simulator in the
+        # layering (its fault hooks wrap scenario channels), so a
+        # module-level import here would be circular.
+        from repro.robustness.watchdog import current_watchdog
+
+        watchdog = current_watchdog()
+
     sender.start()
-    sim.run(until=config.duration)
+    run_kwargs = watchdog.run_kwargs() if watchdog is not None else {}
+    sim.run(until=config.duration, **run_kwargs)
     return FlowResult(config=config, log=log, duration=config.duration)

@@ -11,9 +11,15 @@ a given seed.  Components schedule callbacks with
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Callable, List, Optional
 
-from repro.util.errors import SimulationError
+from repro.util.errors import BudgetExceededError, SimulationError
+
+#: How often (in processed events) the wall-clock deadline is polled;
+#: ``time.monotonic()`` per event would be measurable on million-event
+#: runs, and a 256-event granularity is far finer than any sane budget.
+_WALL_CHECK_INTERVAL = 256
 
 __all__ = ["EventHandle", "Simulator"]
 
@@ -73,6 +79,9 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         stop_condition: Optional[Callable[[], bool]] = None,
+        event_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        wall_deadline: Optional[float] = None,
     ) -> None:
         """Process events in time order.
 
@@ -81,6 +90,19 @@ class Simulator:
         ``stop_condition()`` returns True (checked between events).
         The clock is advanced to ``until`` when the horizon is the
         reason for stopping, so throughput denominators are exact.
+
+        Watchdog budgets, unlike the graceful stops above, *raise*
+        :class:`~repro.util.errors.BudgetExceededError`:
+
+        * ``event_budget`` — a live event beyond this many processed
+          callbacks (this call) means a runaway loop;
+        * ``time_budget`` — an event past this simulated time means the
+          clock escaped its intended horizon;
+        * ``wall_deadline`` — a ``time.monotonic()`` deadline, polled
+          every few hundred events.
+
+        The pending queue is left intact when a budget trips, so the
+        caller can inspect or resume the simulation.
         """
         processed_this_run = 0
         while self._queue:
@@ -100,6 +122,31 @@ class Simulator:
             if handle.time < self.now - 1e-12:
                 raise SimulationError(
                     f"event queue corrupted: event at {handle.time} < now {self.now}"
+                )
+            if event_budget is not None and processed_this_run >= event_budget:
+                heapq.heappush(self._queue, handle)
+                raise BudgetExceededError(
+                    "events",
+                    event_budget,
+                    f"next live event at t={handle.time:.6g}, now={self.now:.6g}",
+                )
+            if time_budget is not None and handle.time > time_budget:
+                heapq.heappush(self._queue, handle)
+                raise BudgetExceededError(
+                    "sim-time",
+                    time_budget,
+                    f"next live event at t={handle.time:.6g}",
+                )
+            if (
+                wall_deadline is not None
+                and processed_this_run % _WALL_CHECK_INTERVAL == 0
+                and _time.monotonic() > wall_deadline
+            ):
+                heapq.heappush(self._queue, handle)
+                raise BudgetExceededError(
+                    "wall-clock",
+                    wall_deadline,
+                    f"{processed_this_run} events processed, sim time {self.now:.6g}",
                 )
             self.now = handle.time
             handle.action()

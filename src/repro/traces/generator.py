@@ -12,6 +12,13 @@ The paper's dataset: two measurement campaigns on BTR —
 simulator.  ``flow_scale``/``duration`` shrink the campaign for quick
 runs (tests, benchmarks) while keeping the proportions; the defaults
 produce the full 255 flows.
+
+Campaign execution is *resilient*: each flow is isolated, failed flows
+are retried with deterministically reseeded attempts and quarantined
+(recorded, skipped) when persistent, and every run returns a
+:class:`~repro.robustness.campaign.CampaignReport` on the dataset's
+``report`` field — one bad flow can no longer abort a multi-hour
+campaign or silently poison its statistics.
 """
 
 from __future__ import annotations
@@ -26,6 +33,14 @@ from repro.hsr.provider import (
     Provider,
 )
 from repro.hsr.scenario import Scenario, hsr_scenario, stationary_scenario
+from repro.robustness.campaign import (
+    CampaignReport,
+    FlowFailure,
+    QuarantineRecord,
+    RetryPolicy,
+)
+from repro.robustness.faults import FaultPlan, current_fault_plan, with_faults
+from repro.robustness.watchdog import Watchdog
 from repro.simulator.connection import run_flow
 from repro.traces.capture import capture_flow
 from repro.traces.events import FlowMetadata, FlowTrace
@@ -63,10 +78,16 @@ PAPER_CAMPAIGN: Sequence[CampaignEntry] = (
 
 @dataclass
 class SyntheticDataset:
-    """A generated campaign: traces plus the spec that produced them."""
+    """A generated campaign: traces plus the spec that produced them.
+
+    ``report`` records how resiliently the campaign ran (retries,
+    quarantined flows, per-failure seeds); a clean run has
+    ``report.ok`` true and empty failure lists.
+    """
 
     traces: List[FlowTrace] = field(default_factory=list)
     entries: Sequence[CampaignEntry] = PAPER_CAMPAIGN
+    report: CampaignReport = field(default_factory=CampaignReport)
 
     @property
     def flow_count(self) -> int:
@@ -89,6 +110,34 @@ class SyntheticDataset:
         ]
 
 
+def _attempt_flow(
+    scenario: Scenario,
+    entry: CampaignEntry,
+    scenario_label: str,
+    flow_id: str,
+    duration: float,
+    seed: int,
+    watchdog: Optional[Watchdog],
+    validate: bool,
+) -> FlowTrace:
+    """Build, simulate, capture and (optionally) validate one flow."""
+    built = scenario.build(duration=duration, seed=seed)
+    result = run_flow(
+        built.config, built.data_loss, built.ack_loss, seed=seed, watchdog=watchdog
+    )
+    metadata = FlowMetadata(
+        flow_id=flow_id,
+        provider=entry.provider.name,
+        technology=entry.provider.technology,
+        scenario=scenario_label,
+        capture_month=entry.capture_month,
+        phone_model=entry.phone_model,
+        duration=duration,
+        seed=seed,
+    )
+    return capture_flow(result, metadata, validate=validate)
+
+
 def _run_campaign_entry(
     entry: CampaignEntry,
     scenario: Scenario,
@@ -96,23 +145,70 @@ def _run_campaign_entry(
     flows: int,
     duration: float,
     rng: RngStream,
+    report: CampaignReport,
+    retry_policy: RetryPolicy,
+    watchdog: Optional[Watchdog] = None,
+    validate: bool = True,
 ) -> List[FlowTrace]:
+    """Run one Table-I cell with per-flow isolation.
+
+    A failed attempt (any exception: simulator bug, watchdog budget,
+    invalid trace) is recorded in ``report`` and retried with a
+    deterministically reseeded attempt; a flow that exhausts its retry
+    budget is quarantined and skipped.  Base seeds are derived
+    statelessly per flow index, so failures never perturb the seeds —
+    and hence the traces — of the remaining flows.
+    """
     traces: List[FlowTrace] = []
     for index in range(flows):
-        seed = rng.spawn(entry.capture_month, entry.provider.name, index).seed & 0x7FFFFFFF
-        built = scenario.build(duration=duration, seed=seed)
-        result = run_flow(built.config, built.data_loss, built.ack_loss, seed=seed)
-        metadata = FlowMetadata(
-            flow_id=f"{entry.capture_month}/{entry.provider.name}/{index:03d}",
-            provider=entry.provider.name,
-            technology=entry.provider.technology,
-            scenario=scenario_label,
-            capture_month=entry.capture_month,
-            phone_model=entry.phone_model,
-            duration=duration,
-            seed=seed,
+        base_seed = (
+            rng.spawn(entry.capture_month, entry.provider.name, index).seed
+            & 0x7FFFFFFF
         )
-        traces.append(capture_flow(result, metadata))
+        flow_id = f"{entry.capture_month}/{entry.provider.name}/{index:03d}"
+        report.attempted += 1
+        last_error = "unknown"
+        for attempt in range(retry_policy.max_attempts):
+            if attempt > 0:
+                report.retried += 1
+            seed = retry_policy.seed_for_attempt(base_seed, attempt)
+            try:
+                trace = _attempt_flow(
+                    scenario,
+                    entry,
+                    scenario_label,
+                    flow_id,
+                    duration,
+                    seed,
+                    watchdog,
+                    validate,
+                )
+            except Exception as error:  # per-flow isolation: record, retry
+                last_error = f"{type(error).__name__}: {error}"
+                report.record_failure(
+                    FlowFailure(
+                        flow_id=flow_id,
+                        attempt=attempt,
+                        seed=seed,
+                        error_type=type(error).__name__,
+                        error=str(error),
+                    )
+                )
+            else:
+                traces.append(trace)
+                report.succeeded += 1
+                break
+        else:
+            report.record_quarantine(
+                QuarantineRecord(
+                    flow_id=flow_id,
+                    seed=base_seed,
+                    reason=(
+                        f"all {retry_policy.max_attempts} attempts failed; "
+                        f"last: {last_error}"
+                    ),
+                )
+            )
     return traces
 
 
@@ -121,25 +217,52 @@ def generate_dataset(
     duration: float = 60.0,
     flow_scale: float = 1.0,
     entries: Optional[Sequence[CampaignEntry]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    watchdog: Optional[Watchdog] = None,
+    validate: bool = True,
 ) -> SyntheticDataset:
     """Regenerate the Table-I campaign from the HSR simulator.
 
     ``flow_scale`` multiplies each cell's flow count (minimum 1 per
     cell) so tests and benchmarks can run a miniature campaign with the
     same structure.
+
+    The campaign is fault-tolerant: per-flow failures (including
+    watchdog budget trips and traces rejected by ``validate``) are
+    retried under ``retry_policy`` with deterministically reseeded
+    attempts, then quarantined, and the returned dataset's ``report``
+    names every failure with the exact seed that reproduces it.
+    ``fault_plan`` (or the ambient plan from
+    :func:`repro.robustness.faults.fault_scope`) injects chaos into
+    every flow's channels for stress testing.
     """
     if duration <= 0.0:
         raise ConfigurationError(f"duration must be positive, got {duration}")
     if flow_scale <= 0.0:
         raise ConfigurationError(f"flow_scale must be positive, got {flow_scale}")
     campaign = tuple(entries) if entries is not None else PAPER_CAMPAIGN
+    if fault_plan is None:
+        fault_plan = current_fault_plan()
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
     rng = RngStream(seed, "dataset")
     dataset = SyntheticDataset(entries=campaign)
     for entry in campaign:
         flows = max(1, round(entry.flows * flow_scale))
         scenario = hsr_scenario(entry.provider)
+        if fault_plan is not None and not fault_plan.is_noop():
+            scenario = with_faults(scenario, fault_plan)
         dataset.traces += _run_campaign_entry(
-            entry, scenario, "hsr", flows, duration, rng
+            entry,
+            scenario,
+            "hsr",
+            flows,
+            duration,
+            rng,
+            report=dataset.report,
+            retry_policy=policy,
+            watchdog=watchdog,
+            validate=validate,
         )
     return dataset
 
@@ -148,10 +271,14 @@ def generate_stationary_reference(
     seed: int = 2016,
     duration: float = 60.0,
     flows_per_provider: int = 10,
+    retry_policy: Optional[RetryPolicy] = None,
+    watchdog: Optional[Watchdog] = None,
+    validate: bool = True,
 ) -> SyntheticDataset:
     """A stationary companion campaign (for the Fig.-3/6 comparisons)."""
     if flows_per_provider < 1:
         raise ConfigurationError("flows_per_provider must be >= 1")
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
     rng = RngStream(seed, "stationary-dataset")
     entries = tuple(
         CampaignEntry("2015-10", 1, "Samsung Note 3", provider, flows_per_provider)
@@ -161,6 +288,15 @@ def generate_stationary_reference(
     for entry in entries:
         scenario = stationary_scenario(entry.provider)
         dataset.traces += _run_campaign_entry(
-            entry, scenario, "stationary", entry.flows, duration, rng
+            entry,
+            scenario,
+            "stationary",
+            entry.flows,
+            duration,
+            rng,
+            report=dataset.report,
+            retry_policy=policy,
+            watchdog=watchdog,
+            validate=validate,
         )
     return dataset

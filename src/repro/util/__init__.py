@@ -1,6 +1,12 @@
 """Shared utilities: seeded RNG streams, statistics, units, and errors."""
 
-from repro.util.errors import ConfigurationError, ModelDomainError, SimulationError
+from repro.util.errors import (
+    BudgetExceededError,
+    ConfigurationError,
+    ModelDomainError,
+    SimulationError,
+    TraceValidationError,
+)
 from repro.util.rng import RngStream, spawn_streams
 from repro.util.stats import (
     EmpiricalCdf,
@@ -21,11 +27,13 @@ from repro.util.units import (
 
 __all__ = [
     "BYTES_PER_MSS",
+    "BudgetExceededError",
     "ConfigurationError",
     "EmpiricalCdf",
     "ModelDomainError",
     "RngStream",
     "SimulationError",
+    "TraceValidationError",
     "geometric_mean",
     "kmh_to_mps",
     "mbps_to_pps",

@@ -32,3 +32,40 @@ class SimulationError(ReproError, RuntimeError):
     out of order), never a legitimate protocol condition; protocol
     conditions such as timeouts are modelled, not raised.
     """
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A watchdog budget (events, simulated time, or wall clock) ran out.
+
+    Unlike :class:`SimulationError` this is not necessarily a bug: fault
+    injection deliberately drives simulations into degenerate regimes,
+    and the watchdog converts "would hang forever" into a catchable,
+    attributable failure.  ``kind`` names the exhausted budget
+    (``"events"``, ``"sim-time"`` or ``"wall-clock"``).
+    """
+
+    def __init__(self, kind: str, limit: float, detail: str = "") -> None:
+        self.kind = kind
+        self.limit = limit
+        message = f"{kind} budget exceeded (limit={limit})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class TraceValidationError(ReproError, ValueError):
+    """A captured flow trace failed post-capture sanity validation.
+
+    Carries the list of human-readable ``issues`` found by
+    :func:`repro.robustness.validate.validate_trace`; campaign execution
+    quarantines such traces instead of letting them corrupt
+    dataset-level statistics.
+    """
+
+    def __init__(self, flow_id: str, issues) -> None:
+        self.flow_id = flow_id
+        self.issues = list(issues)
+        summary = "; ".join(self.issues[:3])
+        if len(self.issues) > 3:
+            summary += f"; … ({len(self.issues)} issues total)"
+        super().__init__(f"invalid trace {flow_id!r}: {summary}")

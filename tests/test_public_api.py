@@ -36,6 +36,7 @@ class TestTopLevel:
         "repro.hsr",
         "repro.traces",
         "repro.experiments",
+        "repro.robustness",
         "repro.util",
     ],
 )
