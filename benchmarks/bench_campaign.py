@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Micro-benchmark: campaign throughput, serial vs parallel backend.
+
+Runs the same miniature paper campaign twice through
+:func:`repro.traces.generator.generate_dataset` — once on the
+``SerialBackend``, once on a multi-process ``ProcessPoolBackend`` —
+and reports flows/sec for each, plus the measured speedup, in
+``BENCH_campaign.json``.
+
+The two runs must produce identical traces and an identical campaign
+report (that is the executor's determinism contract, and this script
+asserts it), so the timings compare pure execution cost.  The speedup
+itself is machine-dependent: on a single-core container the process
+pool only adds spawn overhead — the artefact records the measured
+ratio, it does not assert one.
+
+Usage::
+
+    python benchmarks/bench_campaign.py [--flow-scale 0.2]
+        [--duration 20] [--workers 4] [--output BENCH_campaign.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def _timed_campaign(flow_scale: float, duration: float, workers: int):
+    from repro.traces.generator import generate_dataset
+
+    start = time.perf_counter()
+    dataset = generate_dataset(
+        seed=2015, duration=duration, flow_scale=flow_scale, workers=workers
+    )
+    elapsed = time.perf_counter() - start
+    return dataset, elapsed
+
+
+def run_benchmark(
+    flow_scale: float = 0.2, duration: float = 20.0, workers: int = 4
+) -> dict:
+    serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1)
+    parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers)
+
+    # Compare per trace: a batched pickle would differ through memo
+    # references shared in-process, not through any value drift.
+    identical = serial_dataset.report.to_json() == parallel_dataset.report.to_json() and [
+        pickle.dumps(trace) for trace in serial_dataset.traces
+    ] == [pickle.dumps(trace) for trace in parallel_dataset.traces]
+    flows = serial_dataset.flow_count
+    return {
+        "benchmark": "campaign",
+        "flows": flows,
+        "flow_duration_s": duration,
+        "serial": {
+            "elapsed_s": round(serial_s, 4),
+            "flows_per_s": round(flows / serial_s, 4) if serial_s else 0.0,
+        },
+        "parallel": {
+            "workers": workers,
+            "elapsed_s": round(parallel_s, 4),
+            "flows_per_s": round(flows / parallel_s, 4) if parallel_s else 0.0,
+        },
+        "speedup": round(serial_s / parallel_s, 4) if parallel_s else 0.0,
+        "identical": identical,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flow-scale", type=float, default=0.2,
+                        help="campaign flow_scale (default 0.2, ~50 flows)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="per-flow simulated seconds (default 20)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="process count for the parallel run (default 4)")
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_campaign.json"),
+                        help="where to write the JSON artefact")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.flow_scale, args.duration, args.workers)
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    print(f"bench: {result['flows']} flows, "
+          f"serial {result['serial']['flows_per_s']:.2f} flows/s, "
+          f"{args.workers} workers {result['parallel']['flows_per_s']:.2f} flows/s "
+          f"(speedup {result['speedup']:.2f}x on {result['cpu_count']} cpus)")
+    print(f"bench: wrote {args.output}")
+    if not result["identical"]:
+        print("bench: FAIL — parallel run diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

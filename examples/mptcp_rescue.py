@@ -19,8 +19,9 @@ from repro.core import (
     duplex_mode_throughput,
     enhanced_throughput,
 )
+from repro.exec import FlowSpec, simulate_spec
 from repro.hsr import CHINA_MOBILE, CHINA_TELECOM, hsr_scenario
-from repro.simulator import run_duplex, run_flow
+from repro.simulator import run_duplex
 
 print("1) Analytic view (enhanced model, Section V-B)")
 telecom_path = LinkParams(rtt=0.18, timeout=1.2, data_loss=0.012, ack_loss=0.01,
@@ -41,15 +42,11 @@ SEED, DURATION = 11, 60.0
 telecom = hsr_scenario(CHINA_TELECOM)
 mobile = hsr_scenario(CHINA_MOBILE)
 
-built = telecom.build(duration=DURATION, seed=SEED)
-tcp = run_flow(built.config, built.data_loss, built.ack_loss, seed=SEED)
+tcp, _ = simulate_spec(FlowSpec(scenario=telecom, duration=DURATION, seed=SEED))
 
-primary = telecom.build(duration=DURATION, seed=SEED + 1)
-secondary = mobile.build(duration=DURATION, seed=SEED + 2)
 mptcp = run_duplex(
-    primary.config, primary.data_loss, primary.ack_loss,
-    secondary.config, secondary.data_loss, secondary.ack_loss,
-    seed=SEED + 3,
+    FlowSpec(scenario=telecom, duration=DURATION, seed=SEED + 1),
+    FlowSpec(scenario=mobile, duration=DURATION, seed=SEED + 2),
 )
 
 gain = mptcp.throughput / tcp.throughput - 1.0

@@ -10,7 +10,10 @@ One command that proves the robustness path works as a system:
    RTT spikes;
 2. runs a campaign in-process with the same chaos plus a deliberately
    broken flow, asserting the partial dataset and a non-empty,
-   deterministic :class:`~repro.robustness.campaign.CampaignReport`.
+   deterministic :class:`~repro.robustness.campaign.CampaignReport`;
+3. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process
+   campaign throughput), asserting the two backends agree and that
+   ``BENCH_campaign.json`` is written.
 
 Usage::
 
@@ -67,19 +70,20 @@ def smoke_cli() -> None:
 
 def smoke_campaign() -> None:
     """A chaotic campaign with a broken flow must degrade, not die."""
-    import repro.traces.generator as generator_module
+    import repro.exec.executor as executor_module
     from repro.robustness import FaultPlan, RetryPolicy, Watchdog
+    from repro.traces.generator import PAPER_CAMPAIGN, generate_dataset
     from repro.util.errors import SimulationError
+    from repro.util.rng import RngStream
 
     plan = FaultPlan.aggressive(CHAOS_INTENSITY)
     watchdog = Watchdog.default()
 
-    # Break one flow persistently: run_flow raises for every seed the
-    # retry policy will derive for flow index 2 of the first cell.
+    # Break one flow persistently: simulate_spec raises for every seed
+    # the retry policy will derive for flow index 2 of the first cell.
+    # (Patching the executor module global only reaches the serial
+    # backend — which is what generate_dataset uses by default.)
     policy = RetryPolicy()
-    from repro.traces.generator import PAPER_CAMPAIGN
-    from repro.util.rng import RngStream
-
     entry = PAPER_CAMPAIGN[0]
     base = (
         RngStream(2015, "dataset")
@@ -91,20 +95,18 @@ def smoke_campaign() -> None:
         policy.seed_for_attempt(base, attempt)
         for attempt in range(policy.max_attempts)
     }
-    real_run_flow = generator_module.run_flow
+    real_simulate_spec = executor_module.simulate_spec
 
-    def breaking_run_flow(config, data_loss=None, ack_loss=None, seed=0, **kwargs):
-        if seed in bad_seeds:
+    def breaking_simulate_spec(spec):
+        if spec.seed in bad_seeds:
             raise SimulationError("smoke-injected failure")
-        return real_run_flow(
-            config, data_loss=data_loss, ack_loss=ack_loss, seed=seed, **kwargs
-        )
+        return real_simulate_spec(spec)
 
-    generator_module.run_flow = breaking_run_flow
+    executor_module.simulate_spec = breaking_simulate_spec
     try:
         reports = []
         for _ in range(2):  # twice: the report must be byte-identical
-            dataset = generator_module.generate_dataset(
+            dataset = generate_dataset(
                 seed=2015,
                 duration=10.0,
                 flow_scale=0.08,  # 20 flows
@@ -113,7 +115,7 @@ def smoke_campaign() -> None:
             )
             reports.append(dataset.report)
     finally:
-        generator_module.run_flow = real_run_flow
+        executor_module.simulate_spec = real_simulate_spec
 
     report = reports[0]
     print(f"smoke: campaign report — {report.summary()}")
@@ -133,14 +135,48 @@ def smoke_campaign() -> None:
     print("smoke: campaign resilience ok — degraded deterministically, no data loss")
 
 
+def smoke_bench() -> None:
+    """The campaign micro-benchmark must run and emit its artefact."""
+    bench = os.path.join(REPO_ROOT, "benchmarks", "bench_campaign.py")
+    output = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+    command = [
+        sys.executable, bench,
+        "--flow-scale", "0.04", "--duration", "5",
+        "--output", output,
+    ]
+    print("smoke: running", " ".join(command), flush=True)
+    completed = subprocess.run(
+        command, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stderr)
+        fail(f"bench_campaign exited {completed.returncode}")
+    import json
+
+    with open(output) as handle:
+        record = json.load(handle)
+    for key in ("serial", "parallel", "speedup", "identical"):
+        if key not in record:
+            fail(f"BENCH_campaign.json is missing {key!r}")
+    if not record["identical"]:
+        fail("bench: parallel campaign diverged from serial")
+    if record["serial"]["flows_per_s"] <= 0.0:
+        fail("bench: non-positive serial throughput")
+    print(f"smoke: bench ok — {record['serial']['flows_per_s']:.1f} flows/s serial, "
+          f"speedup {record['speedup']:.2f}x with "
+          f"{record['parallel']['workers']} workers")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--fast", action="store_true",
-        help="skip the full CLI battery, run only the in-process campaign check",
+        help="skip the full CLI battery, run only the in-process "
+             "campaign check and the micro-benchmark",
     )
     args = parser.parse_args()
     smoke_campaign()
+    smoke_bench()
     if not args.fast:
         smoke_cli()
     print("SMOKE PASS")

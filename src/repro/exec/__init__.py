@@ -1,0 +1,29 @@
+"""repro.exec: the unified flow-execution pipeline.
+
+Describe a run as a :class:`FlowSpec`, hand batches to an
+:class:`Executor` (serial or process-pool — byte-identical either way),
+or run one spec with :func:`simulate_spec`.  See the README's
+architecture section for how campaigns, experiments, and MPTCP flows
+all route through here.
+"""
+
+from repro.exec.executor import (
+    ExecutionResult,
+    Executor,
+    FlowOutcome,
+    ProcessPoolBackend,
+    SerialBackend,
+    simulate_spec,
+)
+from repro.exec.spec import FlowSpec, ResolvedFlow
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "FlowOutcome",
+    "FlowSpec",
+    "ProcessPoolBackend",
+    "ResolvedFlow",
+    "SerialBackend",
+    "simulate_spec",
+]

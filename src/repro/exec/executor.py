@@ -1,0 +1,282 @@
+"""Executing FlowSpec batches: serial or multi-process, byte-identical.
+
+This is the single funnel every campaign and sweep goes through.  The
+:class:`Executor` takes a list of :class:`~repro.exec.spec.FlowSpec`,
+runs each with the resilient attempt loop (retry with deterministically
+reseeded attempts, quarantine on exhaustion), and assembles a
+:class:`~repro.robustness.campaign.CampaignReport` **in spec order** —
+so a 4-worker run produces the same traces and the same report bytes as
+a serial run of the same batch.
+
+Backends:
+
+* :class:`SerialBackend` — a list comprehension; zero overhead, the
+  default.
+* :class:`ProcessPoolBackend` — a spawn-context process pool.  Specs
+  are self-contained and picklable, and every random stream is derived
+  from the spec's own seed, so moving a flow to another process cannot
+  change its bytes.
+
+Ambient state (the watchdog installed by ``watchdog_scope``) lives in a
+ContextVar, which does **not** propagate to spawned workers; the
+executor therefore bakes the ambient watchdog into each spec at submit
+time, before anything crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec.spec import FlowSpec
+from repro.robustness.campaign import (
+    CampaignReport,
+    FlowFailure,
+    QuarantineRecord,
+    RetryPolicy,
+)
+from repro.robustness.watchdog import current_watchdog
+from repro.simulator.connection import FlowResult, run_flow
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # repro.traces imports repro.exec (the generator runs on the
+    # executor); capture is therefore imported lazily at run time.
+    from repro.traces.events import FlowTrace
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "FlowOutcome",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "simulate_spec",
+]
+
+
+def simulate_spec(spec: FlowSpec) -> Tuple[FlowResult, Optional["FlowTrace"]]:
+    """Run one spec exactly once — no retries, no report.
+
+    Returns ``(result, trace)``; the trace is None unless the spec
+    carries metadata.  This is the primitive the executor's attempt
+    loop calls, and the right entry point for single-flow experiment
+    code that wants a spec's semantics without campaign bookkeeping.
+    """
+    resolved = spec.resolve()
+    result = run_flow(
+        resolved.config,
+        resolved.data_loss,
+        resolved.ack_loss,
+        seed=spec.seed,
+        redundant_data_loss=resolved.redundant_data_loss,
+        variant=spec.cc,
+        bottleneck_rate=spec.bottleneck_rate,
+        bottleneck_buffer=spec.bottleneck_buffer,
+        watchdog=spec.watchdog,
+    )
+    trace: Optional["FlowTrace"] = None
+    if spec.metadata is not None:
+        from repro.traces.capture import capture_flow
+
+        trace = capture_flow(result, spec.metadata, validate=spec.validate)
+    return result, trace
+
+
+@dataclass
+class FlowOutcome:
+    """What happened to one spec: a result or a quarantine, plus the
+    failure records accumulated along the way."""
+
+    index: int
+    spec: FlowSpec
+    result: Optional[FlowResult]
+    trace: Optional["FlowTrace"]
+    failures: List[FlowFailure] = field(default_factory=list)
+    quarantine: Optional[QuarantineRecord] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.quarantine is None
+
+
+def _execute_payload(
+    payload: Tuple[int, FlowSpec, RetryPolicy],
+) -> FlowOutcome:
+    """The per-flow attempt loop; module-level so backends can pickle it.
+
+    Failure accounting mirrors the campaign contract: every attempt's
+    exception becomes a :class:`FlowFailure` carrying the exact seed
+    that reproduces it, and a flow that exhausts its budget becomes a
+    :class:`QuarantineRecord` keyed by its base seed.
+    """
+    index, spec, policy = payload
+    failures: List[FlowFailure] = []
+    last_error = "unknown"
+    for attempt in range(policy.max_attempts):
+        seed = policy.seed_for_attempt(spec.seed, attempt)
+        attempt_spec = spec if attempt == 0 else spec.for_attempt(seed)
+        try:
+            result, trace = simulate_spec(attempt_spec)
+        except Exception as error:  # per-flow isolation: record, retry
+            last_error = f"{type(error).__name__}: {error}"
+            failures.append(
+                FlowFailure(
+                    flow_id=spec.flow_id,
+                    attempt=attempt,
+                    seed=seed,
+                    error_type=type(error).__name__,
+                    error=str(error),
+                )
+            )
+        else:
+            return FlowOutcome(
+                index=index,
+                spec=spec,
+                result=result,
+                trace=trace,
+                failures=failures,
+                attempts=attempt + 1,
+            )
+    return FlowOutcome(
+        index=index,
+        spec=spec,
+        result=None,
+        trace=None,
+        failures=failures,
+        quarantine=QuarantineRecord(
+            flow_id=spec.flow_id,
+            seed=spec.seed,
+            reason=(
+                f"all {policy.max_attempts} attempts failed; last: {last_error}"
+            ),
+        ),
+        attempts=policy.max_attempts,
+    )
+
+
+class SerialBackend:
+    """Run payloads in the calling process, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolBackend:
+    """Run payloads across ``workers`` spawned processes.
+
+    The spawn start method is used unconditionally (fork would share
+    lazily-initialised interpreter state and is unavailable on some
+    platforms); payloads are chunked to amortise pickling.  Order is
+    preserved — ``pool.map`` yields results in submission order — which
+    is what makes parallel reports byte-identical to serial ones.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunksize = max(1, len(items) // (self.workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items)),
+            mp_context=get_context("spawn"),
+        ) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+
+@dataclass
+class ExecutionResult:
+    """Outcomes (in spec order) plus the campaign report they add up to."""
+
+    outcomes: List[FlowOutcome]
+    report: CampaignReport
+
+    @property
+    def traces(self) -> List["FlowTrace"]:
+        """Captured traces of successful flows, in spec order."""
+        return [
+            outcome.trace for outcome in self.outcomes if outcome.trace is not None
+        ]
+
+    @property
+    def results(self) -> List[Optional[FlowResult]]:
+        """Per-spec results, in spec order; None where quarantined."""
+        return [outcome.result for outcome in self.outcomes]
+
+
+class Executor:
+    """Runs FlowSpec batches with retries, quarantine, and a report."""
+
+    def __init__(
+        self,
+        backend: Optional[object] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+
+    @classmethod
+    def for_workers(
+        cls, workers: int = 1, retry_policy: Optional[RetryPolicy] = None
+    ) -> "Executor":
+        """Serial for ``workers <= 1``, a spawn pool otherwise."""
+        if workers <= 1:
+            return cls(SerialBackend(), retry_policy)
+        return cls(ProcessPoolBackend(workers), retry_policy)
+
+    def run(
+        self,
+        specs: Iterable[FlowSpec],
+        report: Optional[CampaignReport] = None,
+    ) -> ExecutionResult:
+        """Execute every spec; failures never abort the batch.
+
+        ``report``, when given, is extended in place (several calls can
+        accumulate into one campaign report); otherwise a fresh one is
+        returned.  Accounting is replayed from the outcomes in spec
+        order, so the report's bytes do not depend on the backend or on
+        completion timing.
+        """
+        prepared = [self._finalise(spec) for spec in specs]
+        payloads = [
+            (index, spec, self.retry_policy)
+            for index, spec in enumerate(prepared)
+        ]
+        outcomes: List[FlowOutcome] = self.backend.map(_execute_payload, payloads)
+        if report is None:
+            report = CampaignReport()
+        for outcome in outcomes:
+            report.attempted += 1
+            report.retried += outcome.attempts - 1
+            for failure in outcome.failures:
+                report.record_failure(failure)
+            if outcome.quarantine is not None:
+                report.record_quarantine(outcome.quarantine)
+            else:
+                report.succeeded += 1
+        return ExecutionResult(outcomes=outcomes, report=report)
+
+    def _finalise(self, spec: FlowSpec) -> FlowSpec:
+        """Bake ambient context into the spec before it leaves this process.
+
+        ContextVars don't cross the spawn boundary, so the ambient
+        watchdog must travel inside the spec itself.
+        """
+        if spec.watchdog is None:
+            ambient = current_watchdog()
+            if ambient is not None:
+                spec = spec.with_(watchdog=ambient)
+        return spec

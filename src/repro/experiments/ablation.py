@@ -21,30 +21,44 @@ _GRID = tuple(
     for b in (1, 2, 4)
 )
 
+#: The ablation as data: variant name -> the ModelOptions that select
+#: it.  Adding a row sweeps a new model variant over the whole grid.
+_MODEL_VARIANTS = (
+    ("consistent", ModelOptions()),
+    ("paper_literal", ModelOptions(paper_literal=True)),
+    ("linear_yield", ModelOptions(timeout_yield_paper_form=False)),
+)
+#: The baseline every other variant's gap is measured against.
+_BASELINE = "consistent"
+
 
 @experiment("eq21_ablation", "Ablation: paper-literal vs consistent Eq. (21)")
 def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
     rows = []
     b_gaps = {}
     for params in _GRID:
-        consistent = enhanced_throughput(params, ModelOptions()).throughput
-        literal = enhanced_throughput(params, ModelOptions(paper_literal=True)).throughput
-        linear_yield = enhanced_throughput(
-            params, ModelOptions(timeout_yield_paper_form=False)
-        ).throughput
-        gap = abs(literal - consistent) / consistent
+        throughput = {
+            name: enhanced_throughput(params, options).throughput
+            for name, options in _MODEL_VARIANTS
+        }
+        baseline = throughput[_BASELINE]
+        gaps = {
+            name: abs(throughput[name] - baseline) / baseline
+            for name, _ in _MODEL_VARIANTS
+            if name != _BASELINE
+        }
         rows.append(
             {
                 "rtt": params.rtt,
                 "p_d": params.data_loss,
                 "b": params.b,
-                "consistent_pps": consistent,
-                "paper_literal_pps": literal,
-                "literal_gap": gap,
-                "timeout_yield_gap": abs(linear_yield - consistent) / consistent,
+                "consistent_pps": baseline,
+                "paper_literal_pps": throughput["paper_literal"],
+                "literal_gap": gaps["paper_literal"],
+                "timeout_yield_gap": gaps["linear_yield"],
             }
         )
-        b_gaps.setdefault(params.b, []).append(gap)
+        b_gaps.setdefault(params.b, []).append(gaps["paper_literal"])
     mean_gap = {b: sum(v) / len(v) for b, v in b_gaps.items()}
     return ExperimentResult(
         experiment_id="eq21_ablation",

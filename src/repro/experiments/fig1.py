@@ -8,11 +8,10 @@ and reports the per-timeout annotations plus the latency aggregates.
 
 from __future__ import annotations
 
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.hsr.scenario import hsr_scenario
-from repro.simulator.connection import run_flow
 from repro.traces.analysis import arrival_latency_series
-from repro.traces.capture import capture_flow
 from repro.traces.events import FlowMetadata
 from repro.util.stats import mean
 
@@ -21,15 +20,18 @@ def simulate_fig1_flow(scale: float = 1.0, seed: int = 2015):
     """The Fig-1 flow: one China Mobile LTE flow during the 300 km/h cruise."""
     scenario = hsr_scenario()
     duration = 120.0 * scale
-    built = scenario.build(duration=duration, seed=seed)
-    result = run_flow(built.config, built.data_loss, built.ack_loss, seed=seed)
     metadata = FlowMetadata(
         flow_id="fig1/flow", provider=scenario.provider.name,
         technology=scenario.provider.technology, scenario="hsr",
         capture_month="2015-10", phone_model="Samsung Note 3",
         duration=duration, seed=seed,
     )
-    return capture_flow(result, metadata)
+    spec = FlowSpec(
+        scenario=scenario, duration=duration, seed=seed,
+        flow_id="fig1/flow", metadata=metadata,
+    )
+    _, trace = simulate_spec(spec)
+    return trace
 
 
 @experiment("fig1", "Fig. 1: packet/ACK arrival latency with timeout marks")

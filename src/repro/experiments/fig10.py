@@ -23,8 +23,12 @@ PAPER_ENHANCED_D = 0.0566
 PAPER_IMPROVEMENT = 0.163
 
 
-def collect_observations(scale: float, seed: int) -> List[MeasuredInputs]:
-    dataset = generate_dataset(seed=seed, duration=90.0, flow_scale=0.12 * scale)
+def collect_observations(
+    scale: float, seed: int, workers: int = 1
+) -> List[MeasuredInputs]:
+    dataset = generate_dataset(
+        seed=seed, duration=90.0, flow_scale=0.12 * scale, workers=workers
+    )
     inputs = []
     for trace in dataset.traces:
         measured = measured_model_inputs(trace)
@@ -34,8 +38,8 @@ def collect_observations(scale: float, seed: int) -> List[MeasuredInputs]:
 
 
 @experiment("fig10", "Fig. 10: deviation rate D, enhanced model vs Padhye")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
-    inputs = collect_observations(scale, seed)
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
+    inputs = collect_observations(scale, seed, workers=workers)
     if len(inputs) < 3:
         return ExperimentResult(
             experiment_id="fig10",

@@ -13,10 +13,10 @@ acknowledges everything sent.
 
 from __future__ import annotations
 
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.fig5 import _CONFIG, _ROUND_WINDOW
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.simulator.channel import HandoffLoss, LossModel, NoLoss
-from repro.simulator.connection import run_flow
 from repro.util.rng import RngStream
 
 
@@ -43,19 +43,25 @@ class AllButLastInWindow(LossModel):
 
 @experiment("fig11", "Fig. 11: a single surviving ACK prevents the timeout")
 def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
-    all_lost = run_flow(
-        _CONFIG,
-        data_loss=NoLoss(),
-        ack_loss=HandoffLoss(
-            RngStream(seed, "fig11"), [_ROUND_WINDOW], loss_during=1.0
-        ),
-        seed=seed,
+    all_lost, _ = simulate_spec(
+        FlowSpec(
+            config=_CONFIG,
+            data_loss=NoLoss(),
+            ack_loss=HandoffLoss(
+                RngStream(seed, "fig11"), [_ROUND_WINDOW], loss_during=1.0
+            ),
+            seed=seed,
+            flow_id="fig11/all-lost",
+        )
     )
-    ack_a_survives = run_flow(
-        _CONFIG,
-        data_loss=NoLoss(),
-        ack_loss=AllButLastInWindow(*_ROUND_WINDOW, round_size=int(_CONFIG.wmax)),
-        seed=seed,
+    ack_a_survives, _ = simulate_spec(
+        FlowSpec(
+            config=_CONFIG,
+            data_loss=NoLoss(),
+            ack_loss=AllButLastInWindow(*_ROUND_WINDOW, round_size=int(_CONFIG.wmax)),
+            seed=seed,
+            flow_id="fig11/ack-a-survives",
+        )
     )
     rows = [
         {

@@ -14,10 +14,10 @@ SIMs/radios would do and what drives the paper's ordering.
 
 from __future__ import annotations
 
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.hsr.provider import CHINA_MOBILE, CHINA_TELECOM, CHINA_UNICOM, Provider
 from repro.hsr.scenario import hsr_scenario
-from repro.simulator.connection import run_flow
 from repro.simulator.mptcp import run_duplex
 from repro.util.stats import mean
 
@@ -43,14 +43,25 @@ def _gain_for_provider(provider: Provider, flows: int, duration: float, seed: in
     mptcp_throughputs = []
     for index in range(flows):
         flow_seed = seed + 1000 * index
-        built = scenario.build(duration=duration, seed=flow_seed)
-        tcp = run_flow(built.config, built.data_loss, built.ack_loss, seed=flow_seed)
-        primary = scenario.build(duration=duration, seed=flow_seed + 1)
-        secondary = alternate.build(duration=duration, seed=flow_seed + 2)
+        tcp, _ = simulate_spec(
+            FlowSpec(
+                scenario=scenario, duration=duration, seed=flow_seed,
+                flow_id=f"fig12/{provider.name}/{index}/tcp",
+            )
+        )
+        # Subflow channels are built under their own seeds (historically
+        # offset from the connection seeds), hence the channel_seed split.
         mptcp = run_duplex(
-            primary.config, primary.data_loss, primary.ack_loss,
-            secondary.config, secondary.data_loss, secondary.ack_loss,
-            seed=flow_seed + 3,
+            FlowSpec(
+                scenario=scenario, duration=duration,
+                seed=flow_seed + 3, channel_seed=flow_seed + 1,
+                flow_id=f"fig12/{provider.name}/{index}/primary",
+            ),
+            FlowSpec(
+                scenario=alternate, duration=duration,
+                seed=flow_seed + 4, channel_seed=flow_seed + 2,
+                flow_id=f"fig12/{provider.name}/{index}/secondary",
+            ),
         )
         if tcp.throughput > 0:
             gains.append(mptcp.throughput / tcp.throughput - 1.0)

@@ -21,8 +21,10 @@ _QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90)
 
 
 @experiment("fig3", "Fig. 3: CDF of lifetime vs in-recovery data loss")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
-    dataset = generate_dataset(seed=seed, duration=90.0, flow_scale=0.1 * scale)
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
+    dataset = generate_dataset(
+        seed=seed, duration=90.0, flow_scale=0.1 * scale, workers=workers
+    )
     lifetime_rates = []
     recovery_rates = []
     for trace in dataset.traces:

@@ -18,8 +18,10 @@ from repro.traces.generator import generate_dataset
 
 
 @experiment("fig4", "Fig. 4: ACK loss rate vs P(timeout) scatter + envelope")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
-    dataset = generate_dataset(seed=seed, duration=90.0, flow_scale=0.1 * scale)
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
+    dataset = generate_dataset(
+        seed=seed, duration=90.0, flow_scale=0.1 * scale, workers=workers
+    )
     points = timeout_ack_scatter(dataset.traces)
     if len(points) < 3:
         return ExperimentResult(

@@ -15,9 +15,10 @@ the same logical experiment as the paper's 6-packet rounds.
 
 from __future__ import annotations
 
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.simulator.channel import HandoffLoss, LossModel, NoLoss
-from repro.simulator.connection import ConnectionConfig, run_flow
+from repro.simulator.connection import ConnectionConfig
 from repro.util.rng import RngStream
 
 #: Slow-motion connection: one round of 6 packets per second, one ACK
@@ -64,17 +65,25 @@ def _describe(result, case: str) -> dict:
 
 @experiment("fig5", "Fig. 5: ACK burst loss triggering (or not) a timeout")
 def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
-    all_lost = run_flow(
-        _CONFIG,
-        data_loss=NoLoss(),
-        ack_loss=HandoffLoss(RngStream(seed, "fig5"), [_ROUND_WINDOW], loss_during=1.0),
-        seed=seed,
+    all_lost, _ = simulate_spec(
+        FlowSpec(
+            config=_CONFIG,
+            data_loss=NoLoss(),
+            ack_loss=HandoffLoss(
+                RngStream(seed, "fig5"), [_ROUND_WINDOW], loss_during=1.0
+            ),
+            seed=seed,
+            flow_id="fig5/all-lost",
+        )
     )
-    one_survives = run_flow(
-        _CONFIG,
-        data_loss=NoLoss(),
-        ack_loss=AllButFirstInWindow(*_ROUND_WINDOW),
-        seed=seed,
+    one_survives, _ = simulate_spec(
+        FlowSpec(
+            config=_CONFIG,
+            data_loss=NoLoss(),
+            ack_loss=AllButFirstInWindow(*_ROUND_WINDOW),
+            seed=seed,
+            flow_id="fig5/one-survives",
+        )
     )
     rows = [
         _describe(all_lost, "(a) all 6 ACKs of the round lost"),

@@ -18,11 +18,16 @@ _QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90)
 
 
 @experiment("fig6", "Fig. 6: CDF of ACK loss, stationary vs HSR")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
-    hsr = generate_dataset(seed=seed, duration=90.0, flow_scale=0.08 * scale)
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
+    hsr = generate_dataset(
+        seed=seed, duration=90.0, flow_scale=0.08 * scale, workers=workers
+    )
     flows_per_provider = max(2, round(4 * scale))
     stationary = generate_stationary_reference(
-        seed=seed + 1, duration=90.0, flows_per_provider=flows_per_provider
+        seed=seed + 1,
+        duration=90.0,
+        flows_per_provider=flows_per_provider,
+        workers=workers,
     )
     hsr_cdf = EmpiricalCdf.from_samples([t.ack_loss_rate for t in hsr.traces])
     stationary_cdf = EmpiricalCdf.from_samples(

@@ -8,9 +8,10 @@ that shortens E[X].
 
 from __future__ import annotations
 
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.simulator.channel import HandoffLoss, NoLoss, TraceDrivenLoss
-from repro.simulator.connection import ConnectionConfig, run_flow
+from repro.simulator.connection import ConnectionConfig
 from repro.util.rng import RngStream
 
 
@@ -28,19 +29,27 @@ def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
     config = ConnectionConfig(duration=20.0, wmax=24.0, min_rto=0.4)
     # (a) the 400th data transmission is lost; the CA phase ends by a
     # loss indication, the window halves (or collapses on timeout).
-    data_ended = run_flow(
-        config,
-        data_loss=TraceDrivenLoss([400]),
-        ack_loss=NoLoss(),
-        seed=seed,
+    data_ended, _ = simulate_spec(
+        FlowSpec(
+            config=config,
+            data_loss=TraceDrivenLoss([400]),
+            ack_loss=NoLoss(),
+            seed=seed,
+            flow_id="fig7/data-ended",
+        )
     )
     # (b) no data loss at all; an ACK outage at t=6 s ends the CA phase
     # with a spurious timeout and a window collapse to 1.
-    ack_ended = run_flow(
-        config,
-        data_loss=NoLoss(),
-        ack_loss=HandoffLoss(RngStream(seed, "fig7"), [(6.0, 8.0)], loss_during=1.0),
-        seed=seed,
+    ack_ended, _ = simulate_spec(
+        FlowSpec(
+            config=config,
+            data_loss=NoLoss(),
+            ack_loss=HandoffLoss(
+                RngStream(seed, "fig7"), [(6.0, 8.0)], loss_during=1.0
+            ),
+            seed=seed,
+            flow_id="fig7/ack-ended",
+        )
     )
     rows = []
     for label, result in (("data-loss ending", data_ended), ("ACK-burst ending", ack_ended)):

@@ -9,9 +9,9 @@ empirical ``Q`` with the model's.
 
 from __future__ import annotations
 
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.hsr.scenario import hsr_scenario
-from repro.simulator.connection import run_flow
 from repro.util.stats import mean
 
 
@@ -19,8 +19,9 @@ from repro.util.stats import mean
 def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
     scenario = hsr_scenario()
     duration = 180.0 * scale
-    built = scenario.build(duration=duration, seed=seed)
-    result = run_flow(built.config, built.data_loss, built.ack_loss, seed=seed)
+    result, _ = simulate_spec(
+        FlowSpec(scenario=scenario, duration=duration, seed=seed, flow_id="fig8/flow")
+    )
     log = result.log
 
     # Loss indications in time order: fast retransmits (CA-phase

@@ -9,9 +9,10 @@ and flat durations and compares them with the model's Eqs. (16)–(18).
 from __future__ import annotations
 
 from repro.core.components import expected_flat_rounds, flat_rounds_padhye
+from repro.exec import FlowSpec, simulate_spec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.simulator.channel import NoLoss, RoundCorrelatedLoss
-from repro.simulator.connection import ConnectionConfig, run_flow
+from repro.simulator.connection import ConnectionConfig
 from repro.util.rng import RngStream
 
 
@@ -21,13 +22,18 @@ def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
     data_loss_rate = 0.002
     config = ConnectionConfig(duration=120.0 * scale, wmax=wmax, b=b, min_rto=0.4)
     rng = RngStream(seed, "fig9")
-    result = run_flow(
-        config,
-        data_loss=RoundCorrelatedLoss(
-            rng.spawn("data"), trigger_rate=data_loss_rate, round_duration=config.base_rtt
-        ),
-        ack_loss=NoLoss(),
-        seed=seed,
+    result, _ = simulate_spec(
+        FlowSpec(
+            config=config,
+            data_loss=RoundCorrelatedLoss(
+                rng.spawn("data"),
+                trigger_rate=data_loss_rate,
+                round_duration=config.base_rtt,
+            ),
+            ack_loss=NoLoss(),
+            seed=seed,
+            flow_id="fig9/flow",
+        )
     )
     samples = result.log.cwnd_samples
     # Segment time at W_m (flat) vs below (ramp) within CA periods.

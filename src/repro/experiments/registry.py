@@ -9,6 +9,7 @@ durations) so benchmarks can run miniatures of the same experiment;
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -70,12 +71,26 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
+def _runner_kwargs(runner: Callable, scale: float, seed: int, workers: int) -> dict:
+    """The kwargs a runner accepts.
+
+    ``workers`` is passed only to runners that declare it — parallel
+    fan-out is an opt-in per experiment (campaigns and sweeps take it;
+    single-flow drivers don't), and third-party runners registered
+    before the parameter existed keep working.
+    """
+    kwargs = {"scale": scale, "seed": seed}
+    if workers != 1 and "workers" in inspect.signature(runner).parameters:
+        kwargs["workers"] = workers
+    return kwargs
+
+
 def run_experiment(
-    experiment_id: str, scale: float = 1.0, seed: int = 2015
+    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: int = 1
 ) -> ExperimentResult:
     """Run one experiment by id."""
     runner = get_experiment(experiment_id)
-    return runner(scale=scale, seed=seed)
+    return runner(**_runner_kwargs(runner, scale, seed, workers))
 
 
 @dataclass(frozen=True)
@@ -91,7 +106,7 @@ class ExperimentFailure:
 
 
 def run_experiment_safe(
-    experiment_id: str, scale: float = 1.0, seed: int = 2015
+    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: int = 1
 ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
     """Run one experiment, converting any crash into a failure record.
 
@@ -103,7 +118,7 @@ def run_experiment_safe(
     """
     runner = get_experiment(experiment_id)  # KeyError propagates
     try:
-        return runner(scale=scale, seed=seed), None
+        return runner(**_runner_kwargs(runner, scale, seed, workers)), None
     except Exception as error:
         return None, ExperimentFailure(
             experiment_id=experiment_id,

@@ -79,6 +79,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--chaos", type=float, default=0.0, metavar="INTENSITY",
         help="inject an aggressive fault plan at this intensity into "
              "campaign experiments (default 0 = off)")
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan campaign/sweep flows out over N processes; results "
+             "are byte-identical to a serial run (default 1)")
 
 
 def _watchdog_from(args: argparse.Namespace) -> Optional[Watchdog]:
@@ -112,7 +116,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     with watchdog_scope(_watchdog_from(args)), fault_scope(plan):
         for experiment_id in ids:
             result, failure = run_experiment_safe(
-                experiment_id, scale=args.scale, seed=args.seed
+                experiment_id,
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
             )
             if failure is not None:
                 print(failure.summary(), file=sys.stderr)

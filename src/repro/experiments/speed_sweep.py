@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from repro.core.enhanced import ModelOptions, enhanced_throughput
 from repro.core.params import LinkParams
+from repro.exec import Executor, FlowSpec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.hsr.mobility import MobilityProfile
 from repro.hsr.provider import CHINA_MOBILE
 from repro.hsr.radio import channel_quality
 from repro.hsr.scenario import Scenario
-from repro.simulator.connection import run_flow
 from repro.util.stats import mean
 from repro.util.units import kmh_to_mps
 
@@ -67,21 +67,35 @@ def _model_at(speed_kmh: float) -> float:
 
 
 @experiment("speed_sweep", "Extension: throughput vs train speed")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
     duration = 90.0 * scale
     flows = max(1, round(2 * scale))
-    rows = []
-    sim_by_speed = {}
+    # The whole sweep as one FlowSpec batch: every (speed, flow) point
+    # is seeded independently, so the executor can fan it out over
+    # ``workers`` processes without changing a single result.
+    specs = []
     for speed in SPEEDS_KMH:
         scenario = _scenario_at(speed)
-        throughputs = []
         for index in range(flows):
             flow_seed = seed + 97 * index + int(speed)
-            built = scenario.build(duration=duration, seed=flow_seed)
-            result = run_flow(
-                built.config, built.data_loss, built.ack_loss, seed=flow_seed
+            specs.append(
+                FlowSpec(
+                    scenario=scenario,
+                    duration=duration,
+                    seed=flow_seed,
+                    flow_id=f"speed_sweep/{speed:.0f}kmh/{index}",
+                )
             )
-            throughputs.append(result.throughput)
+    execution = Executor.for_workers(workers).run(specs)
+    rows = []
+    sim_by_speed = {}
+    for position, speed in enumerate(SPEEDS_KMH):
+        outcomes = execution.outcomes[position * flows : (position + 1) * flows]
+        throughputs = [
+            outcome.result.throughput
+            for outcome in outcomes
+            if outcome.result is not None
+        ]
         sim_by_speed[speed] = mean(throughputs)
         rows.append(
             {

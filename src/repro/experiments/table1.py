@@ -12,14 +12,18 @@ PAPER_GB = 40.47
 
 
 @experiment("table1", "Table I: dataset summary (campaign regeneration)")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
     """Regenerate the Table-I campaign at ``scale`` × the paper's flow counts.
 
     The default scale runs a 20%-size campaign (51 flows) so the CLI
-    finishes in about a minute; ``scale=5`` reproduces all 255 flows.
+    finishes in about a minute; ``scale=5`` reproduces all 255 flows,
+    and ``workers=4`` cuts the wall-clock near-linearly with identical
+    output.
     """
     flow_scale = 0.2 * scale
-    dataset = generate_dataset(seed=seed, duration=60.0, flow_scale=flow_scale)
+    dataset = generate_dataset(
+        seed=seed, duration=60.0, flow_scale=flow_scale, workers=workers
+    )
     rows = [
         {
             "month": row.capture_month,

@@ -15,10 +15,12 @@ from repro.util.stats import mean
 
 
 @experiment("trip_profile", "Extension: throughput profile over a full BTR trip")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
     # scale controls temporal resolution: more segments at higher scale.
     segment_duration = max(60.0, 180.0 / max(scale, 0.1))
-    segments = simulate_trip(segment_duration=segment_duration, seed=seed)
+    segments = simulate_trip(
+        segment_duration=segment_duration, seed=seed, workers=workers
+    )
     rows = [
         {
             "t_start_s": segment.start_time,

@@ -16,9 +16,10 @@ from __future__ import annotations
 from repro.core.enhanced import ModelOptions
 from repro.core.params import LinkParams
 from repro.core.variants import variant_throughput
+from repro.exec import Executor, FlowSpec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.hsr.scenario import hsr_scenario
-from repro.simulator.connection import run_flow
+from repro.simulator.cc import cc_names
 from repro.util.stats import mean
 
 _OPERATING_POINTS = (
@@ -30,7 +31,7 @@ _OPERATING_POINTS = (
 
 
 @experiment("variants", "Extension: Reno vs NewReno vs Veno under HSR conditions")
-def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentResult:
     rows = []
     # Analytic comparison: clean vs measured-burst operating point.
     for label, params in _OPERATING_POINTS:
@@ -44,38 +45,44 @@ def run(scale: float = 1.0, seed: int = 2015) -> ExperimentResult:
             key: round(value, 2) for key, value in table.items()
         }})
 
-    # Simulated comparison: same HSR channel, Reno vs NewReno sender.
+    # Simulated comparison: every registered sender over the same HSR
+    # channel — registering a new variant (repro.simulator.cc) adds a
+    # column here with no code change.
     duration = 120.0 * scale
     scenario = hsr_scenario()
-    sims = {"reno": [], "newreno": []}
-    timeouts = {"reno": [], "newreno": []}
+    variants = cc_names()
+    sims = {name: [] for name in variants}
+    timeouts = {name: [] for name in variants}
     flows = max(2, round(3 * scale))
-    for index in range(flows):
-        flow_seed = seed + 101 * index
-        for variant in ("reno", "newreno"):
-            built = scenario.build(duration=duration, seed=flow_seed)
-            result = run_flow(
-                built.config, built.data_loss, built.ack_loss,
-                seed=flow_seed, variant=variant,
-            )
-            sims[variant].append(result.throughput)
-            timeouts[variant].append(len(result.log.timeouts))
-    rows.append({
-        "source": "simulation", "channel": "hsr/China Mobile",
-        "reno": round(mean(sims["reno"]), 2),
-        "newreno": round(mean(sims["newreno"]), 2),
-        "veno": None,
-    })
+    specs = [
+        FlowSpec(
+            scenario=scenario, duration=duration, seed=seed + 101 * index,
+            cc=variant, flow_id=f"variants/{variant}/{index}",
+        )
+        for index in range(flows)
+        for variant in variants
+    ]
+    execution = Executor.for_workers(workers).run(specs)
+    for outcome in execution.outcomes:
+        if outcome.result is None:
+            continue
+        sims[outcome.spec.cc].append(outcome.result.throughput)
+        timeouts[outcome.spec.cc].append(len(outcome.result.log.timeouts))
+    sim_row = {"source": "simulation", "channel": "hsr/China Mobile", "veno": None}
+    for variant in variants:
+        sim_row[variant] = round(mean(sims[variant]), 2)
+    rows.append(sim_row)
+    headline = {}
+    for variant in variants:
+        headline[f"sim_{variant}_pps"] = mean(sims[variant])
+        headline[f"sim_{variant}_timeouts"] = mean(
+            [float(t) for t in timeouts[variant]]
+        )
     return ExperimentResult(
         experiment_id="variants",
         title="Extension: Reno vs NewReno vs Veno under HSR conditions",
         rows=rows,
-        headline={
-            "sim_reno_pps": mean(sims["reno"]),
-            "sim_newreno_pps": mean(sims["newreno"]),
-            "sim_reno_timeouts": mean([float(t) for t in timeouts["reno"]]),
-            "sim_newreno_timeouts": mean([float(t) for t in timeouts["newreno"]]),
-        },
+        headline=headline,
         notes=(
             "NewReno reduces data-loss RTOs but cannot prevent ACK-burst "
             "spurious timeouts — the HSR bottleneck is variant-agnostic"

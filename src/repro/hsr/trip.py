@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.exec import Executor, FlowSpec
 from repro.hsr.mobility import MobilityProfile, btr_profile
 from repro.hsr.provider import CHINA_MOBILE, Provider
 from repro.hsr.scenario import Scenario
-from repro.simulator.connection import run_flow
-from repro.util.errors import ConfigurationError
+from repro.robustness.campaign import RetryPolicy
+from repro.util.errors import ConfigurationError, SimulationError
 from repro.util.units import mps_to_kmh
 
 __all__ = ["TripSegment", "simulate_trip"]
@@ -47,12 +48,15 @@ def simulate_trip(
     segment_duration: float = 60.0,
     seed: int = 0,
     max_segments: Optional[int] = None,
+    workers: int = 1,
 ) -> List[TripSegment]:
     """Simulate one flow per trajectory window across the whole trip.
 
     Each segment rebuilds the scenario at the window's start speed (the
     radio quality is quasi-static over a minute), so the sequence of
     segments traces the throughput-vs-position curve of the journey.
+    Segments are independent flows, so ``workers`` > 1 fans them out
+    over a process pool without changing any segment's result.
     """
     if segment_duration <= 0.0:
         raise ConfigurationError(
@@ -61,7 +65,8 @@ def simulate_trip(
     trajectory = profile if profile is not None else btr_profile()
     if trajectory.trip_duration == float("inf"):
         raise ConfigurationError("trip simulation needs a moving profile")
-    segments: List[TripSegment] = []
+    windows: List[tuple] = []
+    specs: List[FlowSpec] = []
     start = 0.0
     index = 0
     while start < trajectory.trip_duration:
@@ -74,22 +79,41 @@ def simulate_trip(
             provider=provider,
             flow_start_offset=start,
         )
-        built = scenario.build(duration=end - start, seed=seed + index)
-        result = run_flow(
-            built.config, built.data_loss, built.ack_loss, seed=seed + index
+        windows.append((start, end))
+        specs.append(
+            FlowSpec(
+                scenario=scenario,
+                duration=end - start,
+                seed=seed + index,
+                flow_id=f"trip/{provider.name}/{index}",
+            )
         )
+        start = end
+        index += 1
+    # A trip profile with holes is useless, so failures stay loud: no
+    # retries, and the first broken segment raises.
+    execution = Executor.for_workers(
+        workers, retry_policy=RetryPolicy(max_retries=0)
+    ).run(specs)
+    segments: List[TripSegment] = []
+    for (window_start, window_end), outcome in zip(windows, execution.outcomes):
+        if outcome.result is None:
+            failure = outcome.failures[0]
+            raise SimulationError(
+                f"trip segment {outcome.spec.flow_id} failed "
+                f"(seed {failure.seed}): {failure.error_type}: {failure.error}"
+            )
+        result = outcome.result
         segments.append(
             TripSegment(
-                start_time=start,
-                end_time=end,
-                position_km=trajectory.position_at(start) / 1000.0,
-                speed_kmh=mps_to_kmh(trajectory.speed_at(start)),
+                start_time=window_start,
+                end_time=window_end,
+                position_km=trajectory.position_at(window_start) / 1000.0,
+                speed_kmh=mps_to_kmh(trajectory.speed_at(window_start)),
                 throughput=result.throughput,
                 data_loss_rate=result.data_loss_rate,
                 ack_loss_rate=result.ack_loss_rate,
                 timeouts=len(result.log.timeouts),
             )
         )
-        start = end
-        index += 1
     return segments

@@ -25,6 +25,13 @@ Typical use::
 """
 
 from repro.simulator.bottleneck import BottleneckLink
+from repro.simulator.cc import (
+    cc_names,
+    get_cc,
+    make_sender,
+    register_cc,
+    unregister_cc,
+)
 from repro.simulator.channel import (
     BernoulliLoss,
     CompositeLoss,
@@ -82,7 +89,12 @@ __all__ = [
     "Simulator",
     "TimeoutRecord",
     "TraceDrivenLoss",
+    "cc_names",
+    "get_cc",
+    "make_sender",
+    "register_cc",
     "run_backup",
     "run_duplex",
     "run_flow",
+    "unregister_cc",
 ]

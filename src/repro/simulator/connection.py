@@ -9,16 +9,15 @@ the synthetic-trace generator call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Callable, Optional
 
 from repro.simulator.bottleneck import BottleneckLink
+from repro.simulator.cc import make_sender
 from repro.simulator.channel import Link, LossModel, NoLoss
 from repro.simulator.engine import Simulator
 from repro.simulator.metrics import FlowLog
-from repro.simulator.newreno import NewRenoSender
 from repro.simulator.receiver import Receiver
-from repro.simulator.reno import RenoSender
 from repro.simulator.rto import RtoEstimator
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
@@ -61,6 +60,20 @@ class ConnectionConfig:
         return self.forward_delay + self.reverse_delay
 
     def with_(self, **changes) -> "ConnectionConfig":
+        """A copy with the given fields replaced.
+
+        Unknown field names raise :class:`ConfigurationError` instead of
+        the bare ``TypeError`` from :func:`dataclasses.replace` — a
+        typo'd sweep parameter should name itself, not produce a stack
+        trace deep inside a campaign.
+        """
+        known = {field.name for field in fields(self)}
+        unknown = sorted(set(changes) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ConnectionConfig field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
         return replace(self, **changes)
 
 
@@ -118,9 +131,16 @@ def run_flow(
 
     ``redundant_data_loss``, when given, attaches an MPTCP-style
     alternate subflow used only to double timeout retransmissions
-    (paper Section V-B backup mode).  ``variant`` selects the sender:
-    ``"reno"`` (the paper's kernel) or ``"newreno"`` (RFC 6582 partial
-    ACKs, the extension comparison).
+    (paper Section V-B backup mode).  ``variant`` names a sender in
+    the congestion-control registry (:mod:`repro.simulator.cc`):
+    ``"reno"`` (the paper's kernel), ``"newreno"`` (RFC 6582 partial
+    ACKs), or anything registered via
+    :func:`~repro.simulator.cc.register_cc`.
+
+    Most callers should not invoke this directly: describe the run as a
+    :class:`repro.exec.FlowSpec` and hand it to the execution pipeline,
+    which adds retries, quarantine, campaign reporting, and parallel
+    backends on top of this primitive.
 
     ``watchdog`` (a :class:`repro.robustness.watchdog.Watchdog`) bounds
     the run: its event/sim-time/wall-clock budgets are plumbed into the
@@ -130,11 +150,6 @@ def run_flow(
     :func:`repro.robustness.watchdog.watchdog_scope` (e.g. via the
     experiment CLI's ``--timeout-s``/``--max-events`` flags) applies.
     """
-    sender_classes = {"reno": RenoSender, "newreno": NewRenoSender}
-    if variant not in sender_classes:
-        raise ConfigurationError(
-            f"unknown TCP variant {variant!r}; choose from {sorted(sender_classes)}"
-        )
     sim = simulator or Simulator()
     log = FlowLog()
     rng = RngStream(seed, "connection")
@@ -177,7 +192,8 @@ def run_flow(
         )
         redundant_link.deliver = lambda segment, time: receiver.on_data(segment, time)
 
-    sender = sender_classes[variant](
+    sender = make_sender(
+        variant,
         sim,
         data_link,
         log,

@@ -58,8 +58,23 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued events, including cancelled ones not yet popped."""
+        """Number of queued events, including cancelled ones not yet popped.
+
+        This is the raw queue length (O(1)); cancelled-but-unpopped
+        events — e.g. restarted RTO timers — still count.  Use
+        :attr:`live_events` for the number of events that can actually
+        fire.
+        """
         return len(self._queue)
+
+    @property
+    def live_events(self) -> int:
+        """Number of queued events that will actually fire (not cancelled).
+
+        O(queue length); meant for diagnostics (watchdog reports, test
+        assertions), not hot paths.
+        """
+        return sum(1 for handle in self._queue if not handle.cancelled)
 
     def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` to run ``delay`` seconds from now."""
@@ -128,14 +143,16 @@ class Simulator:
                 raise BudgetExceededError(
                     "events",
                     event_budget,
-                    f"next live event at t={handle.time:.6g}, now={self.now:.6g}",
+                    f"next live event at t={handle.time:.6g}, now={self.now:.6g}, "
+                    f"{self.live_events} live events pending",
                 )
             if time_budget is not None and handle.time > time_budget:
                 heapq.heappush(self._queue, handle)
                 raise BudgetExceededError(
                     "sim-time",
                     time_budget,
-                    f"next live event at t={handle.time:.6g}",
+                    f"next live event at t={handle.time:.6g}, "
+                    f"{self.live_events} live events pending",
                 )
             if (
                 wall_deadline is not None
@@ -146,7 +163,8 @@ class Simulator:
                 raise BudgetExceededError(
                     "wall-clock",
                     wall_deadline,
-                    f"{processed_this_run} events processed, sim time {self.now:.6g}",
+                    f"{processed_this_run} events processed, sim time {self.now:.6g}, "
+                    f"{self.live_events} live events pending",
                 )
             self.now = handle.time
             handle.action()

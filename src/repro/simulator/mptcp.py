@@ -12,16 +12,23 @@ Two modes, mirroring the paper:
   mechanism the paper credits for shrinking the recovery-phase loss
   rate ``q`` ("MPTCP retransmits the lost packet on both the original
   subflow and another subflow").
+
+Each subflow is described by a :class:`repro.exec.FlowSpec`, so MPTCP
+runs use the same execution pipeline (and the same congestion-control
+registry, watchdogs, and seeds) as single-path flows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.simulator.channel import LossModel
-from repro.simulator.connection import ConnectionConfig, FlowResult, run_flow
+from repro.simulator.connection import FlowResult
+from repro.util.errors import ConfigurationError
 from repro.util.units import pps_to_mbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.spec import FlowSpec
 
 __all__ = ["MptcpResult", "run_duplex", "run_backup"]
 
@@ -46,43 +53,36 @@ class MptcpResult:
         return pps_to_mbps(self.throughput)
 
 
-def run_duplex(
-    primary_config: ConnectionConfig,
-    primary_data_loss: LossModel,
-    primary_ack_loss: LossModel,
-    secondary_config: ConnectionConfig,
-    secondary_data_loss: LossModel,
-    secondary_ack_loss: LossModel,
-    seed: int = 0,
-) -> MptcpResult:
-    """Duplex mode: two independent subflows, aggregate throughput summed."""
-    first = run_flow(
-        primary_config, primary_data_loss, primary_ack_loss, seed=seed
-    )
-    second = run_flow(
-        secondary_config, secondary_data_loss, secondary_ack_loss, seed=seed + 1
-    )
+def run_duplex(primary: "FlowSpec", secondary: "FlowSpec") -> MptcpResult:
+    """Duplex mode: two independent subflows, aggregate throughput summed.
+
+    Each spec fully describes its subflow — channels, congestion
+    control, seed — so asymmetric paths (say, LTE + 3G with different
+    carriers) are just two different specs.
+    """
+    # Imported lazily: repro.exec builds on the simulator layer, so a
+    # module-level import here would be circular.
+    from repro.exec.executor import simulate_spec
+
+    first, _ = simulate_spec(primary)
+    second, _ = simulate_spec(secondary)
     return MptcpResult(mode="duplex", primary=first, secondary=second)
 
 
-def run_backup(
-    config: ConnectionConfig,
-    data_loss: LossModel,
-    ack_loss: LossModel,
-    backup_data_loss: LossModel,
-    seed: int = 0,
-) -> MptcpResult:
+def run_backup(spec: "FlowSpec") -> MptcpResult:
     """Backup mode: one data subflow; retransmissions doubled on the backup.
 
-    The backup channel only ever carries timeout retransmissions, so
-    its ACK direction is irrelevant here — surviving copies are
-    acknowledged through the primary ACK path.
+    The spec's ``redundant_data_loss`` is the backup path's data
+    channel.  It only ever carries timeout retransmissions, so its ACK
+    direction is irrelevant here — surviving copies are acknowledged
+    through the primary ACK path.
     """
-    primary = run_flow(
-        config,
-        data_loss,
-        ack_loss,
-        seed=seed,
-        redundant_data_loss=backup_data_loss,
-    )
+    from repro.exec.executor import simulate_spec
+
+    if spec.redundant_data_loss is None:
+        raise ConfigurationError(
+            "backup mode needs a FlowSpec with redundant_data_loss "
+            "(the backup subflow's data channel)"
+        )
+    primary, _ = simulate_spec(spec)
     return MptcpResult(mode="backup", primary=primary)

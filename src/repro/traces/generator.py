@@ -13,9 +13,14 @@ simulator.  ``flow_scale``/``duration`` shrink the campaign for quick
 runs (tests, benchmarks) while keeping the proportions; the defaults
 produce the full 255 flows.
 
-Campaign execution is *resilient*: each flow is isolated, failed flows
-are retried with deterministically reseeded attempts and quarantined
-(recorded, skipped) when persistent, and every run returns a
+Execution is delegated to :mod:`repro.exec`: each flow is described as
+a :class:`~repro.exec.FlowSpec` (seeded statelessly per flow index, so
+failures never perturb the seeds of the remaining flows) and the batch
+runs on an :class:`~repro.exec.Executor` — serially by default, or
+across ``workers`` processes with byte-identical traces and report.
+The executor supplies the resilience: failed flows are retried with
+deterministically reseeded attempts and quarantined (recorded, skipped)
+when persistent, and every run returns a
 :class:`~repro.robustness.campaign.CampaignReport` on the dataset's
 ``report`` field — one bad flow can no longer abort a multi-hour
 campaign or silently poison its statistics.
@@ -26,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.exec.executor import Executor
+from repro.exec.spec import FlowSpec
 from repro.hsr.provider import (
     CHINA_MOBILE,
     CHINA_TELECOM,
@@ -33,16 +40,9 @@ from repro.hsr.provider import (
     Provider,
 )
 from repro.hsr.scenario import Scenario, hsr_scenario, stationary_scenario
-from repro.robustness.campaign import (
-    CampaignReport,
-    FlowFailure,
-    QuarantineRecord,
-    RetryPolicy,
-)
+from repro.robustness.campaign import CampaignReport, RetryPolicy
 from repro.robustness.faults import FaultPlan, current_fault_plan, with_faults
 from repro.robustness.watchdog import Watchdog
-from repro.simulator.connection import run_flow
-from repro.traces.capture import capture_flow
 from repro.traces.events import FlowMetadata, FlowTrace
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
@@ -51,6 +51,7 @@ __all__ = [
     "CampaignEntry",
     "PAPER_CAMPAIGN",
     "SyntheticDataset",
+    "campaign_specs",
     "generate_dataset",
     "generate_stationary_reference",
 ]
@@ -110,106 +111,90 @@ class SyntheticDataset:
         ]
 
 
-def _attempt_flow(
-    scenario: Scenario,
-    entry: CampaignEntry,
-    scenario_label: str,
-    flow_id: str,
-    duration: float,
-    seed: int,
-    watchdog: Optional[Watchdog],
-    validate: bool,
-) -> FlowTrace:
-    """Build, simulate, capture and (optionally) validate one flow."""
-    built = scenario.build(duration=duration, seed=seed)
-    result = run_flow(
-        built.config, built.data_loss, built.ack_loss, seed=seed, watchdog=watchdog
-    )
-    metadata = FlowMetadata(
-        flow_id=flow_id,
-        provider=entry.provider.name,
-        technology=entry.provider.technology,
-        scenario=scenario_label,
-        capture_month=entry.capture_month,
-        phone_model=entry.phone_model,
-        duration=duration,
-        seed=seed,
-    )
-    return capture_flow(result, metadata, validate=validate)
-
-
-def _run_campaign_entry(
+def _entry_specs(
     entry: CampaignEntry,
     scenario: Scenario,
     scenario_label: str,
     flows: int,
     duration: float,
     rng: RngStream,
-    report: CampaignReport,
-    retry_policy: RetryPolicy,
-    watchdog: Optional[Watchdog] = None,
-    validate: bool = True,
-) -> List[FlowTrace]:
-    """Run one Table-I cell with per-flow isolation.
+    watchdog: Optional[Watchdog],
+    validate: bool,
+) -> List[FlowSpec]:
+    """FlowSpecs for one Table-I cell.
 
-    A failed attempt (any exception: simulator bug, watchdog budget,
-    invalid trace) is recorded in ``report`` and retried with a
-    deterministically reseeded attempt; a flow that exhausts its retry
-    budget is quarantined and skipped.  Base seeds are derived
-    statelessly per flow index, so failures never perturb the seeds —
-    and hence the traces — of the remaining flows.
+    Base seeds are derived statelessly per flow index from the campaign
+    root stream — the derivation (and hence every trace) is independent
+    of execution order, retries, and the worker count.
     """
-    traces: List[FlowTrace] = []
+    specs: List[FlowSpec] = []
     for index in range(flows):
         base_seed = (
             rng.spawn(entry.capture_month, entry.provider.name, index).seed
             & 0x7FFFFFFF
         )
         flow_id = f"{entry.capture_month}/{entry.provider.name}/{index:03d}"
-        report.attempted += 1
-        last_error = "unknown"
-        for attempt in range(retry_policy.max_attempts):
-            if attempt > 0:
-                report.retried += 1
-            seed = retry_policy.seed_for_attempt(base_seed, attempt)
-            try:
-                trace = _attempt_flow(
-                    scenario,
-                    entry,
-                    scenario_label,
-                    flow_id,
-                    duration,
-                    seed,
-                    watchdog,
-                    validate,
-                )
-            except Exception as error:  # per-flow isolation: record, retry
-                last_error = f"{type(error).__name__}: {error}"
-                report.record_failure(
-                    FlowFailure(
-                        flow_id=flow_id,
-                        attempt=attempt,
-                        seed=seed,
-                        error_type=type(error).__name__,
-                        error=str(error),
-                    )
-                )
-            else:
-                traces.append(trace)
-                report.succeeded += 1
-                break
-        else:
-            report.record_quarantine(
-                QuarantineRecord(
-                    flow_id=flow_id,
-                    seed=base_seed,
-                    reason=(
-                        f"all {retry_policy.max_attempts} attempts failed; "
-                        f"last: {last_error}"
-                    ),
-                )
+        metadata = FlowMetadata(
+            flow_id=flow_id,
+            provider=entry.provider.name,
+            technology=entry.provider.technology,
+            scenario=scenario_label,
+            capture_month=entry.capture_month,
+            phone_model=entry.phone_model,
+            duration=duration,
+            seed=base_seed,
+        )
+        specs.append(
+            FlowSpec(
+                scenario=scenario,
+                duration=duration,
+                seed=base_seed,
+                flow_id=flow_id,
+                watchdog=watchdog,
+                metadata=metadata,
+                validate=validate,
             )
-    return traces
+        )
+    return specs
+
+
+def campaign_specs(
+    seed: int = 2015,
+    duration: float = 60.0,
+    flow_scale: float = 1.0,
+    entries: Optional[Sequence[CampaignEntry]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog: Optional[Watchdog] = None,
+    validate: bool = True,
+) -> List[FlowSpec]:
+    """The Table-I campaign as a flat FlowSpec list (what
+    :func:`generate_dataset` executes); exposed for benchmarks and for
+    callers that want to run the batch on their own executor."""
+    if duration <= 0.0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if flow_scale <= 0.0:
+        raise ConfigurationError(f"flow_scale must be positive, got {flow_scale}")
+    campaign = tuple(entries) if entries is not None else PAPER_CAMPAIGN
+    if fault_plan is None:
+        fault_plan = current_fault_plan()
+    rng = RngStream(seed, "dataset")
+    specs: List[FlowSpec] = []
+    for entry in campaign:
+        flows = max(1, round(entry.flows * flow_scale))
+        scenario = hsr_scenario(entry.provider)
+        if fault_plan is not None and not fault_plan.is_noop():
+            scenario = with_faults(scenario, fault_plan)
+        specs += _entry_specs(
+            entry,
+            scenario,
+            "hsr",
+            flows,
+            duration,
+            rng,
+            watchdog=watchdog,
+            validate=validate,
+        )
+    return specs
 
 
 def generate_dataset(
@@ -221,12 +206,15 @@ def generate_dataset(
     retry_policy: Optional[RetryPolicy] = None,
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
+    workers: int = 1,
 ) -> SyntheticDataset:
     """Regenerate the Table-I campaign from the HSR simulator.
 
     ``flow_scale`` multiplies each cell's flow count (minimum 1 per
     cell) so tests and benchmarks can run a miniature campaign with the
-    same structure.
+    same structure.  ``workers`` > 1 fans the flows out over a process
+    pool — the resulting traces and report are byte-identical to a
+    serial run.
 
     The campaign is fault-tolerant: per-flow failures (including
     watchdog budget trips and traces rejected by ``validate``) are
@@ -237,34 +225,21 @@ def generate_dataset(
     :func:`repro.robustness.faults.fault_scope`) injects chaos into
     every flow's channels for stress testing.
     """
-    if duration <= 0.0:
-        raise ConfigurationError(f"duration must be positive, got {duration}")
-    if flow_scale <= 0.0:
-        raise ConfigurationError(f"flow_scale must be positive, got {flow_scale}")
     campaign = tuple(entries) if entries is not None else PAPER_CAMPAIGN
-    if fault_plan is None:
-        fault_plan = current_fault_plan()
-    policy = retry_policy if retry_policy is not None else RetryPolicy()
-    rng = RngStream(seed, "dataset")
-    dataset = SyntheticDataset(entries=campaign)
-    for entry in campaign:
-        flows = max(1, round(entry.flows * flow_scale))
-        scenario = hsr_scenario(entry.provider)
-        if fault_plan is not None and not fault_plan.is_noop():
-            scenario = with_faults(scenario, fault_plan)
-        dataset.traces += _run_campaign_entry(
-            entry,
-            scenario,
-            "hsr",
-            flows,
-            duration,
-            rng,
-            report=dataset.report,
-            retry_policy=policy,
-            watchdog=watchdog,
-            validate=validate,
-        )
-    return dataset
+    specs = campaign_specs(
+        seed=seed,
+        duration=duration,
+        flow_scale=flow_scale,
+        entries=campaign,
+        fault_plan=fault_plan,
+        watchdog=watchdog,
+        validate=validate,
+    )
+    executor = Executor.for_workers(workers, retry_policy=retry_policy)
+    execution = executor.run(specs)
+    return SyntheticDataset(
+        traces=execution.traces, entries=campaign, report=execution.report
+    )
 
 
 def generate_stationary_reference(
@@ -274,29 +249,33 @@ def generate_stationary_reference(
     retry_policy: Optional[RetryPolicy] = None,
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
+    workers: int = 1,
 ) -> SyntheticDataset:
     """A stationary companion campaign (for the Fig.-3/6 comparisons)."""
+    if duration <= 0.0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
     if flows_per_provider < 1:
         raise ConfigurationError("flows_per_provider must be >= 1")
-    policy = retry_policy if retry_policy is not None else RetryPolicy()
     rng = RngStream(seed, "stationary-dataset")
     entries = tuple(
         CampaignEntry("2015-10", 1, "Samsung Note 3", provider, flows_per_provider)
         for provider in (CHINA_MOBILE, CHINA_UNICOM, CHINA_TELECOM)
     )
-    dataset = SyntheticDataset(entries=entries)
+    specs: List[FlowSpec] = []
     for entry in entries:
         scenario = stationary_scenario(entry.provider)
-        dataset.traces += _run_campaign_entry(
+        specs += _entry_specs(
             entry,
             scenario,
             "stationary",
             entry.flows,
             duration,
             rng,
-            report=dataset.report,
-            retry_policy=policy,
             watchdog=watchdog,
             validate=validate,
         )
-    return dataset
+    executor = Executor.for_workers(workers, retry_policy=retry_policy)
+    execution = executor.run(specs)
+    return SyntheticDataset(
+        traces=execution.traces, entries=entries, report=execution.report
+    )

@@ -1,0 +1,137 @@
+"""Unit tests for FlowSpec: validation, copying, resolution."""
+
+import pickle
+
+import pytest
+
+from repro.exec import FlowSpec
+from repro.hsr import hsr_scenario
+from repro.simulator.channel import NoLoss, TraceDrivenLoss
+from repro.simulator.connection import ConnectionConfig
+from repro.traces.events import FlowMetadata
+from repro.util.errors import ConfigurationError
+
+
+def config(**overrides) -> ConnectionConfig:
+    base = dict(duration=10.0, wmax=32.0)
+    base.update(overrides)
+    return ConnectionConfig(**base)
+
+
+def metadata(seed=0) -> FlowMetadata:
+    return FlowMetadata(
+        flow_id="test/flow", provider="CMCC", technology="LTE",
+        scenario="hsr", capture_month="2015-10", phone_model="test",
+        duration=10.0, seed=seed,
+    )
+
+
+class TestValidation:
+    def test_needs_scenario_or_config(self):
+        with pytest.raises(ConfigurationError, match="scenario or an explicit"):
+            FlowSpec()
+
+    def test_scenario_needs_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FlowSpec(scenario=hsr_scenario())
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            FlowSpec(config=config(), duration=-1.0)
+
+    def test_validate_needs_metadata(self):
+        with pytest.raises(ConfigurationError, match="metadata"):
+            FlowSpec(config=config(), validate=True)
+
+    def test_cc_must_be_named(self):
+        with pytest.raises(ConfigurationError, match="cc"):
+            FlowSpec(config=config(), cc="")
+
+
+class TestDerived:
+    def test_effective_duration_prefers_explicit(self):
+        spec = FlowSpec(config=config(duration=10.0), duration=3.0)
+        assert spec.effective_duration == 3.0
+
+    def test_effective_duration_falls_back_to_config(self):
+        spec = FlowSpec(config=config(duration=10.0))
+        assert spec.effective_duration == 10.0
+
+    def test_channel_seed_defaults_to_seed(self):
+        assert FlowSpec(config=config(), seed=7).effective_channel_seed == 7
+        assert (
+            FlowSpec(config=config(), seed=7, channel_seed=9).effective_channel_seed
+            == 9
+        )
+
+
+class TestWith:
+    def test_copies_with_changes(self):
+        spec = FlowSpec(config=config(), seed=1)
+        changed = spec.with_(seed=2, cc="newreno")
+        assert changed.seed == 2 and changed.cc == "newreno"
+        assert spec.seed == 1  # frozen original untouched
+
+    def test_unknown_field_raises(self):
+        spec = FlowSpec(config=config())
+        with pytest.raises(ConfigurationError, match="sead"):
+            spec.with_(sead=2)
+
+
+class TestForAttempt:
+    def test_reseeds_connection(self):
+        spec = FlowSpec(config=config(), seed=1)
+        retry = spec.for_attempt(99)
+        assert retry.seed == 99
+        assert retry.channel_seed is None  # still follows seed
+
+    def test_explicit_channel_seed_follows(self):
+        spec = FlowSpec(config=config(), seed=1, channel_seed=5)
+        retry = spec.for_attempt(99)
+        assert retry.channel_seed == 99
+
+    def test_metadata_seed_follows(self):
+        spec = FlowSpec(config=config(), seed=1, metadata=metadata(seed=1))
+        retry = spec.for_attempt(99)
+        assert retry.metadata.seed == 99
+
+
+class TestResolve:
+    def test_explicit_channels_deep_copied(self):
+        loss = TraceDrivenLoss([3, 4])
+        spec = FlowSpec(config=config(), data_loss=loss)
+        resolved = spec.resolve()
+        assert resolved.data_loss is not loss
+        # Two resolutions never share channel state either.
+        assert spec.resolve().data_loss is not resolved.data_loss
+
+    def test_missing_channels_default_to_noloss(self):
+        resolved = FlowSpec(config=config()).resolve()
+        assert isinstance(resolved.data_loss, NoLoss)
+        assert isinstance(resolved.ack_loss, NoLoss)
+
+    def test_duration_overrides_config(self):
+        resolved = FlowSpec(config=config(duration=10.0), duration=4.0).resolve()
+        assert resolved.config.duration == 4.0
+
+    def test_scenario_build_uses_channel_seed(self):
+        spec = FlowSpec(scenario=hsr_scenario(), duration=5.0, seed=3)
+        resolved = spec.resolve()
+        assert resolved.config.duration == 5.0
+        assert not isinstance(resolved.data_loss, NoLoss)
+
+
+class TestPicklability:
+    def test_scenario_spec_roundtrips(self):
+        spec = FlowSpec(
+            scenario=hsr_scenario(), duration=5.0, seed=3,
+            metadata=metadata(seed=3), flow_id="t/0",
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_explicit_spec_roundtrips(self):
+        spec = FlowSpec(
+            config=config(), data_loss=TraceDrivenLoss([1]), seed=2
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.seed == 2 and clone.config == spec.config

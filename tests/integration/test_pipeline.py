@@ -5,6 +5,7 @@ import pytest
 from repro.core.enhanced import ModelOptions, enhanced_throughput
 from repro.core.mptcp_model import mptcp_gain
 from repro.hsr import CHINA_MOBILE, CHINA_TELECOM, hsr_scenario, stationary_scenario
+from repro.exec import FlowSpec
 from repro.simulator import run_backup, run_flow
 from repro.traces import (
     FlowMetadata,
@@ -71,10 +72,11 @@ class TestMptcpConsistency:
 
         rebuilt = scenario.build(duration=90.0, seed=11)
         clean_backup = hsr_scenario(CHINA_MOBILE).build(duration=90.0, seed=12)
-        backed = run_backup(
-            rebuilt.config, rebuilt.data_loss, rebuilt.ack_loss,
-            backup_data_loss=clean_backup.data_loss, seed=11,
-        )
+        backed = run_backup(FlowSpec(
+            config=rebuilt.config, data_loss=rebuilt.data_loss,
+            ack_loss=rebuilt.ack_loss,
+            redundant_data_loss=clean_backup.data_loss, seed=11,
+        ))
         assert backed.throughput >= plain.throughput * 0.95
 
         # The analytic counterpart: backup mode gain is positive.

@@ -117,7 +117,10 @@ class TestChannelProperties:
         for i in range(1000):
             model.is_lost(i * 0.01)  # must never raise
 
-    @given(seeds, st.floats(min_value=0.001, max_value=0.05))
+    # min_value 0.005: at 0.001 the expected trigger count over 3000
+    # draws is ~3, so a legitimate seed can produce zero triggers and
+    # fail the rate bound spuriously.
+    @given(seeds, st.floats(min_value=0.005, max_value=0.05))
     @settings(max_examples=20, deadline=None)
     def test_round_correlated_rate_at_least_trigger(self, seed, trigger):
         model = RoundCorrelatedLoss(RngStream(seed, "rc"), trigger, 0.05)

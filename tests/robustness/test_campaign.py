@@ -2,7 +2,8 @@
 
 import pytest
 
-import repro.traces.generator as generator_module
+import repro.exec.executor as executor_module
+import repro.traces.capture as capture_module
 from repro.robustness.campaign import CampaignReport, RetryPolicy
 from repro.traces.generator import generate_dataset
 from repro.util.errors import ConfigurationError, SimulationError
@@ -34,18 +35,20 @@ def flow_seeds(seed=SEED, flow_scale=FLOW_SCALE):
 
 @pytest.fixture()
 def fail_flow(monkeypatch):
-    """Monkeypatch run_flow to raise for chosen seeds; returns the registrar."""
-    real_run_flow = generator_module.run_flow
+    """Monkeypatch simulate_spec to raise for chosen seeds; returns the registrar.
+
+    Patching the executor's module global only reaches the serial
+    backend, which is what these tests run.
+    """
+    real_simulate_spec = executor_module.simulate_spec
     bad_seeds = set()
 
-    def failing_run_flow(config, data_loss=None, ack_loss=None, seed=0, **kwargs):
-        if seed in bad_seeds:
-            raise SimulationError(f"injected failure for seed {seed}")
-        return real_run_flow(
-            config, data_loss=data_loss, ack_loss=ack_loss, seed=seed, **kwargs
-        )
+    def failing_simulate_spec(spec):
+        if spec.seed in bad_seeds:
+            raise SimulationError(f"injected failure for seed {spec.seed}")
+        return real_simulate_spec(spec)
 
-    monkeypatch.setattr(generator_module, "run_flow", failing_run_flow)
+    monkeypatch.setattr(executor_module, "simulate_spec", failing_simulate_spec)
     return bad_seeds
 
 
@@ -186,7 +189,7 @@ class TestInjectedFailure:
 
 class TestValidationQuarantine:
     def test_corrupt_capture_is_quarantined_with_reason(self, monkeypatch):
-        real_capture = generator_module.capture_flow
+        real_capture = capture_module.capture_flow
         corrupted = []
 
         def corrupting_capture(result, metadata, validate=False):
@@ -204,7 +207,9 @@ class TestValidationQuarantine:
                     raise TraceValidationError(metadata.flow_id, issues)
             return trace
 
-        monkeypatch.setattr(generator_module, "capture_flow", corrupting_capture)
+        # simulate_spec imports capture_flow from its module at call
+        # time, so patching repro.traces.capture reaches it.
+        monkeypatch.setattr(capture_module, "capture_flow", corrupting_capture)
         # flow_scale 0.03 gives two flows per cell, so each cell has a
         # ".../001" flow for the corruptor to hit.
         dataset = generate_dataset(seed=SEED, duration=DURATION, flow_scale=0.03)

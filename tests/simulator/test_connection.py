@@ -1,0 +1,38 @@
+"""Unit tests for ConnectionConfig, including the with_ copier."""
+
+import pytest
+
+from repro.simulator.connection import ConnectionConfig
+from repro.util.errors import ConfigurationError
+
+
+class TestWith:
+    def test_replaces_named_fields(self):
+        base = ConnectionConfig(duration=60.0, wmax=32.0)
+        changed = base.with_(duration=10.0, b=1)
+        assert changed.duration == 10.0
+        assert changed.b == 1
+        assert changed.wmax == 32.0  # untouched fields survive
+
+    def test_original_untouched(self):
+        base = ConnectionConfig(duration=60.0)
+        base.with_(duration=5.0)
+        assert base.duration == 60.0
+
+    def test_unknown_field_raises_configuration_error(self):
+        base = ConnectionConfig()
+        with pytest.raises(ConfigurationError) as excinfo:
+            base.with_(durration=10.0)
+        message = str(excinfo.value)
+        assert "durration" in message
+        assert "duration" in message  # the known fields are listed
+
+    def test_multiple_unknown_fields_all_named(self):
+        base = ConnectionConfig()
+        with pytest.raises(ConfigurationError, match="bogus.*nope|nope.*bogus"):
+            base.with_(nope=1, bogus=2)
+
+    def test_validation_still_applies(self):
+        base = ConnectionConfig()
+        with pytest.raises(ConfigurationError):
+            base.with_(duration=-1.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simulator.engine import Simulator
-from repro.util.errors import SimulationError
+from repro.util.errors import BudgetExceededError, SimulationError
 
 
 class TestScheduling:
@@ -81,6 +81,38 @@ class TestCancellation:
         drop.cancel()
         sim.run()
         assert fired == ["keep"]
+
+
+class TestLiveEvents:
+    def test_counts_only_uncancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.live_events == 4
+        assert sim.pending_events == 4
+        handles[1].cancel()
+        handles[2].cancel()
+        assert sim.live_events == 2
+        # Cancelled events stay queued until popped, so the raw queue
+        # length does not shrink.
+        assert sim.pending_events == 4
+
+    def test_drains_to_zero_after_run(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.live_events == 0
+        assert sim.pending_events == 0
+
+    def test_reported_in_budget_diagnostics(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sim.run(event_budget=2)
+        # The tripped event is pushed back, so 3 of the 5 remain live.
+        assert "3 live events pending" in str(excinfo.value)
+        assert sim.live_events == 3
 
 
 class TestRunControl:

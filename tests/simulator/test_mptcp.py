@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.exec import FlowSpec
 from repro.simulator.channel import BernoulliLoss, NoLoss, TraceDrivenLoss
 from repro.simulator.connection import ConnectionConfig, run_flow
 from repro.simulator.mptcp import run_backup, run_duplex
+from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
 
 
@@ -14,13 +16,22 @@ def config(**overrides) -> ConnectionConfig:
     return ConnectionConfig(**base)
 
 
+def spec(seed=0, *, data_loss=None, ack_loss=None, backup=None, **overrides):
+    return FlowSpec(
+        config=config(**overrides),
+        data_loss=data_loss if data_loss is not None else NoLoss(),
+        ack_loss=ack_loss if ack_loss is not None else NoLoss(),
+        redundant_data_loss=backup,
+        seed=seed,
+    )
+
+
 class TestDuplex:
     def test_aggregate_is_sum_of_subflows(self):
         rng = RngStream(1)
         result = run_duplex(
-            config(), BernoulliLoss(0.01, rng.spawn("d1")), NoLoss(),
-            config(), BernoulliLoss(0.01, rng.spawn("d2")), NoLoss(),
-            seed=1,
+            spec(1, data_loss=BernoulliLoss(0.01, rng.spawn("d1"))),
+            spec(2, data_loss=BernoulliLoss(0.01, rng.spawn("d2"))),
         )
         assert result.throughput == pytest.approx(
             result.primary.throughput + result.secondary.throughput
@@ -30,17 +41,13 @@ class TestDuplex:
         rng = RngStream(2)
         single = run_flow(config(), BernoulliLoss(0.01, rng.spawn("s")), NoLoss(), seed=2)
         duplex = run_duplex(
-            config(), BernoulliLoss(0.01, rng.spawn("d1")), NoLoss(),
-            config(), BernoulliLoss(0.01, rng.spawn("d2")), NoLoss(),
-            seed=2,
+            spec(2, data_loss=BernoulliLoss(0.01, rng.spawn("d1"))),
+            spec(3, data_loss=BernoulliLoss(0.01, rng.spawn("d2"))),
         )
         assert duplex.throughput > 1.5 * single.throughput
 
     def test_mode_label(self):
-        result = run_duplex(
-            config(duration=2.0), NoLoss(), NoLoss(),
-            config(duration=2.0), NoLoss(), NoLoss(),
-        )
+        result = run_duplex(spec(duration=2.0), spec(duration=2.0))
         assert result.mode == "duplex"
         assert result.secondary is not None
 
@@ -58,30 +65,25 @@ class TestBackup:
             seed=3,
         )
         backed = run_backup(
-            config(duration=60.0),
-            data_loss=TraceDrivenLoss(range(20, 26)),
-            ack_loss=NoLoss(),
-            backup_data_loss=NoLoss(),
-            seed=3,
+            spec(3, duration=60.0,
+                 data_loss=TraceDrivenLoss(range(20, 26)), backup=NoLoss())
         )
-        plain_phases = plain.primary.log if hasattr(plain, "primary") else plain.log
         assert len(backed.primary.log.timeouts) <= len(plain.log.timeouts)
         assert backed.throughput >= plain.throughput
 
     def test_backup_mode_label(self):
-        result = run_backup(
-            config(duration=2.0), NoLoss(), NoLoss(), NoLoss()
-        )
+        result = run_backup(spec(duration=2.0, backup=NoLoss()))
         assert result.mode == "backup"
         assert result.secondary is None
 
+    def test_backup_requires_redundant_channel(self):
+        with pytest.raises(ConfigurationError, match="redundant_data_loss"):
+            run_backup(spec(duration=2.0))
+
     def test_backup_copies_logged_on_alternate_subflow(self):
         result = run_backup(
-            config(duration=30.0),
-            data_loss=TraceDrivenLoss(range(20, 26)),
-            ack_loss=NoLoss(),
-            backup_data_loss=NoLoss(),
-            seed=4,
+            spec(4, duration=30.0,
+                 data_loss=TraceDrivenLoss(range(20, 26)), backup=NoLoss())
         )
         alternate = [
             record for record in result.primary.log.data_packets
@@ -93,10 +95,8 @@ class TestBackup:
     def test_backup_with_lossy_backup_still_positive(self):
         rng = RngStream(9)
         result = run_backup(
-            config(duration=30.0),
-            data_loss=BernoulliLoss(0.02, rng.spawn("d")),
-            ack_loss=NoLoss(),
-            backup_data_loss=BernoulliLoss(0.3, rng.spawn("b")),
-            seed=5,
+            spec(5, duration=30.0,
+                 data_loss=BernoulliLoss(0.02, rng.spawn("d")),
+                 backup=BernoulliLoss(0.3, rng.spawn("b")))
         )
         assert result.throughput > 0.0

@@ -5,11 +5,17 @@ import pytest
 from repro.simulator import (
     BernoulliLoss,
     ConnectionConfig,
+    NewRenoSender,
     NoLoss,
     RoundCorrelatedLoss,
+    Simulator,
     TraceDrivenLoss,
     run_flow,
 )
+from repro.simulator.channel import Link
+from repro.simulator.metrics import AckRecord, FlowLog
+from repro.simulator.packet import AckSegment
+from repro.simulator.reno import _CONGESTION_AVOIDANCE, _FAST_RECOVERY
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
 
@@ -32,6 +38,71 @@ class TestVariantSelection:
         )
         assert reno.throughput == newreno.throughput
         assert reno.log.data_sent == newreno.log.data_sent
+
+
+def _fast_recovery_sender():
+    """A NewReno sender driven by hand into fast recovery.
+
+    The initial pump sends seq 0..7 (cwnd=8); three duplicate ACKs for
+    seq 0 then trigger fast retransmit: ssthresh=4, cwnd=7, recovery
+    point at snd_max=8.
+    """
+    sim = Simulator()
+    log = FlowLog()
+    link = Link(sim, delay=0.03, loss_model=NoLoss())
+    link.deliver = lambda segment, time: None  # ACKs are injected by hand
+    sender = NewRenoSender(sim, link, log, wmax=32.0, initial_cwnd=8.0)
+    sender.start()
+    sim.run(until=0.1)
+    for tid in range(3):
+        _deliver_ack(sim, sender, log, ack_seq=0, tid=tid)
+    assert sender.phase == _FAST_RECOVERY
+    assert sender.cwnd == 7.0
+    return sim, sender, log
+
+
+def _deliver_ack(sim, sender, log, ack_seq, tid):
+    log.record_ack_send(
+        AckRecord(transmission_id=tid, ack_seq=ack_seq, send_time=sim.now)
+    )
+    sender.on_ack(
+        AckSegment(ack_seq=ack_seq, transmission_id=tid, send_time=sim.now), sim.now
+    )
+
+
+class TestPartialAckMechanics:
+    def test_partial_ack_deflates_window(self):
+        # RFC 6582: deflate by the amount newly acknowledged, plus one
+        # for the retransmission sent — 7 - 3 + 1 = 5 here.
+        sim, sender, log = _fast_recovery_sender()
+        _deliver_ack(sim, sender, log, ack_seq=3, tid=50)
+        assert sender.cwnd == 5.0
+        assert sender.ssthresh == 4.0  # untouched until recovery ends
+
+    def test_partial_ack_stays_in_fast_recovery(self):
+        sim, sender, log = _fast_recovery_sender()
+        _deliver_ack(sim, sender, log, ack_seq=3, tid=50)
+        assert sender.phase == _FAST_RECOVERY
+        # The next hole (the new snd_una) was retransmitted immediately.
+        hole = log.data_packets[-1]
+        assert hole.seq == 3 and hole.is_retransmission
+        assert not hole.in_timeout_recovery
+        # An ACK past the recovery point finally exits to congestion
+        # avoidance with the classic deflation to ssthresh.
+        _deliver_ack(sim, sender, log, ack_seq=8, tid=51)
+        assert sender.phase == _CONGESTION_AVOIDANCE
+        assert sender.cwnd == 4.0
+
+    def test_partial_ack_restarts_rto_timer(self):
+        # Each partial ACK proves the connection is alive, so the
+        # retransmission timer must be re-armed, not left running.
+        sim, sender, log = _fast_recovery_sender()
+        before = sender._rto_timer
+        assert before is not None
+        _deliver_ack(sim, sender, log, ack_seq=3, tid=50)
+        after = sender._rto_timer
+        assert after is not None and after is not before
+        assert before.cancelled and not after.cancelled
 
 
 class TestPartialAckRecovery:
