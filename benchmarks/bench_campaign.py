@@ -1,23 +1,27 @@
 #!/usr/bin/env python
-"""Micro-benchmark: campaign throughput, serial vs parallel backend.
+"""Micro-benchmark: campaign throughput, serial vs parallel vs auto backend.
 
-Runs the same miniature paper campaign twice through
-:func:`repro.traces.generator.generate_dataset` — once on the
-``SerialBackend``, once on a multi-process ``ProcessPoolBackend`` —
-and reports flows/sec for each, plus the measured speedup, in
-``BENCH_campaign.json``.
+Runs the same miniature paper campaign three times through the flow
+executor — on the ``SerialBackend``, on a multi-process
+``ProcessPoolBackend``, and on the ``AutoBackend`` (which probes the
+batch and picks serial vs pool itself) — and reports flows/sec for
+each, the serial→pool speedup, and the auto backend's recorded
+decision, in ``BENCH_campaign.json``.
 
-The two runs must produce identical traces and an identical campaign
+All runs must produce identical traces and an identical campaign
 report (that is the executor's determinism contract, and this script
 asserts it), so the timings compare pure execution cost.  The speedup
-itself is machine-dependent: on a single-core container the process
-pool only adds spawn overhead — the artefact records the measured
-ratio, it does not assert one.
+itself is machine-dependent, which is why ``cpu_count`` leads the
+artefact: on a single-core container a process pool only adds spawn
+overhead, and a "slowdown" there is a fact about the host, not the
+backend.  The parallel leg therefore defaults to
+``min(4, os.cpu_count())`` workers — benchmarking 4 spawned processes
+on 1 CPU measures oversubscription, nothing else.
 
 Usage::
 
     python benchmarks/bench_campaign.py [--flow-scale 0.2]
-        [--duration 20] [--workers 4] [--output BENCH_campaign.json]
+        [--duration 20] [--workers N] [--output BENCH_campaign.json]
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
-def _timed_campaign(flow_scale: float, duration: float, workers: int):
+def _timed_campaign(flow_scale: float, duration: float, workers):
     from repro.traces.generator import generate_dataset
 
     start = time.perf_counter()
@@ -44,20 +48,51 @@ def _timed_campaign(flow_scale: float, duration: float, workers: int):
     return dataset, elapsed
 
 
-def run_benchmark(
-    flow_scale: float = 0.2, duration: float = 20.0, workers: int = 4
-) -> dict:
-    serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1)
-    parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers)
+def _timed_auto_campaign(flow_scale: float, duration: float):
+    """The auto leg, run through an explicit backend so the probe's
+    decision record can be captured for the artefact."""
+    from repro.exec import AutoBackend, Executor
+    from repro.traces.generator import PAPER_CAMPAIGN, SyntheticDataset, campaign_specs
 
+    backend = AutoBackend()
+    start = time.perf_counter()
+    specs = campaign_specs(seed=2015, duration=duration, flow_scale=flow_scale)
+    execution = Executor(backend).run(specs)
+    elapsed = time.perf_counter() - start
+    dataset = SyntheticDataset(
+        traces=execution.traces, entries=PAPER_CAMPAIGN, report=execution.report
+    )
+    return dataset, elapsed, backend.last_decision
+
+
+def _trace_pickles(dataset):
     # Compare per trace: a batched pickle would differ through memo
     # references shared in-process, not through any value drift.
-    identical = serial_dataset.report.to_json() == parallel_dataset.report.to_json() and [
-        pickle.dumps(trace) for trace in serial_dataset.traces
-    ] == [pickle.dumps(trace) for trace in parallel_dataset.traces]
+    return [pickle.dumps(trace) for trace in dataset.traces]
+
+
+def run_benchmark(
+    flow_scale: float = 0.2, duration: float = 20.0, workers=None
+) -> dict:
+    cpu_count = os.cpu_count() or 1
+    if workers is None:
+        workers = min(4, cpu_count)
+    serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1)
+    parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers)
+    auto_dataset, auto_s, auto_decision = _timed_auto_campaign(flow_scale, duration)
+
+    serial_pickles = _trace_pickles(serial_dataset)
+    serial_report = serial_dataset.report.to_json()
+    identical = (
+        serial_report == parallel_dataset.report.to_json()
+        and serial_pickles == _trace_pickles(parallel_dataset)
+        and serial_report == auto_dataset.report.to_json()
+        and serial_pickles == _trace_pickles(auto_dataset)
+    )
     flows = serial_dataset.flow_count
     return {
         "benchmark": "campaign",
+        "cpu_count": cpu_count,
         "flows": flows,
         "flow_duration_s": duration,
         "serial": {
@@ -69,9 +104,13 @@ def run_benchmark(
             "elapsed_s": round(parallel_s, 4),
             "flows_per_s": round(flows / parallel_s, 4) if parallel_s else 0.0,
         },
+        "auto": {
+            "elapsed_s": round(auto_s, 4),
+            "flows_per_s": round(flows / auto_s, 4) if auto_s else 0.0,
+            "decision": auto_decision,
+        },
         "speedup": round(serial_s / parallel_s, 4) if parallel_s else 0.0,
         "identical": identical,
-        "cpu_count": os.cpu_count(),
     }
 
 
@@ -81,8 +120,9 @@ def main(argv=None) -> int:
                         help="campaign flow_scale (default 0.2, ~50 flows)")
     parser.add_argument("--duration", type=float, default=20.0,
                         help="per-flow simulated seconds (default 20)")
-    parser.add_argument("--workers", type=int, default=4,
-                        help="process count for the parallel run (default 4)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process count for the parallel run "
+                             "(default min(4, cpu_count))")
     parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_campaign.json"),
                         help="where to write the JSON artefact")
     args = parser.parse_args(argv)
@@ -92,13 +132,16 @@ def main(argv=None) -> int:
         json.dump(result, handle, indent=2)
         handle.write("\n")
 
-    print(f"bench: {result['flows']} flows, "
+    print(f"bench: {result['cpu_count']} cpus, {result['flows']} flows — "
           f"serial {result['serial']['flows_per_s']:.2f} flows/s, "
-          f"{args.workers} workers {result['parallel']['flows_per_s']:.2f} flows/s "
-          f"(speedup {result['speedup']:.2f}x on {result['cpu_count']} cpus)")
+          f"{result['parallel']['workers']} workers "
+          f"{result['parallel']['flows_per_s']:.2f} flows/s "
+          f"(speedup {result['speedup']:.2f}x), "
+          f"auto {result['auto']['flows_per_s']:.2f} flows/s "
+          f"[{result['auto']['decision']['mode']}]")
     print(f"bench: wrote {args.output}")
     if not result["identical"]:
-        print("bench: FAIL — parallel run diverged from serial", file=sys.stderr)
+        print("bench: FAIL — backend runs diverged from serial", file=sys.stderr)
         return 1
     return 0
 

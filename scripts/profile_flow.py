@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Profile one HSR flow: where does the per-packet wall-clock go?
+
+Runs a single 300 km/h flow (the same shape ``bench_engine.py``
+measures) under cProfile and prints the top functions by cumulative
+time — the view that surfaced the original hot-path sins (per-packet
+closure allocation in ``Link.send``, scalar RNG draws per
+transmission, heap churn on ``EventHandle`` objects).
+
+Usage::
+
+    python scripts/profile_flow.py [--duration 30] [--seed 20150402]
+        [--top 20] [--sort cumulative]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated seconds (default 30)")
+    parser.add_argument("--seed", type=int, default=20150402,
+                        help="flow seed (default 20150402)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows to print (default 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default cumulative)")
+    args = parser.parse_args(argv)
+
+    from repro.hsr.scenario import hsr_scenario
+    from repro.simulator.connection import run_flow
+
+    built = hsr_scenario().build(duration=args.duration, seed=args.seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_flow(
+        built.config, built.data_loss, built.ack_loss, seed=args.seed
+    )
+    profiler.disable()
+
+    log = result.log
+    print(
+        f"profile: hsr/300kmh flow, {args.duration}s simulated, "
+        f"{len(log.data_packets)} data + {len(log.acks)} ack transmissions"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,13 @@ One command that proves the robustness path works as a system:
 2. runs a campaign in-process with the same chaos plus a deliberately
    broken flow, asserting the partial dataset and a non-empty,
    deterministic :class:`~repro.robustness.campaign.CampaignReport`;
-3. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process
-   campaign throughput), asserting the two backends agree and that
-   ``BENCH_campaign.json`` is written.
+3. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process vs
+   auto campaign throughput), asserting every backend agrees with
+   serial and that ``BENCH_campaign.json`` is written with the auto
+   backend's decision;
+4. runs ``benchmarks/bench_engine.py`` and fails if engine events/sec
+   regresses more than 30% against the committed ``BENCH_engine.json``
+   baseline.
 
 Usage::
 
@@ -155,16 +159,77 @@ def smoke_bench() -> None:
 
     with open(output) as handle:
         record = json.load(handle)
-    for key in ("serial", "parallel", "speedup", "identical"):
+    for key in ("cpu_count", "serial", "parallel", "auto", "speedup", "identical"):
         if key not in record:
             fail(f"BENCH_campaign.json is missing {key!r}")
     if not record["identical"]:
-        fail("bench: parallel campaign diverged from serial")
+        fail("bench: a campaign backend diverged from serial")
     if record["serial"]["flows_per_s"] <= 0.0:
         fail("bench: non-positive serial throughput")
+    decision = record["auto"]["decision"]
+    if not decision or decision.get("mode") not in ("serial", "pool"):
+        fail("bench: auto backend recorded no usable decision")
     print(f"smoke: bench ok — {record['serial']['flows_per_s']:.1f} flows/s serial, "
           f"speedup {record['speedup']:.2f}x with "
-          f"{record['parallel']['workers']} workers")
+          f"{record['parallel']['workers']} workers, "
+          f"auto chose {decision['mode']}")
+
+
+#: fractional events/sec regression tolerated against the committed
+#: BENCH_engine.json baseline before the smoke test fails
+ENGINE_REGRESSION_TOLERANCE = 0.30
+
+
+def smoke_engine_bench() -> None:
+    """Engine throughput must stay within 30% of the committed baseline."""
+    import json
+
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_engine.json")
+    if not os.path.exists(baseline_path):
+        fail("BENCH_engine.json baseline is missing — run "
+             "benchmarks/bench_engine.py and commit the artefact")
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    bench = os.path.join(REPO_ROOT, "benchmarks", "bench_engine.py")
+    output = os.path.join(REPO_ROOT, "BENCH_engine.current.json")
+    command = [
+        sys.executable, bench,
+        "--events", "100000", "--flow-duration", "10", "--repeats", "2",
+        "--output", output,
+    ]
+    print("smoke: running", " ".join(command), flush=True)
+    completed = subprocess.run(
+        command, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stderr)
+        fail(f"bench_engine exited {completed.returncode}")
+    try:
+        with open(output) as handle:
+            current = json.load(handle)
+    finally:
+        if os.path.exists(output):
+            os.remove(output)
+
+    # events/sec is a rate, so the comparison is fair even though the
+    # smoke run uses a smaller event count than the committed baseline.
+    checks = [
+        ("event loop", baseline["event_loop"]["events_per_s"],
+         current["event_loop"]["events_per_s"]),
+        ("hsr flow", baseline["hsr_flow"]["engine_events_per_s"],
+         current["hsr_flow"]["engine_events_per_s"]),
+    ]
+    for label, base_rate, current_rate in checks:
+        floor = base_rate * (1.0 - ENGINE_REGRESSION_TOLERANCE)
+        if current_rate < floor:
+            fail(
+                f"engine regression ({label}): {current_rate:,.0f} events/s "
+                f"is more than {ENGINE_REGRESSION_TOLERANCE:.0%} below the "
+                f"committed baseline {base_rate:,.0f} events/s"
+            )
+        print(f"smoke: engine {label} ok — {current_rate:,.0f} events/s "
+              f"(baseline {base_rate:,.0f}, floor {floor:,.0f})")
 
 
 def main() -> int:
@@ -177,6 +242,7 @@ def main() -> int:
     args = parser.parse_args()
     smoke_campaign()
     smoke_bench()
+    smoke_engine_bench()
     if not args.fast:
         smoke_cli()
     print("SMOKE PASS")

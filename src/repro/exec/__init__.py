@@ -1,13 +1,14 @@
 """repro.exec: the unified flow-execution pipeline.
 
 Describe a run as a :class:`FlowSpec`, hand batches to an
-:class:`Executor` (serial or process-pool — byte-identical either way),
+:class:`Executor` (serial, process-pool, or auto — byte-identical any way),
 or run one spec with :func:`simulate_spec`.  See the README's
 architecture section for how campaigns, experiments, and MPTCP flows
 all route through here.
 """
 
 from repro.exec.executor import (
+    AutoBackend,
     ExecutionResult,
     Executor,
     FlowOutcome,
@@ -18,6 +19,7 @@ from repro.exec.executor import (
 from repro.exec.spec import FlowSpec, ResolvedFlow
 
 __all__ = [
+    "AutoBackend",
     "ExecutionResult",
     "Executor",
     "FlowOutcome",

@@ -15,7 +15,15 @@ Backends:
 * :class:`ProcessPoolBackend` — a spawn-context process pool.  Specs
   are self-contained and picklable, and every random stream is derived
   from the spec's own seed, so moving a flow to another process cannot
-  change its bytes.
+  change its bytes.  Payloads are submitted in chunks so a batch of
+  hundreds of specs costs a handful of pickling round-trips per worker
+  rather than one per spec.
+* :class:`AutoBackend` — runs a short serial probe, projects the cost
+  of finishing serially vs paying the pool's spawn overhead, and picks
+  whichever is faster.  Because the probe's results are kept and order
+  is preserved, the outcome bytes are identical to a serial run either
+  way; only wall-clock changes.  On a single-CPU host it always stays
+  serial, so ``auto`` is never slower than serial.
 
 Ambient state (the watchdog installed by ``watchdog_scope``) lives in a
 ContextVar, which does **not** propagate to spawned workers; the
@@ -25,10 +33,21 @@ time, before anything crosses a process boundary.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.exec.spec import FlowSpec
 from repro.robustness.campaign import (
@@ -47,6 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.traces.events import FlowTrace
 
 __all__ = [
+    "AutoBackend",
     "ExecutionResult",
     "Executor",
     "FlowOutcome",
@@ -171,14 +191,24 @@ class ProcessPoolBackend:
 
     The spawn start method is used unconditionally (fork would share
     lazily-initialised interpreter state and is unavailable on some
-    platforms); payloads are chunked to amortise pickling.  Order is
-    preserved — ``pool.map`` yields results in submission order — which
-    is what makes parallel reports byte-identical to serial ones.
+    platforms); payloads are submitted in chunks so pickling overhead
+    is amortised over many specs per round-trip.  Order is preserved —
+    ``pool.map`` yields results in submission order — which is what
+    makes parallel reports byte-identical to serial ones.
+
+    ``workers`` defaults to ``os.cpu_count()``: spawning more workers
+    than cores is pure oversubscription for this CPU-bound workload
+    (it is how the original 4-worker default produced a 0.37× "speedup"
+    on a 1-CPU host).  An explicit ``workers`` value is honoured as
+    given — determinism tests deliberately run multi-worker pools on
+    single-CPU machines.
     """
 
     name = "process-pool"
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -193,6 +223,88 @@ class ProcessPoolBackend:
             mp_context=get_context("spawn"),
         ) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
+
+
+class AutoBackend:
+    """Measure a short serial probe, then pick serial vs pool.
+
+    The first :data:`PROBE_ITEMS` payloads always run serially and
+    their results are kept; the measured per-item cost projects the
+    serial finish time for the remainder, which is compared against a
+    conservative estimate of the pool path (spawn + per-worker startup,
+    amortised execution).  Only when the pool projects a real win does
+    the remainder fan out.
+
+    The decision changes wall-clock only, never bytes: payload order is
+    preserved and every payload is a pure function of its spec, so the
+    assembled outcome list is identical in both modes.  The last
+    decision (mode, probe timing, projections) is kept on
+    :attr:`last_decision` for benchmarks and reports.
+    """
+
+    name = "auto"
+
+    #: payloads run serially to estimate per-item cost
+    PROBE_ITEMS = 2
+    #: flat cost of standing up a spawn pool (interpreter + imports)
+    SPAWN_BASELINE_S = 0.8
+    #: additional cost per spawned worker
+    SPAWN_PER_WORKER_S = 0.4
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        cpus = os.cpu_count() or 1
+        if workers is None:
+            workers = cpus
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.last_decision: Optional[dict] = None
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        items = list(items)
+        cpus = os.cpu_count() or 1
+        remainder = len(items) - self.PROBE_ITEMS
+        effective = min(self.workers, cpus, max(remainder, 1))
+        if effective < 2 or remainder < 2:
+            # Single CPU, a 1-worker cap, or a batch too small to
+            # amortise anything: the pool can only lose.
+            self.last_decision = {
+                "mode": "serial",
+                "reason": "single CPU or batch too small to amortise a pool",
+                "items": len(items),
+                "cpu_count": cpus,
+                "workers": effective,
+            }
+            return [fn(item) for item in items]
+
+        start = time.perf_counter()
+        head = [fn(item) for item in items[: self.PROBE_ITEMS]]
+        probe_s = time.perf_counter() - start
+        per_item_s = probe_s / self.PROBE_ITEMS
+        tail_items = items[self.PROBE_ITEMS :]
+        serial_estimate_s = per_item_s * len(tail_items)
+        pool_overhead_s = self.SPAWN_BASELINE_S + self.SPAWN_PER_WORKER_S * effective
+        pool_estimate_s = pool_overhead_s + serial_estimate_s / effective
+        use_pool = pool_estimate_s < serial_estimate_s
+        self.last_decision = {
+            "mode": "pool" if use_pool else "serial",
+            "reason": (
+                f"probe {per_item_s:.4f}s/item: projected serial "
+                f"{serial_estimate_s:.3f}s vs pool {pool_estimate_s:.3f}s "
+                f"({effective} workers)"
+            ),
+            "items": len(items),
+            "cpu_count": cpus,
+            "workers": effective,
+            "probe_s": round(probe_s, 6),
+            "projected_serial_s": round(serial_estimate_s, 6),
+            "projected_pool_s": round(pool_estimate_s, 6),
+        }
+        if use_pool:
+            tail = ProcessPoolBackend(effective).map(fn, tail_items)
+        else:
+            tail = [fn(item) for item in tail_items]
+        return head + tail
 
 
 @dataclass
@@ -230,9 +342,21 @@ class Executor:
 
     @classmethod
     def for_workers(
-        cls, workers: int = 1, retry_policy: Optional[RetryPolicy] = None
+        cls,
+        workers: Union[int, str] = 1,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "Executor":
-        """Serial for ``workers <= 1``, a spawn pool otherwise."""
+        """Serial for ``workers <= 1``, a spawn pool otherwise.
+
+        The string ``"auto"`` selects :class:`AutoBackend`, which
+        probes the batch and picks serial vs pool per call.
+        """
+        if workers == "auto":
+            return cls(AutoBackend(), retry_policy)
+        if isinstance(workers, str):
+            raise ConfigurationError(
+                f"workers must be an integer or 'auto', got {workers!r}"
+            )
         if workers <= 1:
             return cls(SerialBackend(), retry_policy)
         return cls(ProcessPoolBackend(workers), retry_policy)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "ExperimentFailure",
@@ -71,7 +71,7 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
-def _runner_kwargs(runner: Callable, scale: float, seed: int, workers: int) -> dict:
+def _runner_kwargs(runner: Callable, scale: float, seed: int, workers: "Union[int, str]") -> dict:
     """The kwargs a runner accepts.
 
     ``workers`` is passed only to runners that declare it — parallel
@@ -86,7 +86,7 @@ def _runner_kwargs(runner: Callable, scale: float, seed: int, workers: int) -> d
 
 
 def run_experiment(
-    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: int = 1
+    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: "Union[int, str]" = 1
 ) -> ExperimentResult:
     """Run one experiment by id."""
     runner = get_experiment(experiment_id)
@@ -106,7 +106,7 @@ class ExperimentFailure:
 
 
 def run_experiment_safe(
-    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: int = 1
+    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: "Union[int, str]" = 1
 ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
     """Run one experiment, converting any crash into a failure record.
 

@@ -46,6 +46,18 @@ from repro.robustness.watchdog import (
 __all__ = ["main"]
 
 
+def _workers_arg(value: str):
+    """Parse ``--workers``: an integer process count or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {value!r}"
+        )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -80,9 +92,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="inject an aggressive fault plan at this intensity into "
              "campaign experiments (default 0 = off)")
     parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="fan campaign/sweep flows out over N processes; results "
-             "are byte-identical to a serial run (default 1)")
+        "--workers", type=_workers_arg, default=1, metavar="N",
+        help="fan campaign/sweep flows out over N processes, or 'auto' "
+             "to probe the batch and pick serial vs pool; results are "
+             "byte-identical to a serial run either way (default 1)")
 
 
 def _watchdog_from(args: argparse.Namespace) -> Optional[Watchdog]:

@@ -32,6 +32,21 @@ class BottleneckLink:
     finally propagates for ``delay`` seconds.
     """
 
+    __slots__ = (
+        "_simulator",
+        "delay",
+        "rate_pps",
+        "buffer_packets",
+        "loss_model",
+        "deliver",
+        "on_drop",
+        "sent",
+        "dropped",
+        "overflows",
+        "_queued",
+        "_service_free_at",
+    )
+
     def __init__(
         self,
         simulator: Simulator,
@@ -49,6 +64,10 @@ class BottleneckLink:
         if buffer_packets < 1:
             raise ConfigurationError(
                 f"buffer_packets must be >= 1, got {buffer_packets}"
+            )
+        if deliver is None:
+            raise ConfigurationError(
+                "BottleneckLink needs a deliver callback at construction"
             )
         self._simulator = simulator
         self.delay = delay
@@ -81,8 +100,6 @@ class BottleneckLink:
 
     def send(self, packet) -> None:
         """Enqueue one packet for transmission."""
-        if self.deliver is None:
-            raise ConfigurationError("BottleneckLink has no deliver callback")
         self.sent += 1
         now = self._simulator.now
         if self.loss_model.is_lost(now):
@@ -98,17 +115,13 @@ class BottleneckLink:
         departure = start + self.service_time
         self._service_free_at = departure
         # Queue occupancy ends at service completion; the packet then
-        # propagates for `delay` before delivery.
-        self._simulator.schedule(departure - now, self._depart)
-        self._simulator.schedule(
-            departure + self.delay - now, lambda pkt=packet: self._arrive(pkt)
-        )
+        # propagates for `delay` before delivery.  Both events ride the
+        # engine's payload fast path — no closure per packet.
+        self._simulator.schedule_call(departure - now, self._depart, None)
+        self._simulator.schedule_call(departure + self.delay - now, self.deliver, packet)
 
-    def _depart(self) -> None:
+    def _depart(self, _payload, _time) -> None:
         self._queued -= 1
-
-    def _arrive(self, packet) -> None:
-        self.deliver(packet, self._simulator.now)
 
     def _drop(self, packet, now: float) -> None:
         if self.on_drop is not None:

@@ -19,10 +19,27 @@ once per wire transmission.  Provided models:
   the micro-simulations behind paper Figs. 5, 7 and 11.
 * :class:`CompositeLoss` — union of several processes (lost if any
   component loses the packet).
+
+**Batched-RNG invariant.**  The stochastic models consume their stream
+through pre-drawn blocks of raw uniforms (:meth:`RngStream.random_block`)
+instead of one scalar call per transmission.  The *sequence of raw
+uniforms consumed* — and therefore every loss decision — is identical
+to the scalar implementation, because (a) ``random.Random.random()``
+yields the same values whether drawn eagerly or lazily, (b) a draw is
+consumed exactly when the scalar code would consume one (probabilities
+``<= 0`` and ``>= 1`` short-circuit without a draw, matching
+:meth:`RngStream.bernoulli`), and (c) exponential sojourns are computed
+from a raw uniform with the same expression CPython's ``expovariate``
+uses, bit for bit.  The only observable difference is that the
+*underlying* stream may be over-advanced by up to one block at the end
+of a run — which is why a stream feeding a loss model must not be
+shared with any other consumer (scenario builders spawn a dedicated
+child stream per model).
 """
 
 from __future__ import annotations
 
+from math import log as _log
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError
@@ -40,9 +57,16 @@ __all__ = [
     "Link",
 ]
 
+#: Raw uniforms pre-drawn per refill.  Big enough to amortise the
+#: Python-level call into :class:`RngStream`, small enough that the
+#: tail over-draw at end of flow is negligible.
+_UNIFORM_BLOCK = 256
+
 
 class LossModel:
     """Base class: decides, per wire transmission, whether it is lost."""
+
+    __slots__ = ()
 
     def is_lost(self, now: float) -> bool:  # pragma: no cover - interface
         raise NotImplementedError
@@ -51,24 +75,79 @@ class LossModel:
 class NoLoss(LossModel):
     """A perfect channel."""
 
+    __slots__ = ()
+
     def is_lost(self, now: float) -> bool:
         return False
 
 
-class BernoulliLoss(LossModel):
+class _BufferedLoss(LossModel):
+    """Shared machinery: a block-buffered uniform supply for one stream.
+
+    Subclasses own their :class:`RngStream` exclusively (see the
+    batched-RNG invariant in the module docstring) and call
+    :meth:`_bernoulli` / :meth:`_next_uniform` instead of the scalar
+    stream methods.
+    """
+
+    __slots__ = ("_rng", "_block", "_cursor")
+
+    def __init__(self, rng: RngStream) -> None:
+        self._rng = rng
+        self._block: Sequence[float] = ()
+        self._cursor = 0
+
+    def _next_uniform(self) -> float:
+        """The next raw uniform, refilling the block when exhausted."""
+        cursor = self._cursor
+        block = self._block
+        if cursor >= len(block):
+            block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+            cursor = 0
+        self._cursor = cursor + 1
+        return block[cursor]
+
+    def _bernoulli(self, probability: float) -> bool:
+        """Block-buffered Bernoulli draw, consuming uniforms exactly as
+        the scalar :meth:`RngStream.bernoulli` would."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        cursor = self._cursor
+        block = self._block
+        if cursor >= len(block):
+            block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+            cursor = 0
+        self._cursor = cursor + 1
+        return block[cursor] < probability
+
+
+class BernoulliLoss(_BufferedLoss):
     """Independent loss with a fixed rate."""
+
+    __slots__ = ("rate",)
 
     def __init__(self, rate: float, rng: RngStream) -> None:
         if not 0.0 <= rate < 1.0:
             raise ConfigurationError(f"loss rate must be in [0, 1), got {rate}")
+        super().__init__(rng)
         self.rate = rate
-        self._rng = rng
 
     def is_lost(self, now: float) -> bool:
-        return self._rng.bernoulli(self.rate)
+        rate = self.rate
+        if rate <= 0.0:
+            return False
+        cursor = self._cursor
+        block = self._block
+        if cursor >= len(block):
+            block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+            cursor = 0
+        self._cursor = cursor + 1
+        return block[cursor] < rate
 
 
-class RoundCorrelatedLoss(LossModel):
+class RoundCorrelatedLoss(_BufferedLoss):
     """The paper's in-round loss correlation, as a channel process.
 
     Both the Padhye model and the paper assume that "after the first
@@ -78,6 +157,8 @@ class RoundCorrelatedLoss(LossModel):
     remainder of the round.  The resulting lifetime loss rate is
     roughly ``trigger_rate × (packets per half round)``.
     """
+
+    __slots__ = ("trigger_rate", "round_duration", "_burst_until")
 
     def __init__(
         self, rng: RngStream, trigger_rate: float, round_duration: float
@@ -90,7 +171,7 @@ class RoundCorrelatedLoss(LossModel):
             raise ConfigurationError(
                 f"round_duration must be positive, got {round_duration}"
             )
-        self._rng = rng
+        super().__init__(rng)
         self.trigger_rate = trigger_rate
         self.round_duration = round_duration
         self._burst_until = -float("inf")
@@ -102,13 +183,13 @@ class RoundCorrelatedLoss(LossModel):
     def is_lost(self, now: float) -> bool:
         if now < self._burst_until:
             return True
-        if self._rng.bernoulli(self.trigger_rate):
+        if self._bernoulli(self.trigger_rate):
             self._burst_until = now + self.round_duration
             return True
         return False
 
 
-class GilbertElliottLoss(LossModel):
+class GilbertElliottLoss(_BufferedLoss):
     """Two-state Markov (Gilbert–Elliott) burst-loss process.
 
     State transitions are evaluated in continuous time via exponential
@@ -120,6 +201,15 @@ class GilbertElliottLoss(LossModel):
     ``π_bad·loss_bad + π_good·loss_good`` with
     ``π_bad = mean_bad / (mean_good + mean_bad)``.
     """
+
+    __slots__ = (
+        "mean_good",
+        "mean_bad",
+        "loss_good",
+        "loss_bad",
+        "_in_bad_state",
+        "_state_expires",
+    )
 
     def __init__(
         self,
@@ -133,7 +223,7 @@ class GilbertElliottLoss(LossModel):
             raise ConfigurationError("state durations must be positive")
         if not (0.0 <= loss_good < 1.0 and 0.0 <= loss_bad <= 1.0):
             raise ConfigurationError("state loss rates out of range")
-        self._rng = rng
+        super().__init__(rng)
         self.mean_good = mean_good_duration
         self.mean_bad = mean_bad_duration
         self.loss_good = loss_good
@@ -151,15 +241,21 @@ class GilbertElliottLoss(LossModel):
         while now >= self._state_expires:
             self._in_bad_state = not self._in_bad_state
             mean = self.mean_bad if self._in_bad_state else self.mean_good
-            self._state_expires += self._rng.expovariate(1.0 / mean)
+            # Bit-identical to ``rng.expovariate(1.0 / mean)``: CPython
+            # computes ``-log(1 - random()) / lambd``, and dividing by
+            # the reciprocal (rather than multiplying by ``mean``)
+            # preserves the exact float.
+            lambd = 1.0 / mean
+            self._state_expires += -_log(1.0 - self._next_uniform()) / lambd
 
     def is_lost(self, now: float) -> bool:
-        self._advance_to(now)
+        if now >= self._state_expires:
+            self._advance_to(now)
         rate = self.loss_bad if self._in_bad_state else self.loss_good
-        return self._rng.bernoulli(rate)
+        return self._bernoulli(rate)
 
 
-class HandoffLoss(LossModel):
+class HandoffLoss(_BufferedLoss):
     """Deterministic outage windows plus a base loss rate.
 
     ``outages`` is a sorted sequence of ``(start, end)`` intervals
@@ -167,6 +263,8 @@ class HandoffLoss(LossModel):
     outside them the loss rate is ``base_rate``.  The schedule comes
     from the HSR cell layout (:mod:`repro.hsr.cells`).
     """
+
+    __slots__ = ("outages", "base_rate", "loss_during", "_cursor_outage")
 
     def __init__(
         self,
@@ -184,24 +282,28 @@ class HandoffLoss(LossModel):
             if start < previous_end:
                 raise ConfigurationError("outage intervals must be sorted and disjoint")
             previous_end = end
-        self._rng = rng
+        super().__init__(rng)
         self.outages = list(outages)
         self.base_rate = base_rate
         self.loss_during = loss_during
-        self._cursor = 0
+        self._cursor_outage = 0
 
     def in_outage(self, now: float) -> bool:
         """True when ``now`` falls inside an outage window."""
-        while self._cursor < len(self.outages) and self.outages[self._cursor][1] <= now:
-            self._cursor += 1
-        if self._cursor >= len(self.outages):
+        outages = self.outages
+        cursor = self._cursor_outage
+        count = len(outages)
+        while cursor < count and outages[cursor][1] <= now:
+            cursor += 1
+        self._cursor_outage = cursor
+        if cursor >= count:
             return False
-        start, end = self.outages[self._cursor]
+        start, end = outages[cursor]
         return start <= now < end
 
     def is_lost(self, now: float) -> bool:
         rate = self.loss_during if self.in_outage(now) else self.base_rate
-        return self._rng.bernoulli(rate)
+        return self._bernoulli(rate)
 
 
 class TraceDrivenLoss(LossModel):
@@ -210,6 +312,8 @@ class TraceDrivenLoss(LossModel):
     ``lost_indices`` counts wire transmissions through this model
     starting at 0.  Transmissions beyond the script survive.
     """
+
+    __slots__ = ("lost_indices", "_count")
 
     def __init__(self, lost_indices: Sequence[int]) -> None:
         self.lost_indices = frozenset(lost_indices)
@@ -228,6 +332,8 @@ class TraceDrivenLoss(LossModel):
 class CompositeLoss(LossModel):
     """Lost if any component process loses the packet."""
 
+    __slots__ = ("components",)
+
     def __init__(self, components: Sequence[LossModel]) -> None:
         if not components:
             raise ConfigurationError("CompositeLoss needs at least one component")
@@ -235,9 +341,13 @@ class CompositeLoss(LossModel):
 
     def is_lost(self, now: float) -> bool:
         # Evaluate all components so their internal states advance
-        # uniformly regardless of short-circuiting.
-        outcomes = [component.is_lost(now) for component in self.components]
-        return any(outcomes)
+        # uniformly regardless of short-circuiting; no intermediate
+        # list is built.
+        lost = False
+        for component in self.components:
+            if component.is_lost(now):
+                lost = True
+        return lost
 
 
 class Link:
@@ -247,7 +357,26 @@ class Link:
     survives; ``on_drop`` (if given) is called with (packet, send_time)
     when it does not — the trace layer uses it to mark lost packets the
     way the paper's Fig. 1 marks them at "-1".
+
+    ``deliver`` is required at construction (a link with nowhere to
+    deliver is a configuration error, and surfacing it when the first
+    surviving packet arrives hides it behind the loss process).  Wiring
+    cycles — the ACK link needs a sender that needs the data link —
+    are closed with a late-binding lambda over the not-yet-constructed
+    peer, which Python resolves at call time.
     """
+
+    __slots__ = (
+        "_simulator",
+        "delay",
+        "loss_model",
+        "jitter",
+        "deliver",
+        "on_drop",
+        "sent",
+        "dropped",
+        "_last_arrival",
+    )
 
     def __init__(
         self,
@@ -260,6 +389,10 @@ class Link:
     ) -> None:
         if delay <= 0.0:
             raise ConfigurationError(f"link delay must be positive, got {delay}")
+        if deliver is None:
+            raise ConfigurationError(
+                "Link needs a deliver callback at construction"
+            )
         self._simulator = simulator
         self.delay = delay
         self.loss_model = loss_model or NoLoss()
@@ -278,21 +411,25 @@ class Link:
     def send(self, packet) -> None:
         """Transmit one packet; it either arrives after delay(+jitter) or drops."""
         self.sent += 1
-        now = self._simulator.now
+        simulator = self._simulator
+        now = simulator.now
         if self.loss_model.is_lost(now):
             self.dropped += 1
             if self.on_drop is not None:
                 self.on_drop(packet, now)
             return
-        extra = max(0.0, self.jitter()) if self.jitter is not None else 0.0
-        if self.deliver is None:
-            raise ConfigurationError("Link has no deliver callback attached")
+        jitter = self.jitter
+        if jitter is None:
+            arrival = now + self.delay
+        else:
+            extra = jitter()
+            arrival = now + self.delay + extra if extra > 0.0 else now + self.delay
         # FIFO channel: jitter models (correlated) queueing delay, so a
         # packet can never overtake one sent earlier — i.i.d. reordering
         # would inject spurious fast retransmits no real cellular link
         # produces.
-        arrival = max(now + self.delay + extra, self._last_arrival)
-        self._last_arrival = arrival
-        self._simulator.schedule(
-            arrival - now, lambda pkt=packet: self.deliver(pkt, self._simulator.now)
-        )
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        else:
+            self._last_arrival = arrival
+        simulator.schedule_call(arrival - now, self.deliver, packet)

@@ -154,12 +154,20 @@ def run_flow(
     log = FlowLog()
     rng = RngStream(seed, "connection")
 
+    # The wiring is cyclic (ACK link → sender → data link → receiver →
+    # ACK link), so the ACK link's deliver is a late-binding lambda over
+    # the sender constructed below; every other callback is the bound
+    # method itself — packet delivery costs no intermediate frame.
     ack_link = Link(
         sim,
         delay=config.reverse_delay,
         loss_model=ack_loss or NoLoss(),
         jitter=_jitter_fn(rng.spawn("ack-jitter"), config.jitter_sigma),
+        deliver=lambda ack, time: sender.on_ack(ack, time),
         on_drop=lambda ack, time: log.record_ack_drop(ack.transmission_id),
+    )
+    receiver = Receiver(
+        sim, ack_link, log, b=config.b, delack_timeout=config.delack_timeout
     )
     if bottleneck_rate is not None:
         data_link = BottleneckLink(
@@ -168,6 +176,7 @@ def run_flow(
             rate_pps=bottleneck_rate,
             buffer_packets=bottleneck_buffer,
             loss_model=data_loss or NoLoss(),
+            deliver=receiver.on_data,
             on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
         )
     else:
@@ -176,11 +185,9 @@ def run_flow(
             delay=config.forward_delay,
             loss_model=data_loss or NoLoss(),
             jitter=_jitter_fn(rng.spawn("data-jitter"), config.jitter_sigma),
+            deliver=receiver.on_data,
             on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
         )
-    receiver = Receiver(
-        sim, ack_link, log, b=config.b, delack_timeout=config.delack_timeout
-    )
     redundant_link: Optional[Link] = None
     if redundant_data_loss is not None:
         redundant_link = Link(
@@ -188,9 +195,9 @@ def run_flow(
             delay=config.forward_delay,
             loss_model=redundant_data_loss,
             jitter=_jitter_fn(rng.spawn("alt-jitter"), config.jitter_sigma),
+            deliver=receiver.on_data,
             on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
         )
-        redundant_link.deliver = lambda segment, time: receiver.on_data(segment, time)
 
     sender = make_sender(
         variant,
@@ -202,9 +209,6 @@ def run_flow(
         rto=RtoEstimator(initial_rto=config.initial_rto, min_rto=config.min_rto),
         redundant_retransmit_link=redundant_link,
     )
-
-    data_link.deliver = lambda segment, time: receiver.on_data(segment, time)
-    ack_link.deliver = lambda ack, time: sender.on_ack(ack, time)
 
     if watchdog is None:
         # Imported lazily: robustness sits above the simulator in the

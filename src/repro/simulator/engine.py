@@ -1,18 +1,29 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event loop: events are (time, insertion-order)
-pairs on a binary heap, so simultaneous events fire in the order they
-were scheduled — which makes every simulation run bit-reproducible for
-a given seed.  Components schedule callbacks with
-:meth:`Simulator.schedule` and may cancel them via the returned
-:class:`EventHandle` (used heavily by the retransmission timer).
+A minimal, deterministic event loop: events are plain tuples
+``(time, insertion-order, action, payload, handle)`` on a binary heap,
+so simultaneous events fire in the order they were scheduled — which
+makes every simulation run bit-reproducible for a given seed — and the
+heap compares tuples in C (the insertion order is unique, so comparison
+never reaches the callback).
+
+Two scheduling paths share the heap:
+
+* :meth:`Simulator.schedule` — returns an :class:`EventHandle` that can
+  cancel the callback before it fires (used heavily by the
+  retransmission and delayed-ACK timers).  Cancellation is lazy: the
+  handle flips a flag and the event is discarded when popped.
+* :meth:`Simulator.schedule_call` — the hot path for packet delivery.
+  No handle is allocated; the callback fires as ``action(payload,
+  fire_time)``, so a link can schedule its ``deliver`` callback with
+  the packet as payload instead of allocating a closure per packet.
 """
 
 from __future__ import annotations
 
 import heapq
 import time as _time
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.util.errors import BudgetExceededError, SimulationError
 
@@ -21,34 +32,38 @@ from repro.util.errors import BudgetExceededError, SimulationError
 #: runs, and a 256-event granularity is far finer than any sane budget.
 _WALL_CHECK_INTERVAL = 256
 
+#: Sentinel marking a no-payload event (fired as ``action()``).  Not
+#: ``None``: ``None`` is a legitimate payload value.
+_NO_PAYLOAD = object()
+
 __all__ = ["EventHandle", "Simulator"]
 
 
 class EventHandle:
-    """A scheduled callback that can be cancelled before it fires."""
+    """A scheduled callback that can be cancelled before it fires.
 
-    __slots__ = ("time", "sequence", "action", "cancelled")
+    The handle is a tombstone flag, not the heap entry itself: the
+    entry stays queued after :meth:`cancel` and is dropped when popped.
+    """
 
-    def __init__(self, time: float, sequence: int, action: Callable[[], None]) -> None:
-        self.time = time
-        self.sequence = sequence
-        self.action = action
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
         self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing; idempotent."""
         self.cancelled = True
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.sequence) < (other.time, other.sequence)
-
 
 class Simulator:
     """The event loop: a clock plus a priority queue of callbacks."""
 
+    __slots__ = ("now", "_queue", "_sequence", "_events_processed")
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[EventHandle] = []
+        self._queue: List[Tuple] = []
         self._sequence = 0
         self._events_processed = 0
 
@@ -74,16 +89,34 @@ class Simulator:
         O(queue length); meant for diagnostics (watchdog reports, test
         assertions), not hot paths.
         """
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        return sum(
+            1 for entry in self._queue if entry[4] is None or not entry[4].cancelled
+        )
 
     def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
-        """Schedule ``action`` to run ``delay`` seconds from now."""
+        """Schedule ``action()`` to run ``delay`` seconds from now."""
         if delay < 0.0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(self.now + delay, self._sequence, action)
+        handle = EventHandle()
+        heapq.heappush(
+            self._queue, (self.now + delay, self._sequence, action, _NO_PAYLOAD, handle)
+        )
         self._sequence += 1
-        heapq.heappush(self._queue, handle)
         return handle
+
+    def schedule_call(self, delay: float, action: Callable, payload) -> None:
+        """Schedule ``action(payload, fire_time)`` — the non-cancellable fast path.
+
+        Allocates no handle and no closure: the payload rides in the
+        heap entry and the engine passes the event's fire time as the
+        second argument.  This is what links use to deliver packets.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, self._sequence, action, payload, None)
+        )
+        self._sequence += 1
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at an absolute simulation time."""
@@ -119,39 +152,105 @@ class Simulator:
         The pending queue is left intact when a budget trips, so the
         caller can inspect or resume the simulation.
         """
+        if (
+            max_events is None
+            and stop_condition is None
+            and event_budget is None
+            and time_budget is None
+            and wall_deadline is None
+        ):
+            self._run_fast(until)
+            return
+        self._run_guarded(
+            until, max_events, stop_condition, event_budget, time_budget, wall_deadline
+        )
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        """The unguarded loop: only the ``until`` horizon is checked.
+
+        This is the shape every campaign flow runs in (``run_flow``
+        without a watchdog), so it is kept free of per-event budget
+        checks; locals are bound once outside the loop.
+        """
+        queue = self._queue
+        heappop = heapq.heappop
+        no_payload = _NO_PAYLOAD
+        processed = self._events_processed
+        try:
+            while queue:
+                entry = heappop(queue)
+                handle = entry[4]
+                if handle is not None and handle.cancelled:
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    # Put it back for a later run() call and stop the
+                    # clock exactly at the horizon.
+                    heapq.heappush(queue, entry)
+                    self.now = until
+                    return
+                if time < self.now - 1e-12:
+                    raise SimulationError(
+                        f"event queue corrupted: event at {time} < now {self.now}"
+                    )
+                self.now = time
+                payload = entry[3]
+                if payload is no_payload:
+                    entry[2]()
+                else:
+                    entry[2](payload, time)
+                processed += 1
+        finally:
+            self._events_processed = processed
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_guarded(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        stop_condition: Optional[Callable[[], bool]],
+        event_budget: Optional[int],
+        time_budget: Optional[float],
+        wall_deadline: Optional[float],
+    ) -> None:
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        no_payload = _NO_PAYLOAD
         processed_this_run = 0
-        while self._queue:
+        while queue:
             if max_events is not None and processed_this_run >= max_events:
                 return
             if stop_condition is not None and stop_condition():
                 return
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
+            entry = heappop(queue)
+            handle = entry[4]
+            if handle is not None and handle.cancelled:
                 continue
-            if until is not None and handle.time > until:
-                # Put it back for a later run() call and stop the clock
-                # exactly at the horizon.
-                heapq.heappush(self._queue, handle)
+            time = entry[0]
+            if until is not None and time > until:
+                heappush(queue, entry)
                 self.now = until
                 return
-            if handle.time < self.now - 1e-12:
+            if time < self.now - 1e-12:
                 raise SimulationError(
-                    f"event queue corrupted: event at {handle.time} < now {self.now}"
+                    f"event queue corrupted: event at {time} < now {self.now}"
                 )
             if event_budget is not None and processed_this_run >= event_budget:
-                heapq.heappush(self._queue, handle)
+                heappush(queue, entry)
                 raise BudgetExceededError(
                     "events",
                     event_budget,
-                    f"next live event at t={handle.time:.6g}, now={self.now:.6g}, "
+                    f"next live event at t={time:.6g}, now={self.now:.6g}, "
                     f"{self.live_events} live events pending",
                 )
-            if time_budget is not None and handle.time > time_budget:
-                heapq.heappush(self._queue, handle)
+            if time_budget is not None and time > time_budget:
+                heappush(queue, entry)
                 raise BudgetExceededError(
                     "sim-time",
                     time_budget,
-                    f"next live event at t={handle.time:.6g}, "
+                    f"next live event at t={time:.6g}, "
                     f"{self.live_events} live events pending",
                 )
             if (
@@ -159,15 +258,19 @@ class Simulator:
                 and processed_this_run % _WALL_CHECK_INTERVAL == 0
                 and _time.monotonic() > wall_deadline
             ):
-                heapq.heappush(self._queue, handle)
+                heappush(queue, entry)
                 raise BudgetExceededError(
                     "wall-clock",
                     wall_deadline,
                     f"{processed_this_run} events processed, sim time {self.now:.6g}, "
                     f"{self.live_events} live events pending",
                 )
-            self.now = handle.time
-            handle.action()
+            self.now = time
+            payload = entry[3]
+            if payload is no_payload:
+                entry[2]()
+            else:
+                entry[2](payload, time)
             self._events_processed += 1
             processed_this_run += 1
         if until is not None and until > self.now:

@@ -22,7 +22,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPacketRecord:
     """One wire transmission of a data segment."""
 
@@ -50,7 +50,7 @@ class DataPacketRecord:
         return self.arrival_time - self.send_time
 
 
-@dataclass
+@dataclass(slots=True)
 class AckRecord:
     """One wire transmission of an acknowledgement."""
 
@@ -74,7 +74,7 @@ class AckRecord:
         return self.arrival_time - self.send_time
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeoutRecord:
     """One retransmission-timer expiry at the sender."""
 
@@ -85,7 +85,7 @@ class TimeoutRecord:
     sequence_index: int  # which timeout sequence (recovery phase) this belongs to
 
 
-@dataclass
+@dataclass(slots=True)
 class RecoveryPhaseRecord:
     """One timeout-recovery phase: first RTO until the resuming ACK.
 
@@ -118,7 +118,7 @@ class RecoveryPhaseRecord:
         return self.retransmissions_lost / self.retransmissions
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CwndSample:
     """A (time, cwnd) point with the congestion phase at that instant."""
 
@@ -127,7 +127,7 @@ class CwndSample:
     phase: str  # "slow_start" | "congestion_avoidance" | "fast_recovery" | "timeout_recovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowLog:
     """Everything observable about one simulated flow."""
 

@@ -24,6 +24,8 @@ __all__ = ["NewRenoSender"]
 class NewRenoSender(RenoSender):
     """Reno plus RFC 6582 partial-ACK handling in fast recovery."""
 
+    __slots__ = ()
+
     def _on_new_ack(self, ack: AckSegment, arrival_time: float) -> None:
         if self._phase == _FAST_RECOVERY and ack.ack_seq < self._recover_point:
             self._on_partial_ack(ack, arrival_time)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 __all__ = ["Segment", "AckSegment"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """A data segment of one MSS.
 
@@ -31,7 +31,7 @@ class Segment:
     subflow_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckSegment:
     """A cumulative acknowledgement.
 

@@ -37,6 +37,21 @@ DEFAULT_DELACK_TIMEOUT = 0.05
 class Receiver:
     """Receives data segments and emits (possibly delayed) cumulative ACKs."""
 
+    __slots__ = (
+        "_simulator",
+        "_ack_link",
+        "_log",
+        "b",
+        "delack_timeout",
+        "subflow_id",
+        "expected_seq",
+        "_out_of_order",
+        "_delivered",
+        "_pending_unacked",
+        "_delack_timer",
+        "_ack_transmission_counter",
+    )
+
     def __init__(
         self,
         simulator: Simulator,

@@ -46,6 +46,29 @@ _MIN_SSTHRESH = 2.0
 class RenoSender:
     """TCP Reno congestion control over a lossy data link."""
 
+    __slots__ = (
+        "_simulator",
+        "_data_link",
+        "_log",
+        "wmax",
+        "cwnd",
+        "ssthresh",
+        "rto",
+        "redundant_retransmit_link",
+        "subflow_id",
+        "snd_una",
+        "snd_nxt",
+        "snd_max",
+        "_dupacks",
+        "_phase",
+        "_recover_point",
+        "_rto_timer",
+        "_current_recovery",
+        "_recovery_records",
+        "_transmission_counter",
+        "_send_info",
+    )
+
     def __init__(
         self,
         simulator: Simulator,
@@ -121,11 +144,15 @@ class RenoSender:
             # Only the lost packet is retransmitted during timeout
             # recovery (paper Section III-B.1).
             return
-        window = min(self.cwnd, self.wmax)
-        while self.inflight < math.floor(window):
+        # The window limit is fixed for the whole burst (cwnd and
+        # snd_una only change from ACK/timeout events, which are never
+        # processed inside this loop), so hoist the floor() out of it.
+        limit = self.snd_una + math.floor(min(self.cwnd, self.wmax))
+        while self.snd_nxt < limit:
             self._transmit(self.snd_nxt, is_retransmission=self.snd_nxt < self.snd_max)
             self.snd_nxt += 1
-            self.snd_max = max(self.snd_max, self.snd_nxt)
+            if self.snd_nxt > self.snd_max:
+                self.snd_max = self.snd_nxt
         self._ensure_rto_armed()
 
     # -- ACK processing -----------------------------------------------------

@@ -29,7 +29,7 @@ campaign or silently poison its statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.exec.executor import Executor
 from repro.exec.spec import FlowSpec
@@ -206,15 +206,16 @@ def generate_dataset(
     retry_policy: Optional[RetryPolicy] = None,
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
-    workers: int = 1,
+    workers: Union[int, str] = 1,
 ) -> SyntheticDataset:
     """Regenerate the Table-I campaign from the HSR simulator.
 
     ``flow_scale`` multiplies each cell's flow count (minimum 1 per
     cell) so tests and benchmarks can run a miniature campaign with the
     same structure.  ``workers`` > 1 fans the flows out over a process
-    pool — the resulting traces and report are byte-identical to a
-    serial run.
+    pool, and ``workers="auto"`` probes the batch and picks serial vs
+    pool itself — the resulting traces and report are byte-identical
+    to a serial run in every mode.
 
     The campaign is fault-tolerant: per-flow failures (including
     watchdog budget trips and traces rejected by ``validate``) are
@@ -249,7 +250,7 @@ def generate_stationary_reference(
     retry_policy: Optional[RetryPolicy] = None,
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
-    workers: int = 1,
+    workers: Union[int, str] = 1,
 ) -> SyntheticDataset:
     """A stationary companion campaign (for the Fig.-3/6 comparisons)."""
     if duration <= 0.0:

@@ -14,6 +14,7 @@ but with a tiny, dependency-light wrapper API tailored to this library.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterable, List, Optional, Sequence
 
@@ -76,6 +77,53 @@ class RngStream:
         if probability >= 1.0:
             return True
         return self._random.random() < probability
+
+    # -- batched draws --------------------------------------------------
+    #
+    # The hot-path loss models consume their stream in pre-drawn blocks
+    # (see repro.simulator.channel).  Batched draws are element-for-
+    # element identical to the scalar methods above: random_block(n)
+    # yields exactly the values n successive random() calls would, and
+    # the derived blocks apply the same per-element expressions (and
+    # the same 0/1 short-circuits) as their scalar counterparts.
+
+    def random_block(self, n: int) -> List[float]:
+        """Draw ``n`` uniforms from ``[0, 1)`` in one Python-level call.
+
+        Identical values, in order, to ``n`` calls of :meth:`random`.
+        """
+        if n < 0:
+            raise ValueError(f"block size must be >= 0, got {n}")
+        random = self._random.random
+        return [random() for _ in range(n)]
+
+    def bernoulli_block(self, probability: float, n: int) -> List[bool]:
+        """``n`` Bernoulli outcomes, identical to ``n`` scalar calls.
+
+        Mirrors :meth:`bernoulli` exactly: probabilities ``<= 0`` and
+        ``>= 1`` short-circuit without consuming any underlying draws.
+        """
+        if n < 0:
+            raise ValueError(f"block size must be >= 0, got {n}")
+        if probability <= 0.0:
+            return [False] * n
+        if probability >= 1.0:
+            return [True] * n
+        random = self._random.random
+        return [random() < probability for _ in range(n)]
+
+    def expovariate_block(self, rate: float, n: int) -> List[float]:
+        """``n`` exponential draws, identical to ``n`` scalar calls.
+
+        Uses the same expression CPython's ``Random.expovariate`` uses
+        (``-log(1 - random()) / rate``), so each element is bit-identical
+        to the corresponding :meth:`expovariate` call.
+        """
+        if n < 0:
+            raise ValueError(f"block size must be >= 0, got {n}")
+        random = self._random.random
+        log = math.log
+        return [-log(1.0 - random()) / rate for _ in range(n)]
 
     def randint(self, low: int, high: int) -> int:
         """Draw an integer uniformly from ``[low, high]`` inclusive."""

@@ -145,3 +145,79 @@ class TestAmbientWatchdog:
         with watchdog_scope(Watchdog(max_events=10_000_000)):
             execution = Executor().run([spec(seed=2).with_(watchdog=mine)])
         assert execution.outcomes[0].spec.watchdog == mine
+
+
+def _double(x):
+    # Module-level so the pool path can pickle it.
+    return x * 2
+
+
+class TestAutoBackend:
+    def test_for_workers_auto_selects_auto_backend(self):
+        from repro.exec import AutoBackend
+
+        assert isinstance(Executor.for_workers("auto").backend, AutoBackend)
+
+    def test_for_workers_rejects_other_strings(self):
+        with pytest.raises(ConfigurationError):
+            Executor.for_workers("turbo")
+
+    def test_rejects_nonpositive_workers(self):
+        from repro.exec import AutoBackend
+
+        with pytest.raises(ConfigurationError):
+            AutoBackend(0)
+
+    def test_small_batch_stays_serial_and_records_decision(self):
+        from repro.exec import AutoBackend
+
+        backend = AutoBackend()
+        assert backend.map(_double, [1, 2, 3]) == [2, 4, 6]
+        decision = backend.last_decision
+        assert decision["mode"] == "serial"
+        assert decision["items"] == 3
+        assert decision["cpu_count"] >= 1
+
+    def test_cheap_batch_projects_serial(self, monkeypatch):
+        from repro.exec import AutoBackend
+
+        # Pretend the host has cores to spare: a near-zero per-item
+        # cost must still project serial, because the pool's spawn
+        # overhead can never be amortised.
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        backend = AutoBackend()
+        assert backend.map(_double, list(range(50))) == [x * 2 for x in range(50)]
+        decision = backend.last_decision
+        assert decision["mode"] == "serial"
+        assert decision["projected_pool_s"] > decision["projected_serial_s"]
+
+    def test_forced_pool_is_byte_identical_to_serial(self, monkeypatch):
+        from repro.exec import AutoBackend
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(AutoBackend, "SPAWN_BASELINE_S", -1e9)
+        monkeypatch.setattr(AutoBackend, "SPAWN_PER_WORKER_S", 0.0)
+        specs = [spec(seed=i, flow_id=f"auto/{i}") for i in range(4)]
+        serial = Executor().run(specs)
+        backend = AutoBackend(2)
+        pooled = Executor(backend).run(specs)
+        assert backend.last_decision["mode"] == "pool"
+        assert serial.report.to_json() == pooled.report.to_json()
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            import pickle
+
+            assert pickle.dumps(left.result.log) == pickle.dumps(right.result.log)
+
+    def test_auto_campaign_identical_to_serial(self):
+        from repro.traces.generator import generate_dataset
+        import pickle
+
+        serial = generate_dataset(seed=2015, duration=5.0, flow_scale=0.02)
+        auto = generate_dataset(
+            seed=2015, duration=5.0, flow_scale=0.02, workers="auto"
+        )
+        assert serial.flow_count == auto.flow_count > 0
+        assert [pickle.dumps(t) for t in serial.traces] == [
+            pickle.dumps(t) for t in auto.traces
+        ]
+        assert serial.report.to_json() == auto.report.to_json()

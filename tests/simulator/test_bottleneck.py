@@ -85,10 +85,9 @@ class TestUnit:
         with pytest.raises(ConfigurationError):
             BottleneckLink(sim, delay=0.01, rate_pps=10.0, buffer_packets=0)
 
-    def test_send_without_deliver_raises(self):
-        link = BottleneckLink(Simulator(), delay=0.01, rate_pps=10.0)
+    def test_missing_deliver_rejected_at_construction(self):
         with pytest.raises(ConfigurationError):
-            link.send("x")
+            BottleneckLink(Simulator(), delay=0.01, rate_pps=10.0)
 
 
 class TestEndToEnd:

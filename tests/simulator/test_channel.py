@@ -208,10 +208,11 @@ class TestLink:
         with pytest.raises(ConfigurationError):
             Link(Simulator(), delay=0.0)
 
-    def test_send_without_deliver_raises(self):
-        link = Link(Simulator(), delay=0.01)
+    def test_missing_deliver_rejected_at_construction(self):
+        # The configuration error must surface when the link is built,
+        # not when the first surviving packet tries to arrive.
         with pytest.raises(ConfigurationError):
-            link.send("x")
+            Link(Simulator(), delay=0.01)
 
     def test_fifo_ordering_without_jitter(self):
         sim = Simulator()

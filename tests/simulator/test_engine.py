@@ -166,3 +166,64 @@ class TestRunControl:
         sim = Simulator()
         sim.run()
         assert sim.now == 0.0
+
+
+class TestScheduleCall:
+    """The payload fast path links use to deliver packets."""
+
+    def test_action_receives_payload_and_fire_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_call(1.5, lambda pkt, time: seen.append((pkt, time)), "pkt")
+        sim.run()
+        assert seen == [("pkt", 1.5)]
+
+    def test_none_is_a_legitimate_payload(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_call(1.0, lambda pkt, time: seen.append(pkt), None)
+        sim.run()
+        assert seen == [None]
+
+    def test_interleaves_deterministically_with_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("plain"))
+        sim.schedule_call(1.0, lambda pkt, time: fired.append(pkt), "payload")
+        sim.schedule(1.0, lambda: fired.append("last"))
+        sim.run()
+        assert fired == ["plain", "payload", "last"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_call(-0.1, lambda pkt, time: None, "x")
+
+    def test_counts_as_live_and_processed(self):
+        sim = Simulator()
+        sim.schedule_call(1.0, lambda pkt, time: None, "x")
+        assert sim.live_events == 1
+        sim.run()
+        assert sim.live_events == 0
+        assert sim.events_processed == 1
+
+    def test_survives_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_call(2.0, lambda pkt, time: seen.append(pkt), "late")
+        sim.run(until=1.0)
+        assert seen == [] and sim.now == 1.0
+        sim.run()
+        assert seen == ["late"] and sim.now == 2.0
+
+    def test_dispatched_by_guarded_run(self):
+        # Budgets force the guarded loop; payload events must still
+        # receive (payload, fire_time).
+        sim = Simulator()
+        seen = []
+        for index in range(3):
+            sim.schedule_call(float(index + 1), lambda pkt, time: seen.append((pkt, time)), index)
+        sim.run(max_events=2)
+        assert seen == [(0, 1.0), (1, 2.0)]
+        sim.run()
+        assert seen[-1] == (2, 3.0)

@@ -49,8 +49,10 @@ def _fast_recovery_sender():
     """
     sim = Simulator()
     log = FlowLog()
-    link = Link(sim, delay=0.03, loss_model=NoLoss())
-    link.deliver = lambda segment, time: None  # ACKs are injected by hand
+    link = Link(
+        sim, delay=0.03, loss_model=NoLoss(),
+        deliver=lambda segment, time: None,  # ACKs are injected by hand
+    )
     sender = NewRenoSender(sim, link, log, wmax=32.0, initial_cwnd=8.0)
     sender.start()
     sim.run(until=0.1)
