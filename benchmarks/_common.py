@@ -1,0 +1,37 @@
+"""Shared plumbing for the ``bench_*`` scripts.
+
+Every benchmark writes one JSON artefact at the repo root
+(``BENCH_engine.json``, ``BENCH_campaign.json``, …) that the smoke
+gate in ``scripts/smoke.py`` reads back as its regression baseline.
+The artefacts must stay byte-stable in format — ``indent=2`` plus a
+trailing newline — so committed diffs show value drift, never
+formatting churn.  This module is the single place that format is
+defined.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_artifact(path: str, result: dict) -> None:
+    """Write a benchmark artefact in the canonical committed format."""
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"bench: wrote {path}")
+
+
+def overhead_pct(baseline_s: float, measured_s: float) -> float:
+    """Relative slowdown of ``measured_s`` over ``baseline_s``, in percent.
+
+    Negative values (measurement noise making the instrumented leg
+    faster) are reported as-is rather than clamped: the artefact should
+    record what was observed.
+    """
+    if baseline_s <= 0.0:
+        return 0.0
+    return round((measured_s - baseline_s) / baseline_s * 100.0, 2)

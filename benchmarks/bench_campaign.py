@@ -27,7 +27,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import pickle
 import sys
@@ -35,6 +34,8 @@ import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from _common import write_artifact  # noqa: E402
 
 
 def _timed_campaign(flow_scale: float, duration: float, workers):
@@ -57,7 +58,7 @@ def _timed_auto_campaign(flow_scale: float, duration: float):
     backend = AutoBackend()
     start = time.perf_counter()
     specs = campaign_specs(seed=2015, duration=duration, flow_scale=flow_scale)
-    execution = Executor(backend).run(specs)
+    execution = Executor(backend=backend).run(specs)
     elapsed = time.perf_counter() - start
     dataset = SyntheticDataset(
         traces=execution.traces, entries=PAPER_CAMPAIGN, report=execution.report
@@ -128,9 +129,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     result = run_benchmark(args.flow_scale, args.duration, args.workers)
-    with open(args.output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, result)
 
     print(f"bench: {result['cpu_count']} cpus, {result['flows']} flows — "
           f"serial {result['serial']['flows_per_s']:.2f} flows/s, "
@@ -139,7 +138,6 @@ def main(argv=None) -> int:
           f"(speedup {result['speedup']:.2f}x), "
           f"auto {result['auto']['flows_per_s']:.2f} flows/s "
           f"[{result['auto']['decision']['mode']}]")
-    print(f"bench: wrote {args.output}")
     if not result["identical"]:
         print("bench: FAIL — backend runs diverged from serial", file=sys.stderr)
         return 1

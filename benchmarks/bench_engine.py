@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Micro-benchmark: the simulator core's event and packet hot paths.
 
-Two measurements, written to ``BENCH_engine.json``:
+Three measurements, written to ``BENCH_engine.json``:
 
 * **events/sec** — a pure engine loop: the heap is pre-filled with
   payload events (the same ``schedule_call`` path every packet
@@ -11,6 +11,13 @@ Two measurements, written to ``BENCH_engine.json``:
   over the 300 km/h scenario's channels), measuring wire transmissions
   (data + ACK) per wall-clock second, plus the flow's engine
   events/sec for context.
+* **telemetry overhead** — the same HSR flow with telemetry off, with
+  a :class:`~repro.telemetry.NullTelemetry` sink, and with a live
+  :class:`~repro.telemetry.CountingTelemetry` sink.  ``NullTelemetry``
+  is normalised away at construction, so its leg exercises the exact
+  uninstrumented code path; the benchmark *fails* (exit 1) if it
+  measures more than 5% slower than telemetry-off, because that would
+  mean the zero-overhead-when-off contract broke.
 
 The committed artefact is the regression baseline: ``scripts/smoke.py``
 re-measures and fails when events/sec drops more than 30% below it.
@@ -24,13 +31,18 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from _common import overhead_pct, write_artifact  # noqa: E402
+
+#: NullTelemetry must cost nothing: it resolves to the uninstrumented
+#: engine, so anything beyond measurement noise is a broken contract.
+NULL_OVERHEAD_LIMIT_PCT = 5.0
 
 
 def bench_event_loop(events: int, repeats: int) -> dict:
@@ -56,27 +68,34 @@ def bench_event_loop(events: int, repeats: int) -> dict:
     }
 
 
-def bench_flow(duration: float, repeats: int) -> dict:
-    """One HSR flow per repeat; best wall-clock wins."""
+def _timed_flow(duration: float, seed: int = 20150402, telemetry=None):
+    """One freshly-built HSR flow; returns (elapsed_s, result, simulator)."""
     from repro.hsr.scenario import hsr_scenario
     from repro.simulator.connection import run_flow
     from repro.simulator.engine import Simulator
+    from repro.telemetry import active
 
-    scenario = hsr_scenario()
+    built = hsr_scenario().build(duration=duration, seed=seed)
+    sim = Simulator(telemetry=active(telemetry))
+    start = time.perf_counter()
+    result = run_flow(
+        built.config,
+        built.data_loss,
+        built.ack_loss,
+        seed=seed,
+        simulator=sim,
+        telemetry=telemetry,
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, result, sim
+
+
+def bench_flow(duration: float, repeats: int) -> dict:
+    """One HSR flow per repeat; best wall-clock wins."""
     best = float("inf")
     packets = events = 0
     for _ in range(repeats):
-        built = scenario.build(duration=duration, seed=20150402)
-        sim = Simulator()
-        start = time.perf_counter()
-        result = run_flow(
-            built.config,
-            built.data_loss,
-            built.ack_loss,
-            seed=20150402,
-            simulator=sim,
-        )
-        elapsed = time.perf_counter() - start
+        elapsed, result, sim = _timed_flow(duration)
         if elapsed < best:
             best = elapsed
             packets = result.log.data_sent + result.log.acks_sent
@@ -92,12 +111,40 @@ def bench_flow(duration: float, repeats: int) -> dict:
     }
 
 
+def bench_telemetry_overhead(duration: float, repeats: int) -> dict:
+    """HSR flow with telemetry off vs NullTelemetry vs CountingTelemetry.
+
+    Best-of-``repeats`` per leg, legs interleaved round-robin so a
+    transient host stall penalises all three alike rather than one.
+    """
+    from repro.telemetry import CountingTelemetry, NullTelemetry
+
+    legs = {"off": None, "null": NullTelemetry, "counting": CountingTelemetry}
+    best = {name: float("inf") for name in legs}
+    for _ in range(repeats):
+        for name, factory in legs.items():
+            sink = factory() if factory is not None else None
+            elapsed, _, _ = _timed_flow(duration, telemetry=sink)
+            best[name] = min(best[name], elapsed)
+    return {
+        "scenario": "hsr/300kmh",
+        "sim_duration_s": duration,
+        "off_s": round(best["off"], 4),
+        "null_s": round(best["null"], 4),
+        "counting_s": round(best["counting"], 4),
+        "null_overhead_pct": overhead_pct(best["off"], best["null"]),
+        "counting_overhead_pct": overhead_pct(best["off"], best["counting"]),
+        "null_limit_pct": NULL_OVERHEAD_LIMIT_PCT,
+    }
+
+
 def run_benchmark(events: int, flow_duration: float, repeats: int) -> dict:
     return {
         "benchmark": "engine",
         "cpu_count": os.cpu_count(),
         "event_loop": bench_event_loop(events, repeats),
         "hsr_flow": bench_flow(flow_duration, repeats),
+        "telemetry": bench_telemetry_overhead(flow_duration, repeats),
     }
 
 
@@ -114,18 +161,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     result = run_benchmark(args.events, args.flow_duration, args.repeats)
-    with open(args.output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, result)
 
     loop = result["event_loop"]
     flow = result["hsr_flow"]
+    telemetry = result["telemetry"]
     print(f"bench: engine drain {loop['events_per_s']:,.0f} events/s "
           f"({loop['events']} events in {loop['elapsed_s']}s)")
     print(f"bench: HSR flow {flow['packets_per_s']:,.0f} packets/s, "
           f"{flow['engine_events_per_s']:,.0f} events/s "
           f"({flow['packets']} packets in {flow['elapsed_s']}s)")
-    print(f"bench: wrote {args.output}")
+    print(f"bench: telemetry overhead — null {telemetry['null_overhead_pct']:+.2f}%, "
+          f"counting {telemetry['counting_overhead_pct']:+.2f}% "
+          f"(off {telemetry['off_s']}s)")
+    if telemetry["null_overhead_pct"] > NULL_OVERHEAD_LIMIT_PCT:
+        print(f"bench: FAIL — NullTelemetry overhead "
+              f"{telemetry['null_overhead_pct']:.2f}% exceeds the "
+              f"{NULL_OVERHEAD_LIMIT_PCT:.0f}% zero-overhead budget",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -3,21 +3,28 @@
 
 One command that proves the robustness path works as a system:
 
-1. runs the full experiment CLI (``python -m repro.experiments all
+1. runs ``scripts/check_api.py`` — ``import repro`` in a clean
+   interpreter, every ``repro.__all__`` name resolvable, every example
+   under ``examples/`` importing only things that exist;
+2. runs a fixed-seed instrumented flow and asserts every
+   :class:`~repro.telemetry.CountingTelemetry` counter reconciles
+   exactly with the flow's own :class:`FlowLog` aggregates;
+3. runs the full experiment CLI (``python -m repro.experiments all
    --scale 0.1``) under an aggressive fault plan and per-flow watchdogs,
    asserting a zero exit code and non-empty output — every experiment
    must survive injected handoff storms, deep fades, ACK blackouts and
    RTT spikes;
-2. runs a campaign in-process with the same chaos plus a deliberately
+4. runs a campaign in-process with the same chaos plus a deliberately
    broken flow, asserting the partial dataset and a non-empty,
    deterministic :class:`~repro.robustness.campaign.CampaignReport`;
-3. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process vs
+5. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process vs
    auto campaign throughput), asserting every backend agrees with
    serial and that ``BENCH_campaign.json`` is written with the auto
    backend's decision;
-4. runs ``benchmarks/bench_engine.py`` and fails if engine events/sec
-   regresses more than 30% against the committed ``BENCH_engine.json``
-   baseline.
+6. runs ``benchmarks/bench_engine.py`` — which itself fails if
+   ``NullTelemetry`` costs more than its 5% zero-overhead budget — and
+   fails if engine events/sec regresses more than 30% against the
+   committed ``BENCH_engine.json`` baseline.
 
 Usage::
 
@@ -175,6 +182,66 @@ def smoke_bench() -> None:
           f"auto chose {decision['mode']}")
 
 
+def smoke_api() -> None:
+    """The consolidated import surface and example imports must hold."""
+    check = os.path.join(REPO_ROOT, "scripts", "check_api.py")
+    command = [sys.executable, check]
+    print("smoke: running", " ".join(command), flush=True)
+    completed = subprocess.run(
+        command, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        fail(f"check_api exited {completed.returncode}")
+    print("smoke: api ok — top-level surface and example imports resolve")
+
+
+def smoke_telemetry() -> None:
+    """Counters must reconcile exactly with the FlowLog on a fixed seed."""
+    from repro.hsr.scenario import hsr_scenario
+    from repro.simulator.connection import run_flow
+    from repro.telemetry import CountingTelemetry
+
+    seed = 20150402
+    built = hsr_scenario().build(duration=12.0, seed=seed)
+    telemetry = CountingTelemetry()
+    log = run_flow(
+        built.config, built.data_loss, built.ack_loss,
+        seed=seed, telemetry=telemetry,
+    ).log
+
+    delivered = sum(
+        1 for p in log.data_packets if p.arrival_time is not None
+    ) + sum(1 for a in log.acks if a.arrival_time is not None)
+    phase_changes = sum(
+        1
+        for before, after in zip(log.cwnd_samples, log.cwnd_samples[1:])
+        if before.phase != after.phase
+    )
+    identities = [
+        ("data_sent", telemetry.data_sent, log.data_sent),
+        ("data_dropped", telemetry.data_dropped, log.data_lost),
+        ("acks_sent", telemetry.acks_sent, log.acks_sent),
+        ("acks_dropped", telemetry.acks_dropped, log.acks_lost),
+        ("packets_sent", telemetry.packets_sent,
+         log.data_sent + log.acks_sent),
+        ("packets_dropped", telemetry.packets_dropped,
+         log.data_lost + log.acks_lost),
+        ("packets_delivered", telemetry.packets_delivered, delivered),
+        ("rto_fired", telemetry.rto_fired, len(log.timeouts)),
+        ("cwnd_phase_transitions", telemetry.cwnd_phase_transitions,
+         phase_changes),
+    ]
+    for name, counted, logged in identities:
+        if counted != logged:
+            fail(f"telemetry counter {name}={counted} disagrees with "
+                 f"the FlowLog's {logged}")
+    print(f"smoke: telemetry ok — {len(identities)} counters reconcile "
+          f"({telemetry.packets_sent} packets, {telemetry.rto_fired} RTOs, "
+          f"{telemetry.rto_spurious} spurious)")
+
+
 #: fractional events/sec regression tolerated against the committed
 #: BENCH_engine.json baseline before the smoke test fails
 ENGINE_REGRESSION_TOLERANCE = 0.30
@@ -240,6 +307,8 @@ def main() -> int:
              "campaign check and the micro-benchmark",
     )
     args = parser.parse_args()
+    smoke_api()
+    smoke_telemetry()
     smoke_campaign()
     smoke_bench()
     smoke_engine_bench()

@@ -1,12 +1,36 @@
 """repro — reproduction of "Measurement, Modeling, and Analysis of TCP
 in High-Speed Mobility Scenarios" (ICDCS 2016).
 
-Top-level convenience re-exports; see the subpackages for the full API:
+One import gives the working set of the whole stack::
 
-* :mod:`repro.core` — the enhanced throughput model and baselines.
+    import repro
+
+    # closed-form models (the paper's contribution)
+    repro.enhanced_throughput(repro.LinkParams(...))
+
+    # one simulated flow, optionally instrumented
+    result = repro.run_flow(config, telemetry=repro.CountingTelemetry())
+
+    # a campaign: specs -> executor -> report (+ merged telemetry)
+    execution = repro.Executor(telemetry=True).run(
+        [repro.FlowSpec(scenario=repro.Scenario(...), duration=60.0)]
+    )
+
+    # the Table-I dataset
+    dataset = repro.generate_dataset(flow_scale=0.1, workers="auto")
+
+Layers, bottom to top (each imports only downwards):
+
+* :mod:`repro.util` — seeded RNG streams, statistics, units, errors.
+* :mod:`repro.telemetry` — zero-overhead-when-off instrumentation
+  (:class:`Telemetry` hooks, counters, campaign aggregation, progress).
 * :mod:`repro.simulator` — discrete-event TCP Reno / MPTCP simulator.
+* :mod:`repro.robustness` — fault injection, watchdogs, retry/quarantine.
+* :mod:`repro.exec` — the unified flow-execution pipeline
+  (:class:`FlowSpec` → :class:`Executor`, serial/pool byte-identical).
 * :mod:`repro.hsr` — high-speed-rail channel/mobility substrate.
-* :mod:`repro.traces` — trace capture, analysis, and synthetic dataset.
+* :mod:`repro.core` — the enhanced throughput model and baselines.
+* :mod:`repro.traces` — trace capture, analysis, synthetic dataset.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -22,19 +46,77 @@ from repro.core import (
     padhye_full_throughput,
     padhye_paper_form,
 )
+from repro.exec import (
+    ExecutionResult,
+    Executor,
+    FlowOutcome,
+    FlowSpec,
+    simulate_spec,
+)
+from repro.hsr import Scenario, hsr_scenario, stationary_scenario
+from repro.robustness import (
+    CampaignReport,
+    FaultPlan,
+    RetryPolicy,
+    Watchdog,
+    fault_scope,
+    watchdog_scope,
+)
+from repro.simulator import ConnectionConfig, FlowResult, run_flow
+from repro.telemetry import (
+    CampaignTelemetry,
+    CountingTelemetry,
+    NullTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    TimelineTelemetry,
+    telemetry_scope,
+)
+from repro.traces import (
+    SyntheticDataset,
+    generate_dataset,
+    generate_stationary_reference,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignReport",
+    "CampaignTelemetry",
+    "ConnectionConfig",
+    "CountingTelemetry",
+    "ExecutionResult",
+    "Executor",
+    "FaultPlan",
+    "FlowOutcome",
+    "FlowResult",
+    "FlowSpec",
     "LinkParams",
     "ModelOptions",
+    "NullTelemetry",
+    "RetryPolicy",
+    "Scenario",
+    "SyntheticDataset",
+    "Telemetry",
+    "TelemetryConfig",
     "ThroughputPrediction",
+    "TimelineTelemetry",
+    "Watchdog",
     "__version__",
     "compare_models",
     "deviation_rate",
     "enhanced_throughput",
+    "fault_scope",
+    "generate_dataset",
+    "generate_stationary_reference",
+    "hsr_scenario",
     "mptcp_gain",
     "padhye_approx_throughput",
     "padhye_full_throughput",
     "padhye_paper_form",
+    "run_flow",
+    "simulate_spec",
+    "stationary_scenario",
+    "telemetry_scope",
+    "watchdog_scope",
 ]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -58,6 +59,10 @@ from repro.robustness.campaign import (
 )
 from repro.robustness.watchdog import current_watchdog
 from repro.simulator.connection import FlowResult, run_flow
+from repro.telemetry.campaign import CampaignTelemetry
+from repro.telemetry.counters import CountingTelemetry
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.scope import current_telemetry_config
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,6 +100,7 @@ def simulate_spec(spec: FlowSpec) -> Tuple[FlowResult, Optional["FlowTrace"]]:
         bottleneck_rate=spec.bottleneck_rate,
         bottleneck_buffer=spec.bottleneck_buffer,
         watchdog=spec.watchdog,
+        telemetry=CountingTelemetry() if spec.telemetry else None,
     )
     trace: Optional["FlowTrace"] = None
     if spec.metadata is not None:
@@ -182,8 +188,19 @@ class SerialBackend:
 
     name = "serial"
 
-    def map(self, fn: Callable, items: Sequence) -> List:
-        return [fn(item) for item in items]
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> List:
+        if progress is None:
+            return [fn(item) for item in items]
+        results: List = []
+        for done, item in enumerate(items, start=1):
+            results.append(fn(item))
+            progress(done)
+        return results
 
 
 class ProcessPoolBackend:
@@ -213,16 +230,29 @@ class ProcessPoolBackend:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
 
-    def map(self, fn: Callable, items: Sequence) -> List:
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> List:
         items = list(items)
         if self.workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return SerialBackend().map(fn, items, progress)
         chunksize = max(1, len(items) // (self.workers * 4))
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(items)),
             mp_context=get_context("spawn"),
         ) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+            if progress is None:
+                return list(pool.map(fn, items, chunksize=chunksize))
+            # pool.map yields in submission order, so incremental
+            # progress is monotone even when workers finish out of order.
+            results = []
+            for result in pool.map(fn, items, chunksize=chunksize):
+                results.append(result)
+                progress(len(results))
+            return results
 
 
 class AutoBackend:
@@ -260,7 +290,12 @@ class AutoBackend:
         self.workers = workers
         self.last_decision: Optional[dict] = None
 
-    def map(self, fn: Callable, items: Sequence) -> List:
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> List:
         items = list(items)
         cpus = os.cpu_count() or 1
         remainder = len(items) - self.PROBE_ITEMS
@@ -275,10 +310,14 @@ class AutoBackend:
                 "cpu_count": cpus,
                 "workers": effective,
             }
-            return [fn(item) for item in items]
+            return SerialBackend().map(fn, items, progress)
 
         start = time.perf_counter()
-        head = [fn(item) for item in items[: self.PROBE_ITEMS]]
+        head = []
+        for item in items[: self.PROBE_ITEMS]:
+            head.append(fn(item))
+            if progress is not None:
+                progress(len(head))
         probe_s = time.perf_counter() - start
         per_item_s = probe_s / self.PROBE_ITEMS
         tail_items = items[self.PROBE_ITEMS :]
@@ -300,10 +339,15 @@ class AutoBackend:
             "projected_serial_s": round(serial_estimate_s, 6),
             "projected_pool_s": round(pool_estimate_s, 6),
         }
+        tail_progress = (
+            None
+            if progress is None
+            else (lambda done: progress(done + len(head)))
+        )
         if use_pool:
-            tail = ProcessPoolBackend(effective).map(fn, tail_items)
+            tail = ProcessPoolBackend(effective).map(fn, tail_items, tail_progress)
         else:
-            tail = [fn(item) for item in tail_items]
+            tail = SerialBackend().map(fn, tail_items, tail_progress)
         return head + tail
 
 
@@ -313,6 +357,10 @@ class ExecutionResult:
 
     outcomes: List[FlowOutcome]
     report: CampaignReport
+    #: merged per-flow counters (None unless the run collected telemetry);
+    #: merged in spec order from wall-clock-free counters, so the JSON
+    #: artefact is byte-identical across serial and process-pool backends
+    telemetry: Optional[CampaignTelemetry] = None
 
     @property
     def traces(self) -> List["FlowTrace"]:
@@ -327,24 +375,64 @@ class ExecutionResult:
         return [outcome.result for outcome in self.outcomes]
 
 
+#: one positional-Executor deprecation warning per process, not per call
+_POSITIONAL_WARNED = False
+
+
 class Executor:
-    """Runs FlowSpec batches with retries, quarantine, and a report."""
+    """Runs FlowSpec batches with retries, quarantine, and a report.
+
+    Configuration is keyword-only: ``Executor(backend=...,
+    retry_policy=..., telemetry=...)``.  Positional arguments are
+    deprecated (they warn once per process) but still map to
+    ``backend``/``retry_policy`` so existing callers keep working.
+
+    ``telemetry`` controls campaign counter collection: ``True`` bakes
+    collection into every spec, ``False`` disables it, and the default
+    ``None`` defers to the ambient :func:`~repro.telemetry.telemetry_scope`
+    configuration (how the CLI's ``--telemetry`` flag reaches every
+    executor without parameter threading).
+    """
 
     def __init__(
         self,
+        *args: object,
         backend: Optional[object] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        telemetry: Optional[bool] = None,
     ) -> None:
+        if args:
+            global _POSITIONAL_WARNED
+            if len(args) > 2 or (len(args) >= 1 and backend is not None) or (
+                len(args) == 2 and retry_policy is not None
+            ):
+                raise TypeError(
+                    "Executor takes at most (backend, retry_policy) "
+                    "positionally, each given at most once"
+                )
+            if not _POSITIONAL_WARNED:
+                _POSITIONAL_WARNED = True
+                warnings.warn(
+                    "positional Executor arguments are deprecated; use "
+                    "Executor(backend=..., retry_policy=...)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            backend = args[0]
+            if len(args) == 2:
+                retry_policy = args[1]  # type: ignore[assignment]
         self.backend = backend if backend is not None else SerialBackend()
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
+        self.telemetry = telemetry
 
     @classmethod
     def for_workers(
         cls,
         workers: Union[int, str] = 1,
         retry_policy: Optional[RetryPolicy] = None,
+        telemetry: Optional[bool] = None,
     ) -> "Executor":
         """Serial for ``workers <= 1``, a spawn pool otherwise.
 
@@ -352,18 +440,27 @@ class Executor:
         probes the batch and picks serial vs pool per call.
         """
         if workers == "auto":
-            return cls(AutoBackend(), retry_policy)
+            return cls(
+                backend=AutoBackend(), retry_policy=retry_policy, telemetry=telemetry
+            )
         if isinstance(workers, str):
             raise ConfigurationError(
                 f"workers must be an integer or 'auto', got {workers!r}"
             )
         if workers <= 1:
-            return cls(SerialBackend(), retry_policy)
-        return cls(ProcessPoolBackend(workers), retry_policy)
+            return cls(
+                backend=SerialBackend(), retry_policy=retry_policy, telemetry=telemetry
+            )
+        return cls(
+            backend=ProcessPoolBackend(workers),
+            retry_policy=retry_policy,
+            telemetry=telemetry,
+        )
 
     def run(
         self,
         specs: Iterable[FlowSpec],
+        *,
         report: Optional[CampaignReport] = None,
     ) -> ExecutionResult:
         """Execute every spec; failures never abort the batch.
@@ -373,13 +470,42 @@ class Executor:
         returned.  Accounting is replayed from the outcomes in spec
         order, so the report's bytes do not depend on the backend or on
         completion timing.
+
+        When telemetry collection is on (``Executor(telemetry=True)``,
+        a spec's own ``telemetry`` flag, or an ambient
+        :func:`~repro.telemetry.telemetry_scope`), per-flow counter
+        summaries are merged — in spec order, from wall-clock-free
+        counters — into :attr:`ExecutionResult.telemetry`; progress
+        reporting, when enabled, writes to stderr only and never
+        changes result bytes.
         """
-        prepared = [self._finalise(spec) for spec in specs]
+        ambient = current_telemetry_config()
+        collect = self.telemetry
+        if collect is None:
+            collect = ambient is not None and ambient.collect
+        prepared = [self._finalise(spec, collect) for spec in specs]
         payloads = [
             (index, spec, self.retry_policy)
             for index, spec in enumerate(prepared)
         ]
-        outcomes: List[FlowOutcome] = self.backend.map(_execute_payload, payloads)
+        reporter: Optional[ProgressReporter] = None
+        if ambient is not None and ambient.progress:
+            reporter = ProgressReporter(
+                total=len(payloads), stream=ambient.progress_stream
+            )
+        if reporter is None:
+            # No kwarg when off: custom backends only need the
+            # two-argument ``map(fn, items)`` signature.
+            outcomes: List[FlowOutcome] = self.backend.map(
+                _execute_payload, payloads
+            )
+        else:
+            try:
+                outcomes = self.backend.map(
+                    _execute_payload, payloads, reporter.update
+                )
+            finally:
+                reporter.finish()
         if report is None:
             report = CampaignReport()
         for outcome in outcomes:
@@ -391,16 +517,37 @@ class Executor:
                 report.record_quarantine(outcome.quarantine)
             else:
                 report.succeeded += 1
-        return ExecutionResult(outcomes=outcomes, report=report)
+        telemetry = self._gather_telemetry(outcomes, ambient)
+        return ExecutionResult(outcomes=outcomes, report=report, telemetry=telemetry)
 
-    def _finalise(self, spec: FlowSpec) -> FlowSpec:
+    @staticmethod
+    def _gather_telemetry(
+        outcomes: List[FlowOutcome], ambient
+    ) -> Optional[CampaignTelemetry]:
+        """Merge per-flow counters (spec order) into one campaign artefact."""
+        campaign: Optional[CampaignTelemetry] = None
+        for outcome in outcomes:
+            result = outcome.result
+            if result is None or not isinstance(result.telemetry, CountingTelemetry):
+                continue
+            if campaign is None:
+                campaign = CampaignTelemetry()
+            campaign.merge_flow(result.telemetry.summarise(outcome.spec.flow_id))
+        if campaign is not None and ambient is not None and ambient.aggregate is not None:
+            ambient.aggregate.merge(campaign)
+        return campaign
+
+    def _finalise(self, spec: FlowSpec, collect: bool = False) -> FlowSpec:
         """Bake ambient context into the spec before it leaves this process.
 
         ContextVars don't cross the spawn boundary, so the ambient
-        watchdog must travel inside the spec itself.
+        watchdog — and the telemetry-collection flag — must travel
+        inside the spec itself.
         """
         if spec.watchdog is None:
             ambient = current_watchdog()
             if ambient is not None:
                 spec = spec.with_(watchdog=ambient)
+        if collect and not spec.telemetry:
+            spec = spec.with_(telemetry=True)
         return spec

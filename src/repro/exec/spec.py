@@ -100,6 +100,10 @@ class FlowSpec:
     metadata: Optional["FlowMetadata"] = None
     #: validate the captured trace (requires ``metadata``)
     validate: bool = False
+    #: collect per-flow telemetry counters (a plain bool — not a sink —
+    #: so the flag survives the pickle across a spawn boundary; the
+    #: worker builds its own CountingTelemetry)
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario is None and self.config is None:

@@ -20,6 +20,14 @@ Robustness controls (see README "Robustness & fault injection"):
   experiments — the resilience smoke path;
 * ``all`` isolates experiments: one failure prints a one-line summary,
   the rest keep running, and the exit code is 1 if anything failed.
+
+Observability (see README "Observability"):
+
+* ``--telemetry`` collects per-flow counters in every executor-driven
+  campaign/sweep and prints the merged summary (JSON) to stderr at the
+  end — result bytes are unchanged;
+* ``--progress`` prints flows done/total, flows/s, and ETA lines to
+  stderr while campaigns run (implies nothing about results either).
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.robustness.watchdog import (
     Watchdog,
     watchdog_scope,
 )
+from repro.telemetry import CampaignTelemetry, TelemetryConfig, telemetry_scope
 
 __all__ = ["main"]
 
@@ -96,6 +105,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fan campaign/sweep flows out over N processes, or 'auto' "
              "to probe the batch and pick serial vs pool; results are "
              "byte-identical to a serial run either way (default 1)")
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect per-flow counters in every campaign and print the "
+             "merged summary (JSON) to stderr; result bytes unchanged")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print flows done/total, flows/s and ETA to stderr while "
+             "campaigns run (presentation only)")
 
 
 def _watchdog_from(args: argparse.Namespace) -> Optional[Watchdog]:
@@ -125,8 +142,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         ids = list(list_experiments())
 
     plan = FaultPlan.aggressive(args.chaos) if args.chaos > 0 else None
+    telemetry_config: Optional[TelemetryConfig] = None
+    if args.telemetry or args.progress:
+        telemetry_config = TelemetryConfig(
+            collect=args.telemetry,
+            progress=args.progress,
+            aggregate=CampaignTelemetry() if args.telemetry else None,
+        )
     exit_code = 0
-    with watchdog_scope(_watchdog_from(args)), fault_scope(plan):
+    with watchdog_scope(_watchdog_from(args)), fault_scope(plan), telemetry_scope(
+        telemetry_config
+    ):
         for experiment_id in ids:
             result, failure = run_experiment_safe(
                 experiment_id,
@@ -143,6 +169,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(format_result(result))
                 print()
+    if telemetry_config is not None and telemetry_config.aggregate is not None:
+        aggregate = telemetry_config.aggregate
+        if aggregate.flows:
+            print(f"telemetry: {aggregate.summary()}", file=sys.stderr)
+            print(aggregate.to_json(), file=sys.stderr)
+        else:
+            print(
+                "telemetry: no executor-driven flows ran under this "
+                "invocation (nothing to aggregate)",
+                file=sys.stderr,
+            )
     return exit_code
 
 

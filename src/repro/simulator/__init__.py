@@ -82,8 +82,8 @@ __all__ = [
     "NoLoss",
     "Receiver",
     "RecoveryPhaseRecord",
-    "RoundCorrelatedLoss",
     "RenoSender",
+    "RoundCorrelatedLoss",
     "RtoEstimator",
     "Segment",
     "Simulator",

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.simulator.channel import LossModel, NoLoss
+from repro.simulator.channel import LossModel, NoLoss, _observed_delivery
 from repro.simulator.engine import Simulator
+from repro.telemetry.base import Telemetry, active as _active_telemetry
 from repro.util.errors import ConfigurationError
 
 __all__ = ["BottleneckLink"]
@@ -45,6 +46,8 @@ class BottleneckLink:
         "overflows",
         "_queued",
         "_service_free_at",
+        "_telemetry",
+        "direction",
     )
 
     def __init__(
@@ -56,6 +59,8 @@ class BottleneckLink:
         loss_model: Optional[LossModel] = None,
         deliver: Optional[Callable] = None,
         on_drop: Optional[Callable] = None,
+        telemetry: Optional[Telemetry] = None,
+        direction: str = "data",
     ) -> None:
         if delay <= 0.0:
             raise ConfigurationError(f"delay must be positive, got {delay}")
@@ -74,7 +79,13 @@ class BottleneckLink:
         self.rate_pps = rate_pps
         self.buffer_packets = buffer_packets
         self.loss_model = loss_model or NoLoss()
-        self.deliver = deliver
+        self.direction = direction
+        self._telemetry = _active_telemetry(telemetry)
+        self.deliver = (
+            deliver
+            if self._telemetry is None
+            else _observed_delivery(deliver, self._telemetry, direction)
+        )
         self.on_drop = on_drop
 
         self.sent = 0
@@ -102,12 +113,19 @@ class BottleneckLink:
         """Enqueue one packet for transmission."""
         self.sent += 1
         now = self._simulator.now
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.on_packet_sent(self.direction, now)
         if self.loss_model.is_lost(now):
             self.dropped += 1
+            if telemetry is not None:
+                telemetry.on_packet_dropped(self.direction, now)
             self._drop(packet, now)
             return
         if self._queued >= self.buffer_packets:
             self.overflows += 1
+            if telemetry is not None:
+                telemetry.on_packet_dropped(self.direction, now)
             self._drop(packet, now)
             return
         self._queued += 1

@@ -42,6 +42,7 @@ from __future__ import annotations
 from math import log as _log
 from typing import Callable, Optional, Sequence, Tuple
 
+from repro.telemetry.base import Telemetry, active as _active_telemetry
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
 
@@ -350,6 +351,24 @@ class CompositeLoss(LossModel):
         return lost
 
 
+def _observed_delivery(
+    deliver: Callable, telemetry: Telemetry, direction: str
+) -> Callable:
+    """Wrap a delivery callback so arrivals are reported to ``telemetry``.
+
+    The wrapper keeps the engine's fast-path calling convention
+    ``deliver(packet, arrival_time)`` and adds exactly one hook call —
+    the uninstrumented delivery path never sees it, because the wrap
+    happens once at :class:`Link` construction.
+    """
+
+    def observed(packet, time: float) -> None:
+        telemetry.on_packet_delivered(direction, time)
+        deliver(packet, time)
+
+    return observed
+
+
 class Link:
     """A one-way link: propagation delay + optional jitter + loss.
 
@@ -364,6 +383,12 @@ class Link:
     cycles — the ACK link needs a sender that needs the data link —
     are closed with a late-binding lambda over the not-yet-constructed
     peer, which Python resolves at call time.
+
+    ``telemetry`` (an active :class:`~repro.telemetry.Telemetry` sink)
+    reports every transmission, drop, and delivery under
+    ``direction`` (``"data"`` or ``"ack"``); delivery is observed by
+    wrapping ``deliver``, so the uninstrumented send path keeps a
+    single ``is not None`` guard and the delivery path keeps none.
     """
 
     __slots__ = (
@@ -376,6 +401,8 @@ class Link:
         "sent",
         "dropped",
         "_last_arrival",
+        "_telemetry",
+        "direction",
     )
 
     def __init__(
@@ -386,6 +413,8 @@ class Link:
         jitter: Optional[Callable[[], float]] = None,
         deliver: Optional[Callable] = None,
         on_drop: Optional[Callable] = None,
+        telemetry: Optional[Telemetry] = None,
+        direction: str = "data",
     ) -> None:
         if delay <= 0.0:
             raise ConfigurationError(f"link delay must be positive, got {delay}")
@@ -397,11 +426,17 @@ class Link:
         self.delay = delay
         self.loss_model = loss_model or NoLoss()
         self.jitter = jitter
-        self.deliver = deliver
         self.on_drop = on_drop
         self.sent = 0
         self.dropped = 0
         self._last_arrival = 0.0
+        self.direction = direction
+        self._telemetry = _active_telemetry(telemetry)
+        self.deliver = (
+            deliver
+            if self._telemetry is None
+            else _observed_delivery(deliver, self._telemetry, direction)
+        )
 
     @property
     def loss_fraction(self) -> float:
@@ -413,8 +448,13 @@ class Link:
         self.sent += 1
         simulator = self._simulator
         now = simulator.now
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.on_packet_sent(self.direction, now)
         if self.loss_model.is_lost(now):
             self.dropped += 1
+            if telemetry is not None:
+                telemetry.on_packet_dropped(self.direction, now)
             if self.on_drop is not None:
                 self.on_drop(packet, now)
             return

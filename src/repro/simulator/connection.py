@@ -19,7 +19,8 @@ from repro.simulator.engine import Simulator
 from repro.simulator.metrics import FlowLog
 from repro.simulator.receiver import Receiver
 from repro.simulator.rto import RtoEstimator
-from repro.util.errors import ConfigurationError
+from repro.telemetry.base import Telemetry, active as _active_telemetry
+from repro.util.errors import BudgetExceededError, ConfigurationError
 from repro.util.rng import RngStream
 from repro.util.units import pps_to_mbps
 
@@ -84,6 +85,10 @@ class FlowResult:
     config: ConnectionConfig
     log: FlowLog
     duration: float
+    #: the telemetry sink the flow ran under (None when uninstrumented);
+    #: counter sinks are slotted plain objects, so they pickle across
+    #: process-pool boundaries along with the rest of the result
+    telemetry: Optional[Telemetry] = None
 
     @property
     def throughput(self) -> float:
@@ -126,6 +131,7 @@ def run_flow(
     bottleneck_rate: Optional[float] = None,
     bottleneck_buffer: int = 64,
     watchdog=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> FlowResult:
     """Simulate one TCP flow and return its result.
 
@@ -149,8 +155,15 @@ def run_flow(
     When omitted, the ambient watchdog installed by
     :func:`repro.robustness.watchdog.watchdog_scope` (e.g. via the
     experiment CLI's ``--timeout-s``/``--max-events`` flags) applies.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry` sink, e.g.
+    :class:`~repro.telemetry.CountingTelemetry`) instruments the
+    engine, both links, and the sender for this flow; the sink rides
+    back on :attr:`FlowResult.telemetry`.  ``None`` or
+    :class:`~repro.telemetry.NullTelemetry` costs nothing.
     """
-    sim = simulator or Simulator()
+    tel = _active_telemetry(telemetry)
+    sim = simulator or Simulator(telemetry=tel)
     log = FlowLog()
     rng = RngStream(seed, "connection")
 
@@ -165,6 +178,8 @@ def run_flow(
         jitter=_jitter_fn(rng.spawn("ack-jitter"), config.jitter_sigma),
         deliver=lambda ack, time: sender.on_ack(ack, time),
         on_drop=lambda ack, time: log.record_ack_drop(ack.transmission_id),
+        telemetry=tel,
+        direction="ack",
     )
     receiver = Receiver(
         sim, ack_link, log, b=config.b, delack_timeout=config.delack_timeout
@@ -178,6 +193,8 @@ def run_flow(
             loss_model=data_loss or NoLoss(),
             deliver=receiver.on_data,
             on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
+            telemetry=tel,
+            direction="data",
         )
     else:
         data_link = Link(
@@ -187,6 +204,8 @@ def run_flow(
             jitter=_jitter_fn(rng.spawn("data-jitter"), config.jitter_sigma),
             deliver=receiver.on_data,
             on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
+            telemetry=tel,
+            direction="data",
         )
     redundant_link: Optional[Link] = None
     if redundant_data_loss is not None:
@@ -197,8 +216,13 @@ def run_flow(
             jitter=_jitter_fn(rng.spawn("alt-jitter"), config.jitter_sigma),
             deliver=receiver.on_data,
             on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
+            telemetry=tel,
+            direction="data",
         )
 
+    # Registered third-party senders may not accept a telemetry kwarg,
+    # so it is only forwarded when a sink is actually active.
+    sender_kwargs = {} if tel is None else {"telemetry": tel}
     sender = make_sender(
         variant,
         sim,
@@ -208,6 +232,7 @@ def run_flow(
         initial_cwnd=config.initial_cwnd,
         rto=RtoEstimator(initial_rto=config.initial_rto, min_rto=config.min_rto),
         redundant_retransmit_link=redundant_link,
+        **sender_kwargs,
     )
 
     if watchdog is None:
@@ -220,5 +245,10 @@ def run_flow(
 
     sender.start()
     run_kwargs = watchdog.run_kwargs() if watchdog is not None else {}
-    sim.run(until=config.duration, **run_kwargs)
-    return FlowResult(config=config, log=log, duration=config.duration)
+    try:
+        sim.run(until=config.duration, **run_kwargs)
+    except BudgetExceededError as error:
+        if tel is not None:
+            tel.on_budget_exceeded(error.kind)
+        raise
+    return FlowResult(config=config, log=log, duration=config.duration, telemetry=tel)

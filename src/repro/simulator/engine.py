@@ -17,6 +17,13 @@ Two scheduling paths share the heap:
   No handle is allocated; the callback fires as ``action(payload,
   fire_time)``, so a link can schedule its ``deliver`` callback with
   the packet as payload instead of allocating a closure per packet.
+
+**Telemetry.**  ``Simulator(telemetry=...)`` with an active sink
+returns an instrumented subclass whose scheduling methods report to
+the sink (events scheduled / fired / cancelled); with ``None`` or a
+:class:`~repro.telemetry.NullTelemetry` it returns the plain class, so
+the uninstrumented hot loops above run exactly the same instructions
+as before the telemetry layer existed — zero overhead when off.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import heapq
 import time as _time
 from typing import Callable, List, Optional, Tuple
 
+from repro.telemetry.base import Telemetry, active as _active_telemetry
 from repro.util.errors import BudgetExceededError, SimulationError
 
 #: How often (in processed events) the wall-clock deadline is polled;
@@ -57,15 +65,30 @@ class EventHandle:
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of callbacks."""
+    """The event loop: a clock plus a priority queue of callbacks.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` sink) turns on
+    engine instrumentation; construction transparently returns an
+    instrumented subclass so the uninstrumented hot path pays nothing.
+    """
 
     __slots__ = ("now", "_queue", "_sequence", "_events_processed")
 
-    def __init__(self) -> None:
+    def __new__(cls, telemetry: Optional[Telemetry] = None) -> "Simulator":
+        if cls is Simulator and _active_telemetry(telemetry) is not None:
+            return object.__new__(_InstrumentedSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple] = []
         self._sequence = 0
         self._events_processed = 0
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The active telemetry sink (None on the uninstrumented class)."""
+        return None
 
     @property
     def events_processed(self) -> int:
@@ -275,3 +298,75 @@ class Simulator:
             processed_this_run += 1
         if until is not None and until > self.now:
             self.now = until
+
+
+class _InstrumentedEventHandle(EventHandle):
+    """An EventHandle that reports its (first) cancellation."""
+
+    __slots__ = ("_telemetry",)
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        super().__init__()
+        self._telemetry = telemetry
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._telemetry.on_event_cancelled()
+
+
+class _InstrumentedSimulator(Simulator):
+    """A Simulator that reports scheduling activity to a telemetry sink.
+
+    Semantics are identical to the base class — same heap entries, same
+    firing order, same clock — so a flow run under instrumentation is
+    bit-reproducible against an uninstrumented run of the same seed
+    (the golden-trace test pins this).  Only the bookkeeping differs:
+
+    * ``on_event_scheduled`` fires per push (both scheduling paths);
+    * ``on_event_cancelled`` fires when a handle is first cancelled
+      (not when the tombstone is later discarded by the loop);
+    * ``on_events_fired`` fires once per ``run`` call with the number
+      of callbacks actually executed, even when the run raises a
+      :class:`~repro.util.errors.BudgetExceededError`.
+    """
+
+    __slots__ = ("_telemetry",)
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+        super().__init__()
+        sink = _active_telemetry(telemetry)
+        if sink is None:
+            raise SimulationError(
+                "_InstrumentedSimulator needs an active telemetry sink; "
+                "construct Simulator() for the uninstrumented engine"
+            )
+        self._telemetry = sink
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        handle = _InstrumentedEventHandle(self._telemetry)
+        heapq.heappush(
+            self._queue, (self.now + delay, self._sequence, action, _NO_PAYLOAD, handle)
+        )
+        self._sequence += 1
+        self._telemetry.on_event_scheduled()
+        return handle
+
+    def schedule_call(self, delay: float, action: Callable, payload) -> None:
+        super().schedule_call(delay, action, payload)
+        self._telemetry.on_event_scheduled()
+
+    def run(self, *args, **kwargs) -> None:
+        before = self._events_processed
+        try:
+            super().run(*args, **kwargs)
+        finally:
+            fired = self._events_processed - before
+            if fired:
+                self._telemetry.on_events_fired(fired)

@@ -30,6 +30,7 @@ from repro.simulator.metrics import (
 )
 from repro.simulator.packet import AckSegment, Segment
 from repro.simulator.rto import RtoEstimator
+from repro.telemetry.base import Telemetry, active as _active_telemetry
 from repro.util.errors import ConfigurationError
 
 __all__ = ["RenoSender", "_CONGESTION_AVOIDANCE", "_FAST_RECOVERY", "_TIMEOUT_RECOVERY"]
@@ -67,6 +68,8 @@ class RenoSender:
         "_recovery_records",
         "_transmission_counter",
         "_send_info",
+        "_telemetry",
+        "_tel_records",
     )
 
     def __init__(
@@ -80,6 +83,7 @@ class RenoSender:
         rto: Optional[RtoEstimator] = None,
         redundant_retransmit_link: Optional[Link] = None,
         subflow_id: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if wmax < 1.0:
             raise ConfigurationError(f"wmax must be >= 1, got {wmax}")
@@ -107,6 +111,12 @@ class RenoSender:
         self._transmission_counter = 0
         #: per-seq (last send time, ever retransmitted) for Karn's rule
         self._send_info: Dict[int, Tuple[float, bool]] = {}
+        self._telemetry = _active_telemetry(telemetry)
+        #: per-seq latest DataPacketRecord, kept only under telemetry so
+        #: an RTO can be classified as spurious (latest copy not lost)
+        self._tel_records: Optional[Dict[int, DataPacketRecord]] = (
+            {} if self._telemetry is not None else None
+        )
         self._log.record_cwnd(simulator.now, self.cwnd, self._phase)
 
     # -- public surface ---------------------------------------------------
@@ -174,8 +184,11 @@ class RenoSender:
         info = self._send_info.get(last_acked)
         if info is not None and not info[1]:
             self.rto.on_measurement(arrival_time - info[0])
+        tel_records = self._tel_records
         for seq in range(self.snd_una, ack.ack_seq):
             self._send_info.pop(seq, None)
+            if tel_records is not None:
+                tel_records.pop(seq, None)
         self.snd_una = ack.ack_seq
         if self.snd_nxt < self.snd_una:
             self.snd_nxt = self.snd_una
@@ -235,9 +248,10 @@ class RenoSender:
 
     def _ensure_rto_armed(self) -> None:
         if self._rto_timer is None and self.has_outstanding_data:
-            self._rto_timer = self._simulator.schedule(
-                self.rto.current_rto, self._on_rto_fired
-            )
+            rto_value = self.rto.current_rto
+            self._rto_timer = self._simulator.schedule(rto_value, self._on_rto_fired)
+            if self._telemetry is not None:
+                self._telemetry.on_rto_armed(self._simulator.now, rto_value)
 
     def _restart_rto_timer(self) -> None:
         if self._rto_timer is not None:
@@ -270,6 +284,16 @@ class RenoSender:
         )
         if self._current_recovery is not None:
             self._current_recovery.timeouts += 1
+        if self._telemetry is not None:
+            # Ground truth the paper can only infer: the RTO is spurious
+            # when the latest copy of the oldest outstanding segment was
+            # *not* dropped by the channel — the data is in flight (or
+            # its ACK was lost/late) and the retransmission is wasted.
+            latest = self._tel_records.get(self.snd_una)
+            spurious = latest is not None and not latest.lost
+            self._telemetry.on_rto_fired(
+                now, self.snd_una, spurious, self.rto.backoff_exponent
+            )
         self.rto.on_timeout()
         self._transmit(self.snd_una, is_retransmission=True)
         # Pull the send pointer back: once recovery completes, slow
@@ -327,6 +351,8 @@ class RenoSender:
             subflow_id=self.subflow_id,
         )
         self._log.record_data_send(record)
+        if self._tel_records is not None:
+            self._tel_records[seq] = record
         if segment.in_timeout_recovery and self._current_recovery is not None:
             self._recovery_records.append(record)
         self._data_link.send(segment)
@@ -359,5 +385,9 @@ class RenoSender:
             self.redundant_retransmit_link.send(copy)
 
     def _set_phase(self, phase: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.on_phase_transition(
+                self._simulator.now, self._phase, phase, self.cwnd
+            )
         self._phase = phase
         self._log.record_cwnd(self._simulator.now, self.cwnd, phase)

@@ -1,0 +1,57 @@
+"""repro.telemetry: zero-overhead-when-off instrumentation for the stack.
+
+The paper's whole contribution rests on transport-layer observables —
+per-packet loss, timeout-recovery behaviour, spurious RTOs, phase
+trajectories — and this subpackage makes them available *live* instead
+of only post-hoc through :class:`~repro.simulator.metrics.FlowLog`:
+
+* :class:`Telemetry` — the hook protocol (all hooks no-ops), with
+  :class:`NullTelemetry` as the explicit "off" sink.  ``None`` and
+  ``NullTelemetry`` are equivalent and cost nothing on hot paths.
+* :class:`CountingTelemetry` — live counters (events scheduled /
+  fired / cancelled, packets sent / dropped / delivered per direction,
+  RTO armed / fired / spurious, cwnd phase transitions, watchdog
+  trips) that reconcile exactly with the flow log.
+* :class:`TimelineTelemetry` — counters plus phase-tagged
+  :class:`TimelineEvent` records for diagnosis.
+* :class:`CampaignTelemetry` — per-flow summaries merged in spec
+  order into one canonical-JSON artefact, byte-identical between
+  serial and process-pool backends.
+* :class:`ProgressReporter` + :func:`telemetry_scope` — the opt-in
+  ``--telemetry`` / ``--progress`` plumbing of the experiments CLI.
+
+Enable per flow via ``run_flow(..., telemetry=CountingTelemetry())``
+or per campaign via ``Executor(telemetry=True)`` /
+``generate_dataset(..., telemetry=True)``.
+"""
+
+from repro.telemetry.base import NullTelemetry, Telemetry, active
+from repro.telemetry.campaign import CampaignTelemetry
+from repro.telemetry.counters import (
+    COUNTER_NAMES,
+    CountingTelemetry,
+    FlowTelemetrySummary,
+)
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.scope import (
+    TelemetryConfig,
+    current_telemetry_config,
+    telemetry_scope,
+)
+from repro.telemetry.timeline import TimelineEvent, TimelineTelemetry
+
+__all__ = [
+    "COUNTER_NAMES",
+    "CampaignTelemetry",
+    "CountingTelemetry",
+    "FlowTelemetrySummary",
+    "NullTelemetry",
+    "ProgressReporter",
+    "Telemetry",
+    "TelemetryConfig",
+    "TimelineEvent",
+    "TimelineTelemetry",
+    "active",
+    "current_telemetry_config",
+    "telemetry_scope",
+]

@@ -1,0 +1,85 @@
+"""Opt-in wall-clock progress reporting for long campaigns.
+
+A :class:`ProgressReporter` prints ``flows done/total``, the current
+rate, and an ETA to a stream (stderr by default) as the executor's
+backend completes payloads.  It is *presentation only*: nothing it
+prints feeds back into results or reports, so enabling progress can
+never change campaign bytes — which is why it is the one telemetry
+component allowed to read the wall clock.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Throttled ``done/total`` progress lines with rate and ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "flows",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        if total < 0:
+            raise ConfigurationError(f"total must be >= 0, got {total}")
+        if min_interval_s < 0.0:
+            raise ConfigurationError(
+                f"min_interval_s must be >= 0, got {min_interval_s}"
+            )
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self._start = time.monotonic()
+        self._last_print = -float("inf")
+        self._finished = False
+
+    def update(self, done: int) -> None:
+        """Record completion of ``done`` items so far; print if due.
+
+        Backends call this monotonically (``done`` only grows); the
+        final item always prints regardless of throttling.
+        """
+        self.done = done
+        now = time.monotonic()
+        is_final = done >= self.total
+        if not is_final and now - self._last_print < self.min_interval_s:
+            return
+        if is_final:
+            # The final line is finish()'s job; marking finished here
+            # keeps "done/total" from printing twice.
+            self._finished = True
+        self._last_print = now
+        self._write(now)
+
+    def finish(self) -> None:
+        """Emit the final line (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._write(time.monotonic())
+
+    def _write(self, now: float) -> None:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self.done / elapsed
+        if self.done and self.done < self.total:
+            eta = (self.total - self.done) / max(rate, 1e-9)
+            eta_text = f", ETA {eta:.0f}s"
+        else:
+            eta_text = ""
+        print(
+            f"{self.label} {self.done}/{self.total} "
+            f"({rate:.1f}/s{eta_text})",
+            file=self.stream,
+            flush=True,
+        )

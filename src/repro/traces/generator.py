@@ -43,6 +43,7 @@ from repro.hsr.scenario import Scenario, hsr_scenario, stationary_scenario
 from repro.robustness.campaign import CampaignReport, RetryPolicy
 from repro.robustness.faults import FaultPlan, current_fault_plan, with_faults
 from repro.robustness.watchdog import Watchdog
+from repro.telemetry.campaign import CampaignTelemetry
 from repro.traces.events import FlowMetadata, FlowTrace
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
@@ -89,6 +90,8 @@ class SyntheticDataset:
     traces: List[FlowTrace] = field(default_factory=list)
     entries: Sequence[CampaignEntry] = PAPER_CAMPAIGN
     report: CampaignReport = field(default_factory=CampaignReport)
+    #: merged per-flow counters (None unless generated with telemetry)
+    telemetry: Optional[CampaignTelemetry] = None
 
     @property
     def flow_count(self) -> int:
@@ -207,6 +210,7 @@ def generate_dataset(
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
     workers: Union[int, str] = 1,
+    telemetry: Optional[bool] = None,
 ) -> SyntheticDataset:
     """Regenerate the Table-I campaign from the HSR simulator.
 
@@ -225,6 +229,11 @@ def generate_dataset(
     ``fault_plan`` (or the ambient plan from
     :func:`repro.robustness.faults.fault_scope`) injects chaos into
     every flow's channels for stress testing.
+
+    ``telemetry=True`` collects per-flow counters and merges them onto
+    the dataset's ``telemetry`` field (byte-identical across worker
+    counts); the default ``None`` defers to the ambient
+    :func:`~repro.telemetry.telemetry_scope` configuration.
     """
     campaign = tuple(entries) if entries is not None else PAPER_CAMPAIGN
     specs = campaign_specs(
@@ -236,10 +245,15 @@ def generate_dataset(
         watchdog=watchdog,
         validate=validate,
     )
-    executor = Executor.for_workers(workers, retry_policy=retry_policy)
+    executor = Executor.for_workers(
+        workers, retry_policy=retry_policy, telemetry=telemetry
+    )
     execution = executor.run(specs)
     return SyntheticDataset(
-        traces=execution.traces, entries=campaign, report=execution.report
+        traces=execution.traces,
+        entries=campaign,
+        report=execution.report,
+        telemetry=execution.telemetry,
     )
 
 
@@ -251,6 +265,7 @@ def generate_stationary_reference(
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
     workers: Union[int, str] = 1,
+    telemetry: Optional[bool] = None,
 ) -> SyntheticDataset:
     """A stationary companion campaign (for the Fig.-3/6 comparisons)."""
     if duration <= 0.0:
@@ -275,8 +290,13 @@ def generate_stationary_reference(
             watchdog=watchdog,
             validate=validate,
         )
-    executor = Executor.for_workers(workers, retry_policy=retry_policy)
+    executor = Executor.for_workers(
+        workers, retry_policy=retry_policy, telemetry=telemetry
+    )
     execution = executor.run(specs)
     return SyntheticDataset(
-        traces=execution.traces, entries=entries, report=execution.report
+        traces=execution.traces,
+        entries=entries,
+        report=execution.report,
+        telemetry=execution.telemetry,
     )

@@ -200,7 +200,7 @@ class TestAutoBackend:
         specs = [spec(seed=i, flow_id=f"auto/{i}") for i in range(4)]
         serial = Executor().run(specs)
         backend = AutoBackend(2)
-        pooled = Executor(backend).run(specs)
+        pooled = Executor(backend=backend).run(specs)
         assert backend.last_decision["mode"] == "pool"
         assert serial.report.to_json() == pooled.report.to_json()
         for left, right in zip(serial.outcomes, pooled.outcomes):

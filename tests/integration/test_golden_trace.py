@@ -16,6 +16,7 @@ from dataclasses import astuple
 from repro.exec import FlowSpec, simulate_spec
 from repro.hsr.scenario import hsr_scenario
 from repro.simulator.connection import run_flow
+from repro.telemetry import CountingTelemetry, NullTelemetry
 
 GOLDEN_SEED = 20150402
 GOLDEN_DURATION = 12.0
@@ -26,10 +27,10 @@ GOLDEN_DURATION = 12.0
 GOLDEN_DIGEST = "b0ea4abc541f73061b16add3cd79ca194ab5b0b278d0e25f5f35ee659cd7b283"
 
 
-def _flow_log(seed: int = GOLDEN_SEED, duration: float = GOLDEN_DURATION):
+def _flow_log(seed: int = GOLDEN_SEED, duration: float = GOLDEN_DURATION, **kwargs):
     built = hsr_scenario().build(duration=duration, seed=seed)
     return run_flow(
-        built.config, built.data_loss, built.ack_loss, seed=seed
+        built.config, built.data_loss, built.ack_loss, seed=seed, **kwargs
     ).log
 
 
@@ -64,3 +65,13 @@ class TestGoldenTrace:
         )
         result, _ = simulate_spec(spec)
         assert _digest(result.log) == GOLDEN_DIGEST
+
+    def test_null_telemetry_matches_pinned_digest(self):
+        # NullTelemetry is normalised away: the uninstrumented engine
+        # runs, so the digest holds trivially.
+        assert _digest(_flow_log(telemetry=NullTelemetry())) == GOLDEN_DIGEST
+
+    def test_counting_telemetry_matches_pinned_digest(self):
+        # Instrumentation observes and must never perturb the event or
+        # RNG sequence: the digest holds even with counters ON.
+        assert _digest(_flow_log(telemetry=CountingTelemetry())) == GOLDEN_DIGEST

@@ -1,0 +1,69 @@
+"""Engine instrumentation: class-swap construction and event accounting."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.telemetry import CountingTelemetry, NullTelemetry, active
+from repro.util.errors import BudgetExceededError
+
+
+class TestConstruction:
+    def test_no_telemetry_returns_plain_class(self):
+        assert type(Simulator()) is Simulator
+        assert type(Simulator(telemetry=None)) is Simulator
+
+    def test_null_telemetry_is_equivalent_to_none(self):
+        sim = Simulator(telemetry=NullTelemetry())
+        assert type(sim) is Simulator
+        assert sim.telemetry is None
+
+    def test_active_sink_returns_instrumented_subclass(self):
+        telemetry = CountingTelemetry()
+        sim = Simulator(telemetry=telemetry)
+        assert type(sim) is not Simulator
+        assert isinstance(sim, Simulator)
+        assert sim.telemetry is telemetry
+
+    def test_active_normalisation(self):
+        telemetry = CountingTelemetry()
+        assert active(None) is None
+        assert active(NullTelemetry()) is None
+        assert active(telemetry) is telemetry
+
+
+class TestEventAccounting:
+    def test_scheduled_fired_cancelled(self):
+        telemetry = CountingTelemetry()
+        sim = Simulator(telemetry=telemetry)
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        handle = sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule_call(3.0, lambda payload, time: fired.append(payload), "c")
+        assert telemetry.events_scheduled == 3
+        handle.cancel()
+        handle.cancel()  # idempotent: still one cancellation
+        assert telemetry.events_cancelled == 1
+        sim.run()
+        assert fired == ["a", "c"]
+        # The cancelled tombstone is discarded, not fired.
+        assert telemetry.events_fired == 2
+
+    def test_events_fired_reported_even_when_budget_raises(self):
+        telemetry = CountingTelemetry()
+        sim = Simulator(telemetry=telemetry)
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        with pytest.raises(BudgetExceededError):
+            sim.run(event_budget=2)
+        assert telemetry.events_fired == 2
+
+    def test_same_event_order_as_plain_engine(self):
+        def drive(sim):
+            order = []
+            sim.schedule(2.0, lambda: order.append("late"))
+            sim.schedule(1.0, lambda: order.append("early"))
+            sim.schedule(1.0, lambda: order.append("tie-second"))
+            sim.run()
+            return order, sim.now, sim.events_processed
+
+        assert drive(Simulator()) == drive(Simulator(telemetry=CountingTelemetry()))

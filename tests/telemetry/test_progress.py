@@ -1,0 +1,59 @@
+"""ProgressReporter: throttling, final line, idempotent finish."""
+
+import io
+
+import pytest
+
+from repro.telemetry import ProgressReporter
+from repro.util.errors import ConfigurationError
+
+
+class TestProgressReporter:
+    def test_final_update_always_prints(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=3, stream=stream, min_interval_s=3600.0)
+        reporter.update(1)  # first line prints (interval measured from -inf)
+        reporter.update(2)  # throttled
+        reporter.update(3)  # final: prints regardless of throttle
+        lines = stream.getvalue().strip().splitlines()
+        assert lines[0].startswith("flows 1/3")
+        assert lines[-1].startswith("flows 3/3")
+        assert len(lines) == 2
+
+    def test_finish_after_final_update_does_not_duplicate(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, min_interval_s=0.0)
+        reporter.update(1)
+        reporter.update(2)
+        reporter.finish()
+        reporter.finish()
+        lines = stream.getvalue().strip().splitlines()
+        assert sum(1 for line in lines if line.startswith("flows 2/2")) == 1
+
+    def test_finish_without_updates_prints_once(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=5, stream=stream)
+        reporter.finish()
+        reporter.finish()
+        lines = stream.getvalue().strip().splitlines()
+        assert lines == ["flows 0/5 (0.0/s)"]
+
+    def test_intermediate_lines_carry_rate_and_eta(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=4, stream=stream, min_interval_s=0.0)
+        reporter.update(2)
+        line = stream.getvalue().strip()
+        assert "/s" in line
+        assert "ETA" in line
+
+    def test_custom_label(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, label="traces", stream=stream)
+        reporter.update(1)
+        assert stream.getvalue().startswith("traces 1/1")
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            ProgressReporter(total=-1)
+        with pytest.raises(ConfigurationError):
+            ProgressReporter(total=1, min_interval_s=-0.1)

@@ -1,8 +1,14 @@
-"""Smoke tests for the package's public surface.
+"""Snapshot tests for the package's public surface.
 
-Guards the advertised API: the top-level re-exports, the subpackage
-``__all__`` lists, and the version string — what a downstream user
-imports first.
+Guards the advertised API two ways:
+
+* **Resolution** — every ``__all__`` name on every subpackage resolves
+  to a real attribute (no stale exports).
+* **Snapshot** — the exported-name sets of the consolidated surfaces
+  (``repro``, ``repro.exec``, ``repro.simulator``, ``repro.robustness``,
+  ``repro.telemetry``) are pinned verbatim.  Adding or removing a
+  public name is an API change and must update the snapshot here — the
+  diff *is* the review artefact.
 """
 
 import importlib
@@ -11,10 +17,136 @@ import pytest
 
 import repro
 
+#: the pinned public surface; sorted, exactly as ``__all__`` declares it
+API_SNAPSHOT = {
+    "repro": [
+        "CampaignReport",
+        "CampaignTelemetry",
+        "ConnectionConfig",
+        "CountingTelemetry",
+        "ExecutionResult",
+        "Executor",
+        "FaultPlan",
+        "FlowOutcome",
+        "FlowResult",
+        "FlowSpec",
+        "LinkParams",
+        "ModelOptions",
+        "NullTelemetry",
+        "RetryPolicy",
+        "Scenario",
+        "SyntheticDataset",
+        "Telemetry",
+        "TelemetryConfig",
+        "ThroughputPrediction",
+        "TimelineTelemetry",
+        "Watchdog",
+        "__version__",
+        "compare_models",
+        "deviation_rate",
+        "enhanced_throughput",
+        "fault_scope",
+        "generate_dataset",
+        "generate_stationary_reference",
+        "hsr_scenario",
+        "mptcp_gain",
+        "padhye_approx_throughput",
+        "padhye_full_throughput",
+        "padhye_paper_form",
+        "run_flow",
+        "simulate_spec",
+        "stationary_scenario",
+        "telemetry_scope",
+        "watchdog_scope",
+    ],
+    "repro.exec": [
+        "AutoBackend",
+        "ExecutionResult",
+        "Executor",
+        "FlowOutcome",
+        "FlowSpec",
+        "ProcessPoolBackend",
+        "ResolvedFlow",
+        "SerialBackend",
+        "simulate_spec",
+    ],
+    "repro.simulator": [
+        "AckRecord",
+        "AckSegment",
+        "BernoulliLoss",
+        "BottleneckLink",
+        "CompositeLoss",
+        "ConnectionConfig",
+        "CwndSample",
+        "DataPacketRecord",
+        "EventHandle",
+        "FlowLog",
+        "FlowResult",
+        "GilbertElliottLoss",
+        "HandoffLoss",
+        "Link",
+        "LossModel",
+        "MAX_BACKOFF_FACTOR",
+        "MptcpResult",
+        "NewRenoSender",
+        "NoLoss",
+        "Receiver",
+        "RecoveryPhaseRecord",
+        "RenoSender",
+        "RoundCorrelatedLoss",
+        "RtoEstimator",
+        "Segment",
+        "Simulator",
+        "TimeoutRecord",
+        "TraceDrivenLoss",
+        "cc_names",
+        "get_cc",
+        "make_sender",
+        "register_cc",
+        "run_backup",
+        "run_duplex",
+        "run_flow",
+        "unregister_cc",
+    ],
+    "repro.robustness": [
+        "CampaignReport",
+        "DEFAULT_EVENT_BUDGET",
+        "DEFAULT_WALL_CLOCK_S",
+        "FaultPlan",
+        "FlowFailure",
+        "QuarantineRecord",
+        "RetryPolicy",
+        "ValidationResult",
+        "Watchdog",
+        "check_trace",
+        "current_fault_plan",
+        "current_watchdog",
+        "fault_scope",
+        "validate_trace",
+        "watchdog_scope",
+        "with_faults",
+    ],
+    "repro.telemetry": [
+        "COUNTER_NAMES",
+        "CampaignTelemetry",
+        "CountingTelemetry",
+        "FlowTelemetrySummary",
+        "NullTelemetry",
+        "ProgressReporter",
+        "Telemetry",
+        "TelemetryConfig",
+        "TimelineEvent",
+        "TimelineTelemetry",
+        "active",
+        "current_telemetry_config",
+        "telemetry_scope",
+    ],
+}
+
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
@@ -23,17 +155,53 @@ class TestTopLevel:
         assert callable(repro.mptcp_gain)
         assert repro.LinkParams is not None
 
+    def test_consolidated_exports(self):
+        """The one-import working set: models, flows, campaigns, telemetry."""
+        assert callable(repro.run_flow)
+        assert callable(repro.generate_dataset)
+        assert repro.FlowSpec is not None
+        assert repro.Executor is not None
+        assert repro.Scenario is not None
+        assert repro.FaultPlan is not None
+        assert repro.Watchdog is not None
+        assert issubclass(repro.NullTelemetry, repro.Telemetry)
+        assert issubclass(repro.CountingTelemetry, repro.Telemetry)
+
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("module_name", sorted(API_SNAPSHOT))
+class TestApiSnapshot:
+    """The exported surface is pinned name-for-name."""
+
+    def test_all_matches_snapshot(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = sorted(module.__all__)
+        pinned = sorted(API_SNAPSHOT[module_name])
+        added = sorted(set(exported) - set(pinned))
+        removed = sorted(set(pinned) - set(exported))
+        assert exported == pinned, (
+            f"{module_name} public API changed: added {added}, removed "
+            f"{removed}; update API_SNAPSHOT in this test if intentional"
+        )
+
+    def test_all_is_sorted(self, module_name):
+        module = importlib.import_module(module_name)
+        assert list(module.__all__) == sorted(module.__all__), (
+            f"{module_name}.__all__ must stay sorted for reviewable diffs"
+        )
 
 
 @pytest.mark.parametrize(
     "module_name",
     [
         "repro.core",
+        "repro.exec",
         "repro.simulator",
         "repro.hsr",
+        "repro.telemetry",
         "repro.traces",
         "repro.experiments",
         "repro.robustness",
@@ -79,3 +247,13 @@ class TestEndToEndSurface:
         built = scenario.build(duration=20.0, seed=7)
         result = run_flow(built.config, built.data_loss, built.ack_loss, seed=7)
         assert result.throughput > 0.0
+
+    def test_instrumented_flow_from_top_level(self):
+        """The consolidated surface runs an instrumented flow end to end."""
+        from repro import ConnectionConfig, CountingTelemetry, run_flow
+
+        telemetry = CountingTelemetry()
+        result = run_flow(ConnectionConfig(duration=5.0), telemetry=telemetry)
+        assert result.telemetry is telemetry
+        assert telemetry.packets_sent > 0
+        assert telemetry.events_fired > 0
