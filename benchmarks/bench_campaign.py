@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Micro-benchmark: campaign throughput, serial vs parallel vs auto backend.
 
-Runs the same miniature paper campaign three times through the flow
-executor — on the ``SerialBackend``, on a multi-process
-``ProcessPoolBackend``, and on the ``AutoBackend`` (which probes the
-batch and picks serial vs pool itself) — and reports flows/sec for
-each, the serial→pool speedup, and the auto backend's recorded
-decision, in ``BENCH_campaign.json``.
+Runs the same miniature paper campaign through the flow executor — on
+the ``SerialBackend``, on a multi-process ``ProcessPoolBackend``, on
+the ``AutoBackend`` (which probes the batch and picks serial vs pool
+itself), and finally twice through a throw-away ``ResultStore`` (a
+cold populating run, then a warm all-hits one) — and reports flows/sec
+for each, the serial→pool speedup, the auto backend's recorded
+decision, and the warm-cache speedup, in ``BENCH_campaign.json``.
 
 All runs must produce identical traces and an identical campaign
 report (that is the executor's determinism contract, and this script
@@ -66,6 +67,26 @@ def _timed_auto_campaign(flow_scale: float, duration: float):
     return dataset, elapsed, backend.last_decision
 
 
+def _timed_cached_campaign(flow_scale: float, duration: float):
+    """Cold (populate) then warm (all hits) run through a ResultStore."""
+    import tempfile
+
+    from repro.traces.generator import generate_dataset
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        start = time.perf_counter()
+        generate_dataset(
+            seed=2015, duration=duration, flow_scale=flow_scale, store=tmp
+        )
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_dataset = generate_dataset(
+            seed=2015, duration=duration, flow_scale=flow_scale, store=tmp
+        )
+        warm_s = time.perf_counter() - start
+    return warm_dataset, cold_s, warm_s
+
+
 def _trace_pickles(dataset):
     # Compare per trace: a batched pickle would differ through memo
     # references shared in-process, not through any value drift.
@@ -81,6 +102,7 @@ def run_benchmark(
     serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1)
     parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers)
     auto_dataset, auto_s, auto_decision = _timed_auto_campaign(flow_scale, duration)
+    warm_dataset, cold_s, warm_s = _timed_cached_campaign(flow_scale, duration)
 
     serial_pickles = _trace_pickles(serial_dataset)
     serial_report = serial_dataset.report.to_json()
@@ -89,6 +111,8 @@ def run_benchmark(
         and serial_pickles == _trace_pickles(parallel_dataset)
         and serial_report == auto_dataset.report.to_json()
         and serial_pickles == _trace_pickles(auto_dataset)
+        and serial_report == warm_dataset.report.to_json()
+        and serial_pickles == _trace_pickles(warm_dataset)
     )
     flows = serial_dataset.flow_count
     return {
@@ -109,6 +133,13 @@ def run_benchmark(
             "elapsed_s": round(auto_s, 4),
             "flows_per_s": round(flows / auto_s, 4) if auto_s else 0.0,
             "decision": auto_decision,
+        },
+        "cached": {
+            "cold_elapsed_s": round(cold_s, 4),
+            "warm_elapsed_s": round(warm_s, 4),
+            "warm_flows_per_s": round(flows / warm_s, 4) if warm_s else 0.0,
+            "warm_hits": warm_dataset.report.cache_hits,
+            "warm_speedup": round(serial_s / warm_s, 4) if warm_s else 0.0,
         },
         "speedup": round(serial_s / parallel_s, 4) if parallel_s else 0.0,
         "identical": identical,
@@ -137,7 +168,9 @@ def main(argv=None) -> int:
           f"{result['parallel']['flows_per_s']:.2f} flows/s "
           f"(speedup {result['speedup']:.2f}x), "
           f"auto {result['auto']['flows_per_s']:.2f} flows/s "
-          f"[{result['auto']['decision']['mode']}]")
+          f"[{result['auto']['decision']['mode']}], "
+          f"warm cache {result['cached']['warm_flows_per_s']:.2f} flows/s "
+          f"({result['cached']['warm_speedup']:.2f}x)")
     if not result["identical"]:
         print("bench: FAIL — backend runs diverged from serial", file=sys.stderr)
         return 1

@@ -10,11 +10,13 @@ Writes into ``results/`` (created if needed):
 * ``campaign_summary.csv``  — one row per flow of the mini campaign
 * ``campaign_report.txt``   — the Section-III text summary
 
+Every CSV goes through :func:`repro.traces.open_csv` /
+``repro.traces.export._csv_writer`` so the artefacts all share the same
+newline discipline (plain ``\\n``, no platform translation).
+
 Run:  python scripts/export_figures.py [output_dir]
 """
 
-import csv
-import io
 import sys
 from pathlib import Path
 
@@ -25,10 +27,13 @@ from repro.traces import (
     generate_dataset,
     generate_stationary_reference,
     loss_rate_pair,
+    open_csv,
     timeout_ack_scatter,
+    write_cwnd_csv,
     write_flow_summary_csv,
     write_latency_csv,
 )
+from repro.traces.export import _csv_writer
 from repro.hsr import hsr_scenario
 
 
@@ -38,46 +43,42 @@ def main() -> int:
 
     print("fig1: one HSR flow...")
     trace = simulate_fig1_flow(scale=1.0, seed=2015)
-    (out / "fig1_latency.csv").write_text(write_latency_csv(trace))
+    with open_csv(out / "fig1_latency.csv") as stream:
+        write_latency_csv(trace, stream)
     built = hsr_scenario().build(duration=120.0, seed=2015)
     result = run_flow(built.config, built.data_loss, built.ack_loss, seed=2015)
-    from repro.traces import write_cwnd_csv
-
-    (out / "fig1_cwnd.csv").write_text(write_cwnd_csv(result.log.cwnd_samples))
+    with open_csv(out / "fig1_cwnd.csv") as stream:
+        write_cwnd_csv(result.log.cwnd_samples, stream)
 
     print("campaigns (this takes a minute)...")
     hsr = generate_dataset(seed=2015, duration=90.0, flow_scale=0.06)
     stationary = generate_stationary_reference(seed=2016, duration=90.0,
                                                flows_per_provider=3)
 
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(["flow_id", "lifetime_loss", "recovery_loss"])
-    for flow in hsr.traces:
-        lifetime, recovery = loss_rate_pair(flow)
-        writer.writerow([flow.metadata.flow_id, f"{lifetime:.6f}",
-                         "" if recovery is None else f"{recovery:.6f}"])
-    (out / "fig3_loss_pairs.csv").write_text(buffer.getvalue())
+    with open_csv(out / "fig3_loss_pairs.csv") as stream:
+        writer = _csv_writer(stream)
+        writer.writerow(["flow_id", "lifetime_loss", "recovery_loss"])
+        for flow in hsr.traces:
+            lifetime, recovery = loss_rate_pair(flow)
+            writer.writerow([flow.metadata.flow_id, f"{lifetime:.6f}",
+                             "" if recovery is None else f"{recovery:.6f}"])
 
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(["flow_id", "ack_loss_rate", "timeout_probability"])
-    for point in timeout_ack_scatter(hsr.traces):
-        writer.writerow([point.flow_id, f"{point.ack_loss_rate:.6f}",
-                         f"{point.timeout_probability:.6f}"])
-    (out / "fig4_scatter.csv").write_text(buffer.getvalue())
+    with open_csv(out / "fig4_scatter.csv") as stream:
+        writer = _csv_writer(stream)
+        writer.writerow(["flow_id", "ack_loss_rate", "timeout_probability"])
+        for point in timeout_ack_scatter(hsr.traces):
+            writer.writerow([point.flow_id, f"{point.ack_loss_rate:.6f}",
+                             f"{point.timeout_probability:.6f}"])
 
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(["flow_id", "scenario", "ack_loss_rate"])
-    for flow in hsr.traces + stationary.traces:
-        writer.writerow([flow.metadata.flow_id, flow.metadata.scenario,
-                         f"{flow.ack_loss_rate:.6f}"])
-    (out / "fig6_ack_loss.csv").write_text(buffer.getvalue())
+    with open_csv(out / "fig6_ack_loss.csv") as stream:
+        writer = _csv_writer(stream)
+        writer.writerow(["flow_id", "scenario", "ack_loss_rate"])
+        for flow in hsr.traces + stationary.traces:
+            writer.writerow([flow.metadata.flow_id, flow.metadata.scenario,
+                             f"{flow.ack_loss_rate:.6f}"])
 
-    (out / "campaign_summary.csv").write_text(
-        write_flow_summary_csv(hsr.traces + stationary.traces)
-    )
+    with open_csv(out / "campaign_summary.csv") as stream:
+        write_flow_summary_csv(hsr.traces + stationary.traces, stream)
     (out / "campaign_report.txt").write_text(
         campaign_report(hsr.traces + stationary.traces,
                         title="Synthetic BTR campaign (Section III view)")

@@ -146,6 +146,57 @@ def smoke_campaign() -> None:
     print("smoke: campaign resilience ok — degraded deterministically, no data loss")
 
 
+def smoke_store() -> None:
+    """A warm result store must serve a whole campaign without simulating."""
+    import pickle
+    import tempfile
+
+    import repro.exec.executor as executor_module
+    from repro.store import ResultStore
+    from repro.traces.generator import generate_dataset
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-store-") as tmp:
+        fresh = generate_dataset(seed=2015, duration=8.0, flow_scale=0.04)
+        cold = generate_dataset(seed=2015, duration=8.0, flow_scale=0.04, store=tmp)
+
+        calls = []
+        real_simulate_spec = executor_module.simulate_spec
+
+        def counting_simulate_spec(spec):
+            calls.append(spec.flow_id)
+            return real_simulate_spec(spec)
+
+        executor_module.simulate_spec = counting_simulate_spec
+        try:
+            warm = generate_dataset(
+                seed=2015, duration=8.0, flow_scale=0.04, store=tmp
+            )
+        finally:
+            executor_module.simulate_spec = real_simulate_spec
+
+        if calls:
+            fail(f"warm store rerun simulated {len(calls)} flows: {calls}")
+        if warm.report.cache_hits != warm.flow_count or warm.flow_count == 0:
+            fail(
+                f"warm run reported {warm.report.cache_hits} cache hits for "
+                f"{warm.flow_count} flows"
+            )
+        for label, dataset in (("cold", cold), ("warm", warm)):
+            if [pickle.dumps(t) for t in dataset.traces] != [
+                pickle.dumps(t) for t in fresh.traces
+            ]:
+                fail(f"{label} store-backed traces diverge from uncached ones")
+            if dataset.report.to_json() != fresh.report.to_json():
+                fail(f"{label} store-backed report diverges from uncached one")
+        checked, corrupt = ResultStore(tmp).verify()
+        if corrupt or checked != warm.flow_count:
+            fail(f"store verify: {checked} checked, {len(corrupt)} corrupt")
+    print(
+        f"smoke: store ok — {warm.flow_count} flows served from cache, "
+        "byte-identical to uncached, store verifies clean"
+    )
+
+
 def smoke_bench() -> None:
     """The campaign micro-benchmark must run and emit its artefact."""
     bench = os.path.join(REPO_ROOT, "benchmarks", "bench_campaign.py")
@@ -166,7 +217,8 @@ def smoke_bench() -> None:
 
     with open(output) as handle:
         record = json.load(handle)
-    for key in ("cpu_count", "serial", "parallel", "auto", "speedup", "identical"):
+    for key in ("cpu_count", "serial", "parallel", "auto", "cached",
+                "speedup", "identical"):
         if key not in record:
             fail(f"BENCH_campaign.json is missing {key!r}")
     if not record["identical"]:
@@ -310,6 +362,7 @@ def main() -> int:
     smoke_api()
     smoke_telemetry()
     smoke_campaign()
+    smoke_store()
     smoke_bench()
     smoke_engine_bench()
     if not args.fast:

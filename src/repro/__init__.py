@@ -28,6 +28,8 @@ Layers, bottom to top (each imports only downwards):
 * :mod:`repro.robustness` — fault injection, watchdogs, retry/quarantine.
 * :mod:`repro.exec` — the unified flow-execution pipeline
   (:class:`FlowSpec` → :class:`Executor`, serial/pool byte-identical).
+* :mod:`repro.store` — content-addressed flow-result persistence
+  (:class:`ResultStore`, :class:`CachedBackend`, resumable campaigns).
 * :mod:`repro.hsr` — high-speed-rail channel/mobility substrate.
 * :mod:`repro.core` — the enhanced throughput model and baselines.
 * :mod:`repro.traces` — trace capture, analysis, synthetic dataset.
@@ -63,6 +65,7 @@ from repro.robustness import (
     watchdog_scope,
 )
 from repro.simulator import ConnectionConfig, FlowResult, run_flow
+from repro.store import CachedBackend, ResultStore, flow_key, store_scope
 from repro.telemetry import (
     CampaignTelemetry,
     CountingTelemetry,
@@ -78,9 +81,10 @@ from repro.traces import (
     generate_stationary_reference,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CachedBackend",
     "CampaignReport",
     "CampaignTelemetry",
     "ConnectionConfig",
@@ -94,6 +98,7 @@ __all__ = [
     "LinkParams",
     "ModelOptions",
     "NullTelemetry",
+    "ResultStore",
     "RetryPolicy",
     "Scenario",
     "SyntheticDataset",
@@ -107,6 +112,7 @@ __all__ = [
     "deviation_rate",
     "enhanced_throughput",
     "fault_scope",
+    "flow_key",
     "generate_dataset",
     "generate_stationary_reference",
     "hsr_scenario",
@@ -117,6 +123,7 @@ __all__ = [
     "run_flow",
     "simulate_spec",
     "stationary_scenario",
+    "store_scope",
     "telemetry_scope",
     "watchdog_scope",
 ]

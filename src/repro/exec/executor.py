@@ -122,6 +122,10 @@ class FlowOutcome:
     failures: List[FlowFailure] = field(default_factory=list)
     quarantine: Optional[QuarantineRecord] = None
     attempts: int = 1
+    #: how a cached run obtained this outcome: "hit" (served from the
+    #: result store), "miss" (computed fresh), "corrupt" (recomputed
+    #: after quarantining a damaged entry), or None (no store in play)
+    cache_state: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -488,6 +492,7 @@ class Executor:
             (index, spec, self.retry_policy)
             for index, spec in enumerate(prepared)
         ]
+        backend = self._effective_backend()
         reporter: Optional[ProgressReporter] = None
         if ambient is not None and ambient.progress:
             reporter = ProgressReporter(
@@ -496,12 +501,12 @@ class Executor:
         if reporter is None:
             # No kwarg when off: custom backends only need the
             # two-argument ``map(fn, items)`` signature.
-            outcomes: List[FlowOutcome] = self.backend.map(
+            outcomes: List[FlowOutcome] = backend.map(
                 _execute_payload, payloads
             )
         else:
             try:
-                outcomes = self.backend.map(
+                outcomes = backend.map(
                     _execute_payload, payloads, reporter.update
                 )
             finally:
@@ -517,8 +522,35 @@ class Executor:
                 report.record_quarantine(outcome.quarantine)
             else:
                 report.succeeded += 1
+            if outcome.cache_state == "hit":
+                report.cache_hits += 1
+            elif outcome.cache_state in ("miss", "corrupt"):
+                report.cache_misses += 1
+                if outcome.cache_state == "corrupt":
+                    report.cache_corrupt += 1
         telemetry = self._gather_telemetry(outcomes, ambient)
         return ExecutionResult(outcomes=outcomes, report=report, telemetry=telemetry)
+
+    def _effective_backend(self):
+        """The configured backend, cache-wrapped when a store is ambient.
+
+        The wrap happens per ``run`` call so one Executor honours
+        whatever :func:`~repro.store.scope.store_scope` is active at
+        each call site; an explicitly configured
+        :class:`~repro.store.backend.CachedBackend` is left alone.
+        """
+        from repro.store.scope import current_store_config
+
+        config = current_store_config()
+        if config is None:
+            return self.backend
+        from repro.store.backend import CachedBackend
+
+        if isinstance(self.backend, CachedBackend):
+            return self.backend
+        return CachedBackend(
+            config.store, self.backend, refresh=config.refresh
+        )
 
     @staticmethod
     def _gather_telemetry(

@@ -104,6 +104,15 @@ class FlowSpec:
     #: so the flag survives the pickle across a spawn boundary; the
     #: worker builds its own CountingTelemetry)
     telemetry: bool = False
+    #: content key of the flow this spec is a retry attempt of; set by
+    #: :meth:`for_attempt` so the result store resolves reseeded retry
+    #: specs to the *original* flow's cache entry
+    parent_key: Optional[str] = None
+
+    #: fields the result store excludes from the content hash —
+    #: ``telemetry`` never changes simulated bytes, and ``parent_key``
+    #: is the back-pointer the hash itself resolves through
+    _CACHE_KEY_EXCLUDE = frozenset({"parent_key", "telemetry"})
 
     def __post_init__(self) -> None:
         if self.scenario is None and self.config is None:
@@ -155,13 +164,25 @@ class FlowSpec:
 
         The metadata seed follows so a retried flow's trace records the
         seed that actually produced it (the report's reproducibility
-        contract).
+        contract).  The attempt also records its parent's content key:
+        a retry is a different *spec* (different seed) but the same
+        *flow*, so the result store must file whatever the retry
+        produces under the identity the campaign asked for.
         """
         changes: dict = {"seed": attempt_seed}
         if self.channel_seed is not None:
             changes["channel_seed"] = attempt_seed
         if self.metadata is not None:
             changes["metadata"] = replace(self.metadata, seed=attempt_seed)
+        if self.parent_key is None:
+            # Lazy import: repro.store sits above repro.exec in the
+            # layering (its backend imports the executor).
+            from repro.store.keys import UnhashableSpecError, flow_key
+
+            try:
+                changes["parent_key"] = flow_key(self)
+            except UnhashableSpecError:
+                pass  # uncacheable specs stay uncacheable on retry
         return self.with_(**changes)
 
     # -- materialisation ----------------------------------------------

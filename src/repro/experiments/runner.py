@@ -28,6 +28,15 @@ Observability (see README "Observability"):
   end — result bytes are unchanged;
 * ``--progress`` prints flows done/total, flows/s, and ETA lines to
   stderr while campaigns run (implies nothing about results either).
+
+Persistence (see README "Persistence & resumable campaigns"):
+
+* ``--store DIR`` backs every executor-driven campaign with a
+  content-addressed result store rooted at DIR — already-simulated
+  flows are served from disk and a killed run resumes where it left
+  off, with stdout byte-identical to an uncached run;
+* ``--no-cache`` (with ``--store``) recomputes everything but still
+  refreshes the store's entries.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from repro.robustness.watchdog import (
     Watchdog,
     watchdog_scope,
 )
+from repro.store.scope import store_scope
 from repro.telemetry import CampaignTelemetry, TelemetryConfig, telemetry_scope
 
 __all__ = ["main"]
@@ -113,6 +123,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="print flows done/total, flows/s and ETA to stderr while "
              "campaigns run (presentation only)")
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed flow-result store: cached flows are "
+             "served from DIR without simulating, fresh ones persisted "
+             "there; output stays byte-identical (default: no store)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="with --store: recompute every flow but still refresh its "
+             "store entry (repair mode); no-op without --store")
 
 
 def _watchdog_from(args: argparse.Namespace) -> Optional[Watchdog]:
@@ -152,7 +171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     with watchdog_scope(_watchdog_from(args)), fault_scope(plan), telemetry_scope(
         telemetry_config
-    ):
+    ), store_scope(args.store, refresh=args.no_cache):
         for experiment_id in ids:
             result, failure = run_experiment_safe(
                 experiment_id,

@@ -89,6 +89,13 @@ class CampaignReport:
     up either ``succeeded`` or ``quarantined``, so
     ``attempted == succeeded + quarantined`` always holds.  ``retried``
     counts extra attempts beyond each flow's first.
+
+    The ``cache_*`` fields say how a store-backed run obtained its
+    flows (served from the result store vs computed fresh).  They are
+    deliberately **excluded** from :meth:`to_dict`/:meth:`to_json`:
+    serialised reports stay byte-identical whether a campaign ran cold,
+    warm, or without a store at all — use :meth:`cache_summary` to
+    surface them.
     """
 
     attempted: int = 0
@@ -97,6 +104,13 @@ class CampaignReport:
     quarantined: int = 0
     failures: List[FlowFailure] = field(default_factory=list)
     quarantines: List[QuarantineRecord] = field(default_factory=list)
+    #: flows served from an ambient result store without simulating
+    cache_hits: int = 0
+    #: flows computed fresh under an ambient result store
+    cache_misses: int = 0
+    #: subset of ``cache_misses`` recomputed after quarantining a
+    #: corrupt store entry
+    cache_corrupt: int = 0
 
     @property
     def ok(self) -> bool:
@@ -131,6 +145,19 @@ class CampaignReport:
             f"{self.succeeded}/{self.attempted} flows ok, "
             f"{self.retried} retries, {self.quarantined} quarantined"
         )
+
+    def cache_summary(self) -> str:
+        """One line on store behaviour: ``250 cached, 5 fresh, 1 corrupt``.
+
+        Empty string when no store was in play (so callers can print it
+        unconditionally without cluttering uncached runs).
+        """
+        if not (self.cache_hits or self.cache_misses):
+            return ""
+        line = f"{self.cache_hits} cached, {self.cache_misses} fresh"
+        if self.cache_corrupt:
+            line += f", {self.cache_corrupt} corrupt"
+        return line
 
     def format(self) -> str:
         """Multi-line human-readable rendering."""

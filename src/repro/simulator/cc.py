@@ -28,12 +28,19 @@ from repro.simulator.reno import RenoSender
 from repro.util.errors import ConfigurationError
 
 __all__ = [
+    "CC_REGISTRY_VERSION",
     "cc_names",
     "get_cc",
     "make_sender",
     "register_cc",
     "unregister_cc",
 ]
+
+#: Behavioural version of the built-in senders.  The result store
+#: (:mod:`repro.store`) salts every content key with this, so bumping
+#: it — required whenever a sender change alters simulated bytes —
+#: invalidates all cached results computed under the old behaviour.
+CC_REGISTRY_VERSION = 1
 
 #: name -> sender factory (usually the sender class itself)
 _REGISTRY: Dict[str, Callable] = {}

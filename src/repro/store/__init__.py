@@ -1,0 +1,54 @@
+"""repro.store: content-addressed persistence for flow results.
+
+Never pay twice for a flow already simulated.  Every
+:class:`~repro.exec.FlowSpec` is deterministic, so its sha256 content
+key (:func:`flow_key` — canonical spec encoding salted with the cc
+registry and engine schema versions) addresses its entire result:
+
+* :class:`ResultStore` — sharded ``<root>/ab/abcdef….json.gz`` entries
+  with integrity digests, atomic writes, and corruption quarantine;
+* :class:`CachedBackend` — wraps any executor backend, serves hits
+  from the store, runs only the misses, merges in spec order —
+  cached campaigns stay byte-identical to uncached ones;
+* :func:`store_scope` — the ambient plumbing behind the experiments
+  CLI's ``--store DIR`` / ``--no-cache`` flags.
+
+Resumability falls out: a campaign killed midway has already persisted
+every completed flow, so rerunning the same command executes only the
+remainder.  ``python -m repro.store`` offers ``stats`` / ``verify`` /
+``gc`` maintenance over a store directory.
+"""
+
+from repro.store.backend import CachedBackend
+from repro.store.disk import CorruptEntryError, ResultStore, StoreStats
+from repro.store.format import SCHEMA_VERSION, decode_outcome, encode_outcome
+from repro.store.keys import (
+    ENGINE_SCHEMA_VERSION,
+    UnhashableSpecError,
+    canonical_json,
+    flow_key,
+)
+from repro.store.scope import (
+    StoreConfig,
+    current_store,
+    current_store_config,
+    store_scope,
+)
+
+__all__ = [
+    "CachedBackend",
+    "CorruptEntryError",
+    "ENGINE_SCHEMA_VERSION",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "StoreConfig",
+    "StoreStats",
+    "UnhashableSpecError",
+    "canonical_json",
+    "current_store",
+    "current_store_config",
+    "decode_outcome",
+    "encode_outcome",
+    "flow_key",
+    "store_scope",
+]

@@ -1,0 +1,93 @@
+"""Maintenance CLI for result stores.
+
+Usage::
+
+    python -m repro.store stats  DIR [--json]
+    python -m repro.store verify DIR [--quarantine]
+    python -m repro.store gc     DIR [--dry-run]
+
+``stats`` summarises entry/byte/schema counts; ``verify`` re-hashes
+every entry against its integrity digest (exit 1 when anything is
+corrupt; ``--quarantine`` also moves offenders aside); ``gc`` drops
+entries written under a stale payload schema (and unreadable ones),
+reclaiming space that can never hit again.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.store.disk import ResultStore
+from repro.store.format import SCHEMA_VERSION
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Inspect and maintain a content-addressed flow-result store",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="summarise a store directory")
+    stats.add_argument("store_dir")
+    stats.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+
+    verify = sub.add_parser("verify", help="re-hash every entry")
+    verify.add_argument("store_dir")
+    verify.add_argument("--quarantine", action="store_true",
+                        help="move corrupt entries into <store>/quarantine/")
+
+    gc = sub.add_parser("gc", help="drop stale-schema and unreadable entries")
+    gc.add_argument("store_dir")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without removing it")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = ResultStore(args.store_dir)
+
+    if args.command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"store: {stats.summary()}")
+        return 0
+
+    if args.command == "verify":
+        checked, corrupt = store.verify()
+        print(f"store: verified {checked} entries, {len(corrupt)} corrupt")
+        for key in corrupt:
+            print(f"  corrupt {key}", file=sys.stderr)
+            if args.quarantine:
+                store.quarantine(key)
+        if corrupt and args.quarantine:
+            print(f"store: quarantined {len(corrupt)} entries")
+        return 1 if corrupt else 0
+
+    # gc
+    if args.dry_run:
+        stats = store.stats()
+        print(
+            f"store: gc --dry-run — would remove {stats.stale_entries} of "
+            f"{stats.entries} entries (current schema {SCHEMA_VERSION})"
+        )
+        return 0
+    kept, removed = store.gc()
+    print(
+        f"store: gc removed {removed} stale entries, kept {kept} "
+        f"(schema {SCHEMA_VERSION})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

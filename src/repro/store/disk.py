@@ -1,0 +1,282 @@
+"""The on-disk content-addressed result store.
+
+Layout — two-hex-character shards under one root, one gzipped entry
+per flow::
+
+    <root>/
+      ab/abcdef01….json.gz     # entry keyed by its spec's content hash
+      cd/cdef2345….json.gz
+      quarantine/              # corrupt entries, moved aside verbatim
+
+Each entry decompresses to two lines: a small JSON header
+``{schema, key, flow_id, digest}`` and the payload's canonical JSON,
+where ``digest`` is the sha256 of the payload line's bytes.  Keeping
+the digested bytes verbatim in the file means reads hash what they
+just read — the multi-megabyte payload is never *re*-serialised to
+check integrity, which is what makes a warm cache hit cheap.  Reads
+verify the digest (and the key ↔ filename binding); anything that
+fails — truncated gzip, mangled JSON, digest mismatch — is
+*quarantined* (moved aside for post-mortem, never silently deleted)
+and reported as a miss, so a corrupted store degrades into
+recomputation instead of poisoning campaigns.
+
+Writes are atomic: the entry is written to a same-directory temp
+file and ``os.replace``d into place, so a killed campaign can never
+leave a half-written entry where a future read would find it, and
+concurrent campaigns sharing a store race benignly (last identical
+write wins).  Gzip frames are stamped with ``mtime=0`` so the same
+payload always produces the same file bytes; compression runs at
+level 1 — a cache trades disk for time, and heavier levels spend
+more per write than a campaign ever gets back.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.store.format import SCHEMA_VERSION
+from repro.util.errors import ReproError
+
+__all__ = ["CorruptEntryError", "ResultStore", "StoreStats"]
+
+_SUFFIX = ".json.gz"
+_QUARANTINE_DIR = "quarantine"
+
+
+class CorruptEntryError(ReproError, ValueError):
+    """A stored entry failed its integrity check on read."""
+
+    def __init__(self, key: str, reason: str) -> None:
+        self.key = key
+        self.reason = reason
+        super().__init__(f"corrupt store entry {key[:12]}…: {reason}")
+
+
+@dataclass
+class StoreStats:
+    """What ``python -m repro.store stats`` reports."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    quarantined: int = 0
+    #: schema version -> entry count; anything not on the current
+    #: schema is stale and reclaimable by ``gc``
+    schemas: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def stale_entries(self) -> int:
+        return sum(
+            count
+            for schema, count in self.schemas.items()
+            if schema != SCHEMA_VERSION
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "quarantined": self.quarantined,
+            "schema_version": SCHEMA_VERSION,
+            "schemas": {str(k): v for k, v in sorted(self.schemas.items())},
+            "stale_entries": self.stale_entries,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.entries} entries ({self.total_bytes} bytes) under "
+            f"{self.root}; {self.stale_entries} stale, "
+            f"{self.quarantined} quarantined"
+        )
+
+
+class ResultStore:
+    """Content-addressed persistence for flow results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{_SUFFIX}"
+
+    def _entry_paths(self) -> Iterator[Path]:
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2 and shard.name != _QUARANTINE_DIR:
+                yield from sorted(shard.glob(f"*{_SUFFIX}"))
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, key: str, payload: Dict[str, object]) -> Path:
+        """Persist one payload atomically under its content key."""
+        # Plain JSON, not keys.canonical_json: payloads are already
+        # JSON-native (format.encode_outcome built them), and floats
+        # must land in the file as bare shortest-repr literals so the
+        # stored bytes parse straight back into the payload.
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        header = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "flow_id": payload.get("flow_id", ""),
+            "digest": hashlib.sha256(body).hexdigest(),
+        }
+        target = self.path_for(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                with gzip.GzipFile(
+                    fileobj=handle, mode="wb", mtime=0, compresslevel=1
+                ) as zipped:
+                    zipped.write(
+                        json.dumps(
+                            header, sort_keys=True, separators=(",", ":")
+                        ).encode()
+                    )
+                    zipped.write(b"\n")
+                    zipped.write(body)
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink()
+        return target
+
+    # -- read ----------------------------------------------------------
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload, or None when absent / written under a
+        stale schema.  Raises :class:`CorruptEntryError` when the entry
+        exists but fails integrity."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        header, body = self._read_entry(path, key)
+        if header.get("schema") != SCHEMA_VERSION:
+            return None  # stale, not corrupt: gc's business
+        if hashlib.sha256(body).hexdigest() != header.get("digest"):
+            raise CorruptEntryError(key, "payload digest mismatch")
+        try:
+            payload = json.loads(body)
+        except ValueError as error:  # digest collision-with-garbage only
+            raise CorruptEntryError(
+                key, f"unparseable payload: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise CorruptEntryError(key, "payload is not an object")
+        return payload
+
+    def get(self, key: str) -> Tuple[Optional[Dict[str, object]], bool]:
+        """Lenient read: ``(payload_or_None, was_corrupt)``.
+
+        Corrupt entries are quarantined as a side effect so the next
+        read of the same key is a clean miss.
+        """
+        try:
+            return self.load(key), False
+        except CorruptEntryError:
+            self.quarantine(key)
+            return None, True
+
+    def _read_entry(
+        self, path: Path, key: str
+    ) -> Tuple[Dict[str, object], bytes]:
+        """``(header, payload_bytes)`` of one entry file, unverified."""
+        try:
+            with gzip.open(path, "rb") as handle:
+                raw = handle.read()
+        except (OSError, EOFError) as error:
+            raise CorruptEntryError(key, f"unreadable entry: {error}") from None
+        head, sep, body = raw.partition(b"\n")
+        if not sep:
+            raise CorruptEntryError(key, "entry has no header line")
+        try:
+            header = json.loads(head)
+        except ValueError as error:
+            raise CorruptEntryError(
+                key, f"unparseable header: {error}"
+            ) from None
+        if not isinstance(header, dict):
+            raise CorruptEntryError(key, "header is not an object")
+        if header.get("key") != key:
+            raise CorruptEntryError(
+                key, f"header key {header.get('key')!r} != filename key"
+            )
+        return header, body
+
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move a (presumably corrupt) entry aside; None when absent."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        target_dir = self.root / _QUARANTINE_DIR
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        os.replace(path, target)
+        return target
+
+    # -- maintenance ---------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats(root=str(self.root))
+        for path in self._entry_paths():
+            stats.entries += 1
+            stats.total_bytes += path.stat().st_size
+            try:
+                header, _ = self._read_entry(path, path.name[: -len(_SUFFIX)])
+                schema = int(header.get("schema", -1))
+            except (CorruptEntryError, TypeError, ValueError):
+                schema = -1
+            stats.schemas[schema] = stats.schemas.get(schema, 0) + 1
+        quarantine = self.root / _QUARANTINE_DIR
+        if quarantine.is_dir():
+            stats.quarantined = sum(1 for _ in quarantine.glob(f"*{_SUFFIX}"))
+        return stats
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Re-hash every entry; ``(checked, corrupt_keys)``.
+
+        Read-only: corrupt entries are reported, not moved — pass the
+        keys to :meth:`quarantine` (the CLI's ``verify --quarantine``)
+        to act on the findings.
+        """
+        checked = 0
+        corrupt: List[str] = []
+        for path in self._entry_paths():
+            key = path.name[: -len(_SUFFIX)]
+            checked += 1
+            try:
+                self.load(key)
+            except CorruptEntryError:
+                corrupt.append(key)
+        return checked, corrupt
+
+    def gc(self) -> Tuple[int, int]:
+        """Drop stale-schema and unreadable entries; ``(kept, removed)``."""
+        kept = 0
+        removed = 0
+        for path in self._entry_paths():
+            key = path.name[: -len(_SUFFIX)]
+            stale = False
+            try:
+                header, _ = self._read_entry(path, key)
+                stale = header.get("schema") != SCHEMA_VERSION
+            except CorruptEntryError:
+                stale = True
+            if stale:
+                path.unlink()
+                removed += 1
+            else:
+                kept += 1
+        return kept, removed

@@ -37,6 +37,10 @@ COUNTER_NAMES = (
     "rto_spurious",
     "cwnd_phase_transitions",
     "budget_trips",
+    # how the executor obtained the flow's result under a result store:
+    # exactly one of these is 1 per store-backed flow, both 0 otherwise
+    "cache_hit",
+    "cache_miss",
 )
 
 

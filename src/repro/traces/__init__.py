@@ -36,6 +36,7 @@ from repro.traces.dataset import (
 from repro.traces.events import FlowMetadata, FlowTrace
 from repro.traces.export import (
     campaign_report,
+    open_csv,
     write_cwnd_csv,
     write_flow_summary_csv,
     write_latency_csv,
@@ -90,6 +91,7 @@ __all__ = [
     "loss_rate_pair",
     "measured_ack_burst_rate",
     "measured_model_inputs",
+    "open_csv",
     "records_from_json",
     "records_to_json",
     "recovery_stats",

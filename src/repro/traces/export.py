@@ -18,11 +18,33 @@ from repro.traces.timeouts import recovery_stats, spurious_fraction
 from repro.util.stats import mean
 
 __all__ = [
+    "open_csv",
     "write_latency_csv",
     "write_cwnd_csv",
     "write_flow_summary_csv",
     "campaign_report",
 ]
+
+
+def _csv_writer(stream):
+    """The one place CSV dialect is decided for every exporter.
+
+    ``csv.writer``'s default line terminator is ``\\r\\n``; these
+    artefacts are diffed and committed, so every writer here emits
+    plain ``\\n`` instead — the byte-for-byte discipline the rest of
+    the library's outputs follow.
+    """
+    return csv.writer(stream, lineterminator="\n")
+
+
+def open_csv(path):
+    """Open ``path`` for writing CSV produced by this module.
+
+    ``newline=""`` hands line-ending control to the csv writer (so the
+    ``\\n`` choice above is not translated back to ``\\r\\n`` on
+    Windows) and the encoding is pinned to UTF-8.
+    """
+    return open(path, "w", newline="", encoding="utf-8")
 
 
 def write_latency_csv(trace: FlowTrace, stream: Optional[TextIO] = None) -> str:
@@ -31,7 +53,7 @@ def write_latency_csv(trace: FlowTrace, stream: Optional[TextIO] = None) -> str:
     Writes to ``stream`` when given; always returns the CSV text.
     """
     buffer = io.StringIO()
-    writer = csv.writer(buffer)
+    writer = _csv_writer(buffer)
     writer.writerow(["send_time_s", "latency_s", "direction", "lost"])
     for point in arrival_latency_series(trace):
         writer.writerow(
@@ -47,7 +69,7 @@ def write_latency_csv(trace: FlowTrace, stream: Optional[TextIO] = None) -> str:
 def write_cwnd_csv(cwnd_samples, stream: Optional[TextIO] = None) -> str:
     """Window-evolution series (Figs. 7–9) as CSV: time, cwnd, phase."""
     buffer = io.StringIO()
-    writer = csv.writer(buffer)
+    writer = _csv_writer(buffer)
     writer.writerow(["time_s", "cwnd_packets", "phase"])
     for sample in cwnd_samples:
         writer.writerow([f"{sample.time:.6f}", f"{sample.cwnd:.4f}", sample.phase])
@@ -62,7 +84,7 @@ def write_flow_summary_csv(
 ) -> str:
     """One row per flow: the headline statistics of the campaign."""
     buffer = io.StringIO()
-    writer = csv.writer(buffer)
+    writer = _csv_writer(buffer)
     writer.writerow(
         ["flow_id", "provider", "scenario", "throughput_pps", "data_loss",
          "ack_loss", "timeouts", "spurious_fraction", "mean_recovery_s"]

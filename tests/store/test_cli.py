@@ -1,0 +1,93 @@
+"""``python -m repro.store`` maintenance commands."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.store import ResultStore
+from repro.store.cli import main
+from repro.store.format import SCHEMA_VERSION
+
+KEY = "ab" + "0" * 62
+OTHER_KEY = "cd" + "1" * 62
+PAYLOAD = {"flow_id": "t/0", "attempts": 1, "failures": [], "result": {}}
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put(KEY, PAYLOAD)
+    return str(store.root)
+
+
+class TestStats:
+    def test_human(self, store_dir, capsys):
+        assert main(["stats", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+
+    def test_json(self, store_dir, capsys):
+        assert main(["stats", store_dir, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entries"] == 1
+        assert data["schema_version"] == SCHEMA_VERSION
+
+
+class TestVerify:
+    def test_clean_store_exits_zero(self, store_dir, capsys):
+        assert main(["verify", store_dir]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_one(self, store_dir, capsys):
+        store = ResultStore(store_dir)
+        store.path_for(KEY).write_bytes(b"garbage")
+        assert main(["verify", store_dir]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert KEY in captured.err
+        assert store.path_for(KEY).exists()  # verify alone never moves
+
+    def test_quarantine_flag_moves(self, store_dir):
+        store = ResultStore(store_dir)
+        store.path_for(KEY).write_bytes(b"garbage")
+        assert main(["verify", store_dir, "--quarantine"]) == 1
+        assert not store.path_for(KEY).exists()
+        assert store.stats().quarantined == 1
+
+
+class TestGc:
+    def _stale(self, store_dir):
+        store = ResultStore(store_dir)
+        path = store.put(OTHER_KEY, PAYLOAD)
+        head, body = gzip.decompress(path.read_bytes()).split(b"\n", 1)
+        header = json.loads(head)
+        header["schema"] = SCHEMA_VERSION - 1
+        path.write_bytes(
+            gzip.compress(json.dumps(header).encode() + b"\n" + body)
+        )
+        return store
+
+    def test_gc_removes_stale(self, store_dir, capsys):
+        store = self._stale(store_dir)
+        assert main(["gc", store_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert store.stats().entries == 1
+
+    def test_dry_run_removes_nothing(self, store_dir, capsys):
+        store = self._stale(store_dir)
+        assert main(["gc", store_dir, "--dry-run"]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert store.stats().entries == 2
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.store", "--help"],
+        capture_output=True, text=True,
+    )
+    assert completed.returncode == 0
+    assert "stats" in completed.stdout

@@ -6,7 +6,7 @@ Guards the advertised API two ways:
   to a real attribute (no stale exports).
 * **Snapshot** — the exported-name sets of the consolidated surfaces
   (``repro``, ``repro.exec``, ``repro.simulator``, ``repro.robustness``,
-  ``repro.telemetry``) are pinned verbatim.  Adding or removing a
+  ``repro.telemetry``, ``repro.store``) are pinned verbatim.  Adding or removing a
   public name is an API change and must update the snapshot here — the
   diff *is* the review artefact.
 """
@@ -20,6 +20,7 @@ import repro
 #: the pinned public surface; sorted, exactly as ``__all__`` declares it
 API_SNAPSHOT = {
     "repro": [
+        "CachedBackend",
         "CampaignReport",
         "CampaignTelemetry",
         "ConnectionConfig",
@@ -33,6 +34,7 @@ API_SNAPSHOT = {
         "LinkParams",
         "ModelOptions",
         "NullTelemetry",
+        "ResultStore",
         "RetryPolicy",
         "Scenario",
         "SyntheticDataset",
@@ -46,6 +48,7 @@ API_SNAPSHOT = {
         "deviation_rate",
         "enhanced_throughput",
         "fault_scope",
+        "flow_key",
         "generate_dataset",
         "generate_stationary_reference",
         "hsr_scenario",
@@ -56,6 +59,7 @@ API_SNAPSHOT = {
         "run_flow",
         "simulate_spec",
         "stationary_scenario",
+        "store_scope",
         "telemetry_scope",
         "watchdog_scope",
     ],
@@ -141,12 +145,29 @@ API_SNAPSHOT = {
         "current_telemetry_config",
         "telemetry_scope",
     ],
+    "repro.store": [
+        "CachedBackend",
+        "CorruptEntryError",
+        "ENGINE_SCHEMA_VERSION",
+        "ResultStore",
+        "SCHEMA_VERSION",
+        "StoreConfig",
+        "StoreStats",
+        "UnhashableSpecError",
+        "canonical_json",
+        "current_store",
+        "current_store_config",
+        "decode_outcome",
+        "encode_outcome",
+        "flow_key",
+        "store_scope",
+    ],
 }
 
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
@@ -205,6 +226,7 @@ class TestApiSnapshot:
         "repro.traces",
         "repro.experiments",
         "repro.robustness",
+        "repro.store",
         "repro.util",
     ],
 )

@@ -10,6 +10,7 @@ from repro.traces.capture import capture_flow
 from repro.traces.events import FlowMetadata
 from repro.traces.export import (
     campaign_report,
+    open_csv,
     write_cwnd_csv,
     write_flow_summary_csv,
     write_latency_csv,
@@ -80,6 +81,33 @@ class TestSummaryCsv:
         row = list(csv.DictReader(io.StringIO(write_flow_summary_csv([trace]))))[0]
         assert float(row["throughput_pps"]) > 0.0
         assert float(row["data_loss"]) > 0.0
+
+
+class TestNewlineDiscipline:
+    """Every exporter shares one CSV dialect: plain LF, no CR anywhere."""
+
+    def test_no_carriage_returns_in_any_writer(self, trace_and_result):
+        trace, result = trace_and_result
+        for text in (
+            write_latency_csv(trace),
+            write_cwnd_csv(result.log.cwnd_samples),
+            write_flow_summary_csv([trace]),
+        ):
+            assert "\r" not in text
+            assert text.endswith("\n")
+
+    def test_open_csv_file_round_trip(self, trace_and_result, tmp_path):
+        trace, _ = trace_and_result
+        path = tmp_path / "summary.csv"
+        with open_csv(path) as stream:
+            text = write_flow_summary_csv([trace], stream)
+        # Bytes on disk are exactly the in-memory text — ``newline=""``
+        # stops any platform translation from reintroducing CRLF.
+        assert path.read_bytes() == text.encode("utf-8")
+        assert b"\r" not in path.read_bytes()
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["flow_id"] == "exp/0"
 
 
 class TestCampaignReport:
