@@ -17,11 +17,16 @@ One command that proves the robustness path works as a system:
 4. runs a campaign in-process with the same chaos plus a deliberately
    broken flow, asserting the partial dataset and a non-empty,
    deterministic :class:`~repro.robustness.campaign.CampaignReport`;
-5. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process vs
+5. SIGTERMs a running store-backed campaign in a subprocess, asserting
+   a graceful drain (exit ``128+SIGTERM``, completed flows flushed to
+   the store, report marked interrupted) and that rerunning against
+   the same store resumes exactly the missing flows with a final
+   report byte-identical to a never-interrupted run;
+6. runs ``benchmarks/bench_campaign.py`` (serial vs multi-process vs
    auto campaign throughput), asserting every backend agrees with
    serial and that ``BENCH_campaign.json`` is written with the auto
    backend's decision;
-6. runs ``benchmarks/bench_engine.py`` — which itself fails if
+7. runs ``benchmarks/bench_engine.py`` — which itself fails if
    ``NullTelemetry`` costs more than its 5% zero-overhead budget — and
    fails if engine events/sec regresses more than 30% against the
    committed ``BENCH_engine.json`` baseline.
@@ -294,6 +299,129 @@ def smoke_telemetry() -> None:
           f"{telemetry.rto_spurious} spurious)")
 
 
+#: the interrupted-campaign drill: flow count, sim duration each, and
+#: after how many completed flows the SIGTERM lands
+_SUPERVISE_FLOWS = 16
+_SUPERVISE_DURATION = 8.0
+_SUPERVISE_KILL_AFTER = 5
+
+#: child process for the SIGTERM drill — a store-backed campaign that
+#: receives SIGTERM mid-run (delivered deterministically after the
+#: ``kill_after``-th completed flow, so the drill cannot race the
+#: campaign on fast or slow machines), prints its report JSON, and
+#: exits 128+signum when it was drained
+_SUPERVISE_CHILD = """
+import os
+import signal
+import sys
+
+import repro.exec.executor as executor_module
+from repro.exec import Executor, FlowSpec
+from repro.exec.supervise import interrupt_signal
+from repro.hsr import CHINA_MOBILE, hsr_scenario
+from repro.store.scope import store_scope
+
+store_dir = sys.argv[1]
+flows, duration = int(sys.argv[2]), float(sys.argv[3])
+kill_after = int(sys.argv[4])  # 0 = run to completion
+
+completed = [0]
+real_simulate_spec = executor_module.simulate_spec
+
+def signalling_simulate_spec(spec):
+    result = real_simulate_spec(spec)
+    completed[0] += 1
+    if kill_after and completed[0] == kill_after:
+        os.kill(os.getpid(), signal.SIGTERM)
+    return result
+
+executor_module.simulate_spec = signalling_simulate_spec
+specs = [
+    FlowSpec(
+        scenario=hsr_scenario(CHINA_MOBILE), duration=duration,
+        seed=900 + i, flow_id=f"sm/{i}",
+    )
+    for i in range(flows)
+]
+with store_scope(store_dir):
+    result = Executor().run(specs)
+print(result.report.to_json())
+signum = interrupt_signal()
+sys.exit(128 + signum if signum is not None else 0)
+"""
+
+
+def smoke_supervise() -> None:
+    """SIGTERM a running campaign: clean drain, then an exact resume.
+
+    The killed run must flush its completed flows to the store and
+    report itself interrupted; rerunning the same campaign against the
+    same store must simulate exactly the missing flows and produce a
+    final report byte-identical to a never-interrupted run.
+    """
+    import glob
+    import json
+    import signal as signal_module
+    import tempfile
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    def run_child(store_dir, kill_after=0):
+        completed = subprocess.run(
+            [
+                sys.executable, "-c", _SUPERVISE_CHILD, store_dir,
+                str(_SUPERVISE_FLOWS), str(_SUPERVISE_DURATION),
+                str(kill_after),
+            ],
+            env=env, cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=300,
+        )
+        return completed.returncode, completed.stdout.strip(), completed.stderr
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-drain-") as shared, \
+            tempfile.TemporaryDirectory(prefix="repro-smoke-clean-") as clean:
+        code, report_json, stderr = run_child(
+            shared, kill_after=_SUPERVISE_KILL_AFTER
+        )
+        if code != 128 + signal_module.SIGTERM:
+            sys.stderr.write(stderr)
+            fail(f"interrupted campaign exited {code}, "
+                 f"expected {128 + signal_module.SIGTERM}")
+        if "draining in-flight flows" not in stderr:
+            fail("drain note missing from the interrupted campaign's stderr")
+        interrupted = json.loads(report_json)
+        if not interrupted["interrupted"]:
+            fail("killed campaign's report is not marked interrupted")
+        flushed = len(glob.glob(os.path.join(shared, "*", "*.json.gz")))
+        if not 0 < flushed < _SUPERVISE_FLOWS:
+            fail(f"expected a partial store after SIGTERM, found {flushed} "
+                 f"of {_SUPERVISE_FLOWS} entries")
+        if interrupted["attempted"] != flushed:
+            fail(f"report says {interrupted['attempted']} attempted but "
+                 f"{flushed} entries were flushed")
+
+        code, resumed_json, stderr = run_child(shared)
+        if code != 0:
+            sys.stderr.write(stderr)
+            fail(f"resumed campaign exited {code}")
+        code, clean_json, stderr = run_child(clean)
+        if code != 0:
+            sys.stderr.write(stderr)
+            fail(f"uninterrupted reference campaign exited {code}")
+        if resumed_json != clean_json:
+            fail("resumed report diverges from the uninterrupted run's")
+        if json.loads(resumed_json)["interrupted"]:
+            fail("resumed campaign still reports itself interrupted")
+    print(
+        f"smoke: supervise ok — SIGTERM drained cleanly after "
+        f"{flushed}/{_SUPERVISE_FLOWS} flows, resume byte-matched the "
+        "uninterrupted report"
+    )
+
+
 #: fractional events/sec regression tolerated against the committed
 #: BENCH_engine.json baseline before the smoke test fails
 ENGINE_REGRESSION_TOLERANCE = 0.30
@@ -363,6 +491,7 @@ def main() -> int:
     smoke_telemetry()
     smoke_campaign()
     smoke_store()
+    smoke_supervise()
     smoke_bench()
     smoke_engine_bench()
     if not args.fast:

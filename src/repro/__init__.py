@@ -53,7 +53,10 @@ from repro.exec import (
     Executor,
     FlowOutcome,
     FlowSpec,
+    SupervisorPolicy,
+    interrupt_signal,
     simulate_spec,
+    supervise_scope,
 )
 from repro.hsr import Scenario, hsr_scenario, stationary_scenario
 from repro.robustness import (
@@ -81,7 +84,7 @@ from repro.traces import (
     generate_stationary_reference,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CachedBackend",
@@ -101,6 +104,7 @@ __all__ = [
     "ResultStore",
     "RetryPolicy",
     "Scenario",
+    "SupervisorPolicy",
     "SyntheticDataset",
     "Telemetry",
     "TelemetryConfig",
@@ -116,6 +120,7 @@ __all__ = [
     "generate_dataset",
     "generate_stationary_reference",
     "hsr_scenario",
+    "interrupt_signal",
     "mptcp_gain",
     "padhye_approx_throughput",
     "padhye_full_throughput",
@@ -124,6 +129,7 @@ __all__ = [
     "simulate_spec",
     "stationary_scenario",
     "store_scope",
+    "supervise_scope",
     "telemetry_scope",
     "watchdog_scope",
 ]

@@ -124,8 +124,13 @@ class FlowOutcome:
     attempts: int = 1
     #: how a cached run obtained this outcome: "hit" (served from the
     #: result store), "miss" (computed fresh), "corrupt" (recomputed
-    #: after quarantining a damaged entry), or None (no store in play)
+    #: after quarantining a damaged entry), "error" (ran uncached
+    #: because the store was failing), or None (no store in play)
     cache_state: Optional[str] = None
+    #: True for a placeholder emitted by a signal drain: the spec never
+    #: ran this campaign and is excluded from report accounting (the
+    #: report is marked ``interrupted`` instead)
+    skipped: bool = False
 
     @property
     def ok(self) -> bool:
@@ -141,6 +146,13 @@ def _execute_payload(
     exception becomes a :class:`FlowFailure` carrying the exact seed
     that reproduces it, and a flow that exhausts its budget becomes a
     :class:`QuarantineRecord` keyed by its base seed.
+
+    The loop is taxonomy-aware
+    (:data:`~repro.robustness.campaign.FAILURE_CLASSES`): a failure the
+    policy classifies as ``deterministic`` (same spec, same crash —
+    e.g. :class:`~repro.util.errors.ConfigurationError`) quarantines on
+    attempt 0 instead of burning the retry budget, and retried attempts
+    honour the policy's deterministic exponential backoff.
     """
     index, spec, policy = payload
     failures: List[FlowFailure] = []
@@ -148,9 +160,14 @@ def _execute_payload(
     for attempt in range(policy.max_attempts):
         seed = policy.seed_for_attempt(spec.seed, attempt)
         attempt_spec = spec if attempt == 0 else spec.for_attempt(seed)
+        if attempt > 0:
+            delay = policy.backoff_for_attempt(spec.seed, attempt)
+            if delay > 0.0:
+                time.sleep(delay)
         try:
             result, trace = simulate_spec(attempt_spec)
         except Exception as error:  # per-flow isolation: record, retry
+            failure_class = policy.classify(error)
             last_error = f"{type(error).__name__}: {error}"
             failures.append(
                 FlowFailure(
@@ -159,8 +176,26 @@ def _execute_payload(
                     seed=seed,
                     error_type=type(error).__name__,
                     error=str(error),
+                    failure_class=failure_class,
                 )
             )
+            if not policy.retries(failure_class):
+                return FlowOutcome(
+                    index=index,
+                    spec=spec,
+                    result=None,
+                    trace=None,
+                    failures=failures,
+                    quarantine=QuarantineRecord(
+                        flow_id=spec.flow_id,
+                        seed=spec.seed,
+                        reason=(
+                            f"deterministic failure on attempt {attempt}; "
+                            f"not retried: {last_error}"
+                        ),
+                    ),
+                    attempts=attempt + 1,
+                )
         else:
             return FlowOutcome(
                 index=index,
@@ -244,19 +279,29 @@ class ProcessPoolBackend:
         if self.workers == 1 or len(items) <= 1:
             return SerialBackend().map(fn, items, progress)
         chunksize = max(1, len(items) // (self.workers * 4))
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(self.workers, len(items)),
             mp_context=get_context("spawn"),
-        ) as pool:
-            if progress is None:
-                return list(pool.map(fn, items, chunksize=chunksize))
+        )
+        # Not a ``with`` block: __exit__ is shutdown(wait=True), which
+        # on KeyboardInterrupt would block on in-flight futures and
+        # leave pending ones queued — orphaning spawn workers past the
+        # parent's death.  Cancelling in a finally tears down promptly
+        # on *any* exit; ``completed`` keeps the happy path's clean
+        # blocking join.
+        completed = False
+        try:
             # pool.map yields in submission order, so incremental
             # progress is monotone even when workers finish out of order.
             results = []
             for result in pool.map(fn, items, chunksize=chunksize):
                 results.append(result)
-                progress(len(results))
+                if progress is not None:
+                    progress(len(results))
+            completed = True
             return results
+        finally:
+            pool.shutdown(wait=completed, cancel_futures=True)
 
 
 class AutoBackend:
@@ -294,12 +339,22 @@ class AutoBackend:
         self.workers = workers
         self.last_decision: Optional[dict] = None
 
-    def map(
+    def probe(
         self,
         fn: Callable,
         items: Sequence,
-        progress: Optional[Callable[[int], None]] = None,
-    ) -> List:
+        runner: Optional[Callable] = None,
+    ) -> Tuple[List, bool, int]:
+        """Run the serial probe and decide; ``(head, use_pool, workers)``.
+
+        ``head`` holds the probe items' results (already executed, to
+        be kept by the caller); the remainder of ``items`` is the
+        caller's to run — pooled over ``workers`` when ``use_pool``.
+        ``runner(item, position)`` overrides how each probe item is
+        executed, so a supervising wrapper can keep its own bookkeeping
+        while the timing and projection logic stay here; the decision
+        lands on :attr:`last_decision` either way.
+        """
         items = list(items)
         cpus = os.cpu_count() or 1
         remainder = len(items) - self.PROBE_ITEMS
@@ -314,18 +369,18 @@ class AutoBackend:
                 "cpu_count": cpus,
                 "workers": effective,
             }
-            return SerialBackend().map(fn, items, progress)
+            return [], False, 1
 
         start = time.perf_counter()
         head = []
-        for item in items[: self.PROBE_ITEMS]:
-            head.append(fn(item))
-            if progress is not None:
-                progress(len(head))
+        for position, item in enumerate(items[: self.PROBE_ITEMS]):
+            if runner is None:
+                head.append(fn(item))
+            else:
+                head.append(runner(item, position))
         probe_s = time.perf_counter() - start
         per_item_s = probe_s / self.PROBE_ITEMS
-        tail_items = items[self.PROBE_ITEMS :]
-        serial_estimate_s = per_item_s * len(tail_items)
+        serial_estimate_s = per_item_s * remainder
         pool_overhead_s = self.SPAWN_BASELINE_S + self.SPAWN_PER_WORKER_S * effective
         pool_estimate_s = pool_overhead_s + serial_estimate_s / effective
         use_pool = pool_estimate_s < serial_estimate_s
@@ -343,13 +398,33 @@ class AutoBackend:
             "projected_serial_s": round(serial_estimate_s, 6),
             "projected_pool_s": round(pool_estimate_s, 6),
         }
+        return head, use_pool, effective
+
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> List:
+        items = list(items)
+
+        def probe_runner(item, position):
+            result = fn(item)
+            if progress is not None:
+                progress(position + 1)
+            return result
+
+        head, use_pool, workers = self.probe(fn, items, runner=probe_runner)
+        tail_items = items[len(head) :]
+        if not tail_items:
+            return head
         tail_progress = (
             None
             if progress is None
             else (lambda done: progress(done + len(head)))
         )
         if use_pool:
-            tail = ProcessPoolBackend(effective).map(fn, tail_items, tail_progress)
+            tail = ProcessPoolBackend(workers).map(fn, tail_items, tail_progress)
         else:
             tail = SerialBackend().map(fn, tail_items, tail_progress)
         return head + tail
@@ -514,6 +589,11 @@ class Executor:
         if report is None:
             report = CampaignReport()
         for outcome in outcomes:
+            if outcome.skipped:
+                # A signal drain stopped the campaign before this spec
+                # ran: it is not attempted, the report is just partial.
+                report.interrupted = True
+                continue
             report.attempted += 1
             report.retried += outcome.attempts - 1
             for failure in outcome.failures:
@@ -524,32 +604,52 @@ class Executor:
                 report.succeeded += 1
             if outcome.cache_state == "hit":
                 report.cache_hits += 1
-            elif outcome.cache_state in ("miss", "corrupt"):
+            elif outcome.cache_state in ("miss", "corrupt", "error"):
                 report.cache_misses += 1
                 if outcome.cache_state == "corrupt":
                     report.cache_corrupt += 1
+                elif outcome.cache_state == "error":
+                    report.cache_errors += 1
         telemetry = self._gather_telemetry(outcomes, ambient)
         return ExecutionResult(outcomes=outcomes, report=report, telemetry=telemetry)
 
     def _effective_backend(self):
-        """The configured backend, cache-wrapped when a store is ambient.
+        """The configured backend, supervised and cache-wrapped.
 
-        The wrap happens per ``run`` call so one Executor honours
-        whatever :func:`~repro.store.scope.store_scope` is active at
-        each call site; an explicitly configured
-        :class:`~repro.store.backend.CachedBackend` is left alone.
+        Every run gets the supervision layer
+        (:class:`~repro.exec.supervise.SupervisedBackend` — crash
+        recovery, deadlines, signal drain) around the configured
+        backend, under the ambient
+        :func:`~repro.exec.supervise.supervise_scope` policy when one
+        is installed.  When a store is also ambient, the cache wrap
+        goes *outside* supervision — the hit/miss partition stays in
+        the parent and only genuine misses are supervised — and the
+        wrap happens per ``run`` call so one Executor honours whatever
+        :func:`~repro.store.scope.store_scope` is active at each call
+        site.  An explicitly configured
+        :class:`~repro.store.backend.CachedBackend` is left alone
+        entirely (the caller owns its composition).
         """
-        from repro.store.scope import current_store_config
-
-        config = current_store_config()
-        if config is None:
-            return self.backend
+        from repro.exec.supervise import (
+            SupervisedBackend,
+            current_supervisor_policy,
+        )
         from repro.store.backend import CachedBackend
+        from repro.store.scope import current_store_config
 
         if isinstance(self.backend, CachedBackend):
             return self.backend
+        if isinstance(self.backend, SupervisedBackend):
+            supervised = self.backend
+        else:
+            supervised = SupervisedBackend(
+                self.backend, policy=current_supervisor_policy()
+            )
+        config = current_store_config()
+        if config is None:
+            return supervised
         return CachedBackend(
-            config.store, self.backend, refresh=config.refresh
+            config.store, supervised, refresh=config.refresh
         )
 
     @staticmethod

@@ -18,6 +18,13 @@ Robustness controls (see README "Robustness & fault injection"):
 * ``--chaos INTENSITY`` installs an aggressive
   :class:`~repro.robustness.faults.FaultPlan` for campaign-based
   experiments — the resilience smoke path;
+* ``--deadline-s`` / ``--max-worker-restarts`` configure the campaign
+  supervision layer (parent-enforced per-flow wall-clock preemption
+  and the worker-crash restart budget; see EXPERIMENTS.md);
+* SIGINT/SIGTERM during a campaign drain gracefully: in-flight flows
+  finish, completed results flush to the store, the report is marked
+  interrupted, no further experiments launch, and the process exits
+  with the conventional ``128 + signum``;
 * ``all`` isolates experiments: one failure prints a one-line summary,
   the rest keep running, and the exit code is 1 if anything failed.
 
@@ -47,6 +54,12 @@ import sys
 from dataclasses import asdict
 from typing import List, Optional
 
+from repro.exec.supervise import (
+    SupervisorPolicy,
+    clear_interrupt,
+    interrupt_signal,
+    supervise_scope,
+)
 from repro.experiments.registry import (
     format_result,
     list_experiments,
@@ -111,6 +124,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="inject an aggressive fault plan at this intensity into "
              "campaign experiments (default 0 = off)")
     parser.add_argument(
+        "--deadline-s", type=float, default=0.0, metavar="S",
+        help="parent-enforced per-flow wall-clock deadline: a flow "
+             "still running after S seconds has its worker killed, the "
+             "preemption recorded, and the flow retried — catches hangs "
+             "the in-process watchdog cannot see (default 0 = off)")
+    parser.add_argument(
+        "--max-worker-restarts", type=int, default=8, metavar="N",
+        help="how many times the supervision layer may rebuild a "
+             "crashed or preempted worker pool per batch before "
+             "quarantining the remainder (default 8)")
+    parser.add_argument(
         "--workers", type=_workers_arg, default=1, metavar="N",
         help="fan campaign/sweep flows out over N processes, or 'auto' "
              "to probe the batch and pick serial vs pool; results are "
@@ -168,10 +192,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=args.progress,
             aggregate=CampaignTelemetry() if args.telemetry else None,
         )
+    supervisor = SupervisorPolicy(
+        deadline_s=args.deadline_s if args.deadline_s > 0 else None,
+        max_worker_restarts=args.max_worker_restarts,
+    )
+    clear_interrupt()  # sticky flag; don't inherit an old invocation's drain
     exit_code = 0
+    interrupted_by: Optional[int] = None
     with watchdog_scope(_watchdog_from(args)), fault_scope(plan), telemetry_scope(
         telemetry_config
-    ), store_scope(args.store, refresh=args.no_cache):
+    ), store_scope(args.store, refresh=args.no_cache), supervise_scope(supervisor):
         for experiment_id in ids:
             result, failure = run_experiment_safe(
                 experiment_id,
@@ -182,12 +212,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             if failure is not None:
                 print(failure.summary(), file=sys.stderr)
                 exit_code = 1
-                continue
-            if args.json:
+            elif args.json:
                 print(json.dumps(asdict(result), indent=2))
             else:
                 print(format_result(result))
                 print()
+            interrupted_by = interrupt_signal()
+            if interrupted_by is not None:
+                # A drain happened inside this experiment: whatever
+                # completed is flushed (and printed above); launching
+                # the next experiment would ignore the operator.
+                print(
+                    "runner: campaign interrupted — completed flows are "
+                    "persisted; rerun the same command to resume",
+                    file=sys.stderr,
+                )
+                break
     if telemetry_config is not None and telemetry_config.aggregate is not None:
         aggregate = telemetry_config.aggregate
         if aggregate.flows:
@@ -199,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "invocation (nothing to aggregate)",
                 file=sys.stderr,
             )
+    if interrupted_by is not None:
+        return 128 + interrupted_by
     return exit_code
 
 

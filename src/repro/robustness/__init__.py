@@ -18,6 +18,7 @@ campaigns survive the same regime:
 """
 
 from repro.robustness.campaign import (
+    FAILURE_CLASSES,
     CampaignReport,
     FlowFailure,
     QuarantineRecord,
@@ -42,6 +43,7 @@ __all__ = [
     "CampaignReport",
     "DEFAULT_EVENT_BUDGET",
     "DEFAULT_WALL_CLOCK_S",
+    "FAILURE_CLASSES",
     "FaultPlan",
     "FlowFailure",
     "QuarantineRecord",

@@ -20,15 +20,32 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
-from repro.util.errors import ConfigurationError
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    WorkerCrashError,
+)
 from repro.util.rng import derive_seed
 
 __all__ = [
     "CampaignReport",
+    "FAILURE_CLASSES",
     "FlowFailure",
     "QuarantineRecord",
     "RetryPolicy",
 ]
+
+#: The failure taxonomy the retry layer reasons over.
+#:
+#: * ``transient`` — stochastic failures (degenerate channel draws,
+#:   validation rejects); a reseeded retry genuinely rolls new dice.
+#: * ``deterministic`` — same spec, same crash (bad configuration,
+#:   a sim bug the seed reproduces exactly); retrying burns budget for
+#:   nothing, so these quarantine on attempt 0.
+#: * ``infrastructure`` — the *host* failed, not the flow (worker
+#:   process death, deadline preemption, disk errors); the same seed is
+#:   retried because the simulation itself was never at fault.
+FAILURE_CLASSES = ("transient", "deterministic", "infrastructure")
 
 
 @dataclass(frozen=True)
@@ -40,6 +57,11 @@ class FlowFailure:
     seed: int  # the exact seed of the failed attempt (reproduces it)
     error_type: str
     error: str
+    #: taxonomy bucket (``transient``/``deterministic``/``infrastructure``)
+    #: plus the supervision-layer mechanisms ``worker_crash`` and
+    #: ``deadline`` — both infrastructure-class for retry purposes, but
+    #: named distinctly so reports show *how* the host failed
+    failure_class: str = "transient"
 
 
 @dataclass(frozen=True)
@@ -60,14 +82,43 @@ class RetryPolicy:
     deterministic, collision-free across attempts, and independent of
     how many *other* flows failed — the property behind byte-identical
     reports under retries.
+
+    Retries are taxonomy-aware (:data:`FAILURE_CLASSES`):
+    ``deterministic`` failures are quarantined on attempt 0 instead of
+    being pointlessly re-run, while ``transient`` and
+    ``infrastructure`` failures consume the retry budget.  Between
+    attempts the policy prescribes deterministic exponential backoff
+    with seeded jitter (:meth:`backoff_for_attempt`) — the default
+    ``backoff_base_s=0`` keeps historical no-sleep behaviour, and the
+    jitter is a pure function of the flow's seed, so two runs of the
+    same campaign back off identically.
     """
 
     max_retries: int = 2
+    #: seconds slept before retry attempt 1; attempt ``n`` waits
+    #: ``backoff_base_s * backoff_factor ** (n - 1)`` (0 = no backoff)
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    #: fraction of the backoff added as seeded jitter (decorrelates
+    #: retry bursts across flows without breaking determinism)
+    backoff_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ConfigurationError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0.0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
             )
 
     @property
@@ -79,6 +130,45 @@ class RetryPolicy:
         if attempt == 0:
             return base_seed
         return derive_seed(base_seed, "retry", attempt) & 0x7FFFFFFF
+
+    def classify(self, error: BaseException) -> str:
+        """Taxonomy bucket for one failure (:data:`FAILURE_CLASSES`).
+
+        ``ConfigurationError`` is deterministic by construction — the
+        same spec produces the same crash on every attempt, so retrying
+        it is pure waste.  Host-side failures (worker death, deadline
+        preemption, I/O errors) are infrastructure: the same seed runs
+        again because the *flow* was never at fault.  Everything else —
+        simulation blow-ups, budget trips, validation rejects — is
+        transient: a reseeded retry genuinely rolls new dice.
+        """
+        if isinstance(error, ConfigurationError):
+            return "deterministic"
+        if isinstance(error, (WorkerCrashError, DeadlineExceededError, OSError)):
+            return "infrastructure"
+        return "transient"
+
+    def retries(self, failure_class: str) -> bool:
+        """Whether a failure of this class consumes retry budget at all."""
+        return failure_class != "deterministic"
+
+    def backoff_for_attempt(self, base_seed: int, attempt: int) -> float:
+        """Deterministic pre-attempt sleep (seconds) with seeded jitter.
+
+        Attempt 0 never waits; attempt ``n`` waits the exponential base
+        plus a jitter fraction drawn from the flow's own seed — a pure
+        function of ``(base_seed, attempt)``, so reports and timing
+        behaviour replay identically.
+        """
+        if attempt <= 0 or self.backoff_base_s <= 0.0:
+            return 0.0
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter <= 0.0:
+            return base
+        # 53-bit uniform in [0, 1) from the same SplitMix64 derivation
+        # the retry seeds use; no RNG object, no global state.
+        unit = (derive_seed(base_seed, "backoff", attempt) >> 11) / float(1 << 53)
+        return base * (1.0 + self.backoff_jitter * unit)
 
 
 @dataclass
@@ -104,6 +194,13 @@ class CampaignReport:
     quarantined: int = 0
     failures: List[FlowFailure] = field(default_factory=list)
     quarantines: List[QuarantineRecord] = field(default_factory=list)
+    #: True when a signal drain stopped the campaign before every spec
+    #: ran: the report covers only the flows that were attempted, and a
+    #: re-run against the same result store executes exactly the
+    #: remainder.  Serialised (a resumable report must say it is
+    #: partial), so an interrupted report never byte-matches a complete
+    #: one — by design.
+    interrupted: bool = False
     #: flows served from an ambient result store without simulating
     cache_hits: int = 0
     #: flows computed fresh under an ambient result store
@@ -111,6 +208,9 @@ class CampaignReport:
     #: subset of ``cache_misses`` recomputed after quarantining a
     #: corrupt store entry
     cache_corrupt: int = 0
+    #: subset of ``cache_misses`` that ran uncached because the store's
+    #: circuit breaker was open (or the store operation itself failed)
+    cache_errors: int = 0
 
     @property
     def ok(self) -> bool:
@@ -130,6 +230,7 @@ class CampaignReport:
             "succeeded": self.succeeded,
             "retried": self.retried,
             "quarantined": self.quarantined,
+            "interrupted": self.interrupted,
             "failures": [asdict(failure) for failure in self.failures],
             "quarantines": [asdict(record) for record in self.quarantines],
         }
@@ -141,10 +242,13 @@ class CampaignReport:
 
     def summary(self) -> str:
         """One line for logs: ``17/20 flows ok, 5 retries, 3 quarantined``."""
-        return (
+        line = (
             f"{self.succeeded}/{self.attempted} flows ok, "
             f"{self.retried} retries, {self.quarantined} quarantined"
         )
+        if self.interrupted:
+            line += " (interrupted — rerun to resume)"
+        return line
 
     def cache_summary(self) -> str:
         """One line on store behaviour: ``250 cached, 5 fresh, 1 corrupt``.
@@ -157,6 +261,8 @@ class CampaignReport:
         line = f"{self.cache_hits} cached, {self.cache_misses} fresh"
         if self.cache_corrupt:
             line += f", {self.cache_corrupt} corrupt"
+        if self.cache_errors:
+            line += f", {self.cache_errors} uncached (store errors)"
         return line
 
     def format(self) -> str:

@@ -20,6 +20,7 @@ remainder.  ``python -m repro.store`` offers ``stats`` / ``verify`` /
 """
 
 from repro.store.backend import CachedBackend
+from repro.store.breaker import StoreCircuitBreaker
 from repro.store.disk import CorruptEntryError, ResultStore, StoreStats
 from repro.store.format import SCHEMA_VERSION, decode_outcome, encode_outcome
 from repro.store.keys import (
@@ -41,6 +42,7 @@ __all__ = [
     "ENGINE_SCHEMA_VERSION",
     "ResultStore",
     "SCHEMA_VERSION",
+    "StoreCircuitBreaker",
     "StoreConfig",
     "StoreStats",
     "UnhashableSpecError",

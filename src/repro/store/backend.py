@@ -30,6 +30,7 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exec.executor import FlowOutcome, SerialBackend
+from repro.store.breaker import StoreCircuitBreaker
 from repro.store.disk import ResultStore
 from repro.store.format import decode_outcome, encode_outcome
 from repro.store.keys import UnhashableSpecError, flow_key
@@ -44,6 +45,12 @@ class CachedBackend:
     ``refresh=True`` (the CLI's ``--no-cache``) skips all reads but
     still writes: every flow recomputes and overwrites its entry —
     cache repair, not cache bypass.
+
+    Store I/O goes through a fresh
+    :class:`~repro.store.breaker.StoreCircuitBreaker` per ``map`` call:
+    a failing disk degrades the batch to uncached execution
+    (``cache_state="error"`` on the affected outcomes) instead of
+    aborting it.
     """
 
     def __init__(self, store, inner=None, *, refresh: bool = False) -> None:
@@ -66,9 +73,18 @@ class CachedBackend:
         progress: Optional[Callable[[int], None]] = None,
     ) -> List[FlowOutcome]:
         items = list(items)
+        # Give the inner backend its pre-batch hook *before* the store
+        # reads below — a chaos wrapper corrupting entries must corrupt
+        # them where this partition will actually read them.  The hook
+        # is documented idempotent (inner.map fires it again for the
+        # miss batch).
+        prepare = getattr(self.inner, "prepare_batch", None)
+        if prepare is not None:
+            prepare(items)
+        breaker = StoreCircuitBreaker(self.store)
         outcomes: List[Optional[FlowOutcome]] = [None] * len(items)
-        misses = []  # (position, payload, key, was_corrupt)
-        hits = corrupt = uncacheable = 0
+        misses = []  # (position, payload, key, was_corrupt, degraded)
+        hits = corrupt = uncacheable = errors = 0
         for position, payload in enumerate(items):
             index, spec, _policy = payload
             try:
@@ -77,9 +93,9 @@ class CachedBackend:
                 key = None
                 uncacheable += 1
             stored = None
-            was_corrupt = False
+            was_corrupt = degraded = False
             if key is not None and not self.refresh:
-                stored, was_corrupt = self.store.get(key)
+                stored, was_corrupt, degraded = breaker.get(key)
                 if was_corrupt:
                     corrupt += 1
             if stored is not None:
@@ -90,21 +106,31 @@ class CachedBackend:
                 if progress is not None:
                     progress(hits)
             else:
-                misses.append((position, payload, key, was_corrupt))
+                misses.append((position, payload, key, was_corrupt, degraded))
 
         if misses:
             inner_progress = (
                 None if progress is None else (lambda done: progress(hits + done))
             )
             fresh = self.inner.map(
-                fn, [payload for _, payload, _, _ in misses], inner_progress
+                fn, [payload for _, payload, _, _, _ in misses], inner_progress
             )
-            for (position, _payload, key, was_corrupt), outcome in zip(
+            for (position, _payload, key, was_corrupt, degraded), outcome in zip(
                 misses, fresh
             ):
-                outcome.cache_state = "corrupt" if was_corrupt else "miss"
+                if outcome.skipped:
+                    # A signal drain never ran this spec: nothing to
+                    # persist, nothing to label.
+                    outcomes[position] = outcome
+                    continue
+                stored_ok = True
                 if key is not None and outcome.ok:
-                    self.store.put(key, encode_outcome(outcome))
+                    stored_ok = breaker.put(key, encode_outcome(outcome))
+                if degraded or not stored_ok:
+                    outcome.cache_state = "error"
+                    errors += 1
+                else:
+                    outcome.cache_state = "corrupt" if was_corrupt else "miss"
                 if outcome.result is not None and isinstance(
                     outcome.result.telemetry, CountingTelemetry
                 ):
@@ -112,6 +138,8 @@ class CachedBackend:
                     # describe the simulation, live ones also say how
                     # this run obtained the result.
                     outcome.result.telemetry.cache_miss = 1
+                    if outcome.cache_state == "error":
+                        outcome.result.telemetry.store_errors = 1
                 outcomes[position] = outcome
 
         self.last_stats = {
@@ -120,5 +148,6 @@ class CachedBackend:
             "misses": len(misses),
             "corrupt": corrupt,
             "uncacheable": uncacheable,
+            "errors": errors,
         }
         return outcomes

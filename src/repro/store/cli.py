@@ -3,14 +3,16 @@
 Usage::
 
     python -m repro.store stats  DIR [--json]
-    python -m repro.store verify DIR [--quarantine]
+    python -m repro.store verify DIR [--quarantine | --repair]
     python -m repro.store gc     DIR [--dry-run]
 
 ``stats`` summarises entry/byte/schema counts; ``verify`` re-hashes
 every entry against its integrity digest (exit 1 when anything is
-corrupt; ``--quarantine`` also moves offenders aside); ``gc`` drops
-entries written under a stale payload schema (and unreadable ones),
-reclaiming space that can never hit again.
+corrupt; ``--quarantine`` also moves offenders aside, and ``--repair``
+does the same in one store pass *and exits 0* — corruption handled is
+not an error — so operators can pre-clean a store before a large
+campaign); ``gc`` drops entries written under a stale payload schema
+(and unreadable ones), reclaiming space that can never hit again.
 """
 
 from __future__ import annotations
@@ -42,6 +44,11 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("store_dir")
     verify.add_argument("--quarantine", action="store_true",
                         help="move corrupt entries into <store>/quarantine/")
+    verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine all corrupt entries in one pass and exit 0 "
+             "(pre-clean a store before a campaign)",
+    )
 
     gc = sub.add_parser("gc", help="drop stale-schema and unreadable entries")
     gc.add_argument("store_dir")
@@ -63,6 +70,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "verify":
+        if args.repair:
+            checked, repaired = store.repair()
+            print(
+                f"store: verified {checked} entries, "
+                f"quarantined {len(repaired)} corrupt"
+            )
+            for key in repaired:
+                print(f"  quarantined {key}", file=sys.stderr)
+            return 0
         checked, corrupt = store.verify()
         print(f"store: verified {checked} entries, {len(corrupt)} corrupt")
         for key in corrupt:

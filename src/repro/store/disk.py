@@ -262,6 +262,21 @@ class ResultStore:
                 corrupt.append(key)
         return checked, corrupt
 
+    def repair(self) -> Tuple[int, List[str]]:
+        """Quarantine every corrupt entry in one pass; ``(checked, repaired)``.
+
+        The write side of :meth:`verify` (the CLI's ``verify --repair``):
+        operators pre-clean a store before a large campaign so no flow
+        pays the corrupt-read-then-quarantine detour mid-run.  Stale
+        schemas are left for :meth:`gc` — stale is not broken.
+        """
+        checked, corrupt = self.verify()
+        repaired: List[str] = []
+        for key in corrupt:
+            if self.quarantine(key) is not None:
+                repaired.append(key)
+        return checked, repaired
+
     def gc(self) -> Tuple[int, int]:
         """Drop stale-schema and unreadable entries; ``(kept, removed)``."""
         kept = 0

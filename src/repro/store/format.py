@@ -47,11 +47,21 @@ __all__ = ["SCHEMA_VERSION", "decode_outcome", "encode_outcome"]
 
 #: On-disk payload schema.  Bump on any change to the encoding below;
 #: ``ResultStore.gc`` drops entries written under older schemas.
-SCHEMA_VERSION = 1
+#: 2: FlowFailure records gained ``failure_class`` (the retry taxonomy).
+SCHEMA_VERSION = 2
 
 #: counters that describe how a result was *obtained*, not what the
-#: simulation did — never persisted, always reassigned on restore
-_CACHE_COUNTERS = ("cache_hit", "cache_miss")
+#: simulation did — never persisted, always reassigned on restore.
+#: ``worker_crashes``/``deadline_preemptions``/``store_errors`` are
+#: supervision-layer provenance: replaying them from a cache hit would
+#: claim this run's infrastructure failed when it did not.
+_CACHE_COUNTERS = (
+    "cache_hit",
+    "cache_miss",
+    "worker_crashes",
+    "deadline_preemptions",
+    "store_errors",
+)
 
 
 def _encode_log(log: FlowLog) -> Dict[str, object]:

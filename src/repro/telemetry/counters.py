@@ -41,6 +41,13 @@ COUNTER_NAMES = (
     # exactly one of these is 1 per store-backed flow, both 0 otherwise
     "cache_hit",
     "cache_miss",
+    # supervision-layer provenance, stamped by the parent: how many of
+    # this flow's executions died with the worker or were preempted
+    # past their deadline, and whether it ran uncached because the
+    # store's circuit breaker was open.  Never persisted to the store.
+    "worker_crashes",
+    "deadline_preemptions",
+    "store_errors",
 )
 
 

@@ -53,6 +53,37 @@ class BudgetExceededError(ReproError, RuntimeError):
         super().__init__(message)
 
 
+class WorkerCrashError(ReproError, RuntimeError):
+    """A worker process died (segfault, ``os._exit``, OOM-kill) mid-flow.
+
+    Raised in the *parent* by the supervision layer after it isolates
+    which spec was running on the dead worker; the flow itself never
+    sees it.  Classified as ``infrastructure`` by the retry taxonomy —
+    a healthy worker usually completes the same spec.
+    """
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """A flow overran its parent-enforced wall-clock deadline.
+
+    Distinct from :class:`BudgetExceededError`: the watchdog polls from
+    *inside* the simulation loop and cannot fire when the interpreter
+    itself is stuck (a hung C call, a pathological GC, a worker
+    deadlock).  The supervision layer enforces the deadline from the
+    parent via a future timeout and kills the worker, so even a frozen
+    flow is preempted.
+    """
+
+
+class ChaosError(ReproError, RuntimeError):
+    """An injected failure from a :class:`~repro.exec.chaos.ChaosPlan`.
+
+    Only ever raised on purpose, by the chaos harness's scheduled
+    ``raise`` action — seeing it outside a chaos test means the plan
+    leaked into a real campaign.
+    """
+
+
 class TraceValidationError(ReproError, ValueError):
     """A captured flow trace failed post-capture sanity validation.
 

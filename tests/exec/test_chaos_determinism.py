@@ -1,0 +1,150 @@
+"""The chaos determinism gate.
+
+A seeded :class:`ChaosPlan` that kills at least one worker, hangs at
+least one flow past its deadline, and corrupts at least one store shard
+must leave the campaign *complete* — every flow eventually succeeds —
+and two runs of the same chaotic campaign must produce byte-identical
+:meth:`CampaignReport.to_json` output.  This is the contract that makes
+a degraded run debuggable: chaos is data, not noise.
+"""
+
+import pytest
+
+from repro.exec import Executor, ProcessPoolBackend
+from repro.exec.chaos import ChaosBackend, ChaosPlan
+from repro.exec.spec import FlowSpec
+from repro.exec.supervise import SupervisorPolicy
+from repro.hsr import CHINA_MOBILE, hsr_scenario
+from repro.store import ResultStore, flow_key
+from repro.store.scope import store_scope
+from repro.util.errors import ConfigurationError
+
+FLOW_IDS = [f"f/{i}" for i in range(6)]
+
+
+def specs():
+    return [
+        FlowSpec(
+            scenario=hsr_scenario(CHINA_MOBILE), duration=3.0, seed=50 + i,
+            flow_id=flow_id,
+        )
+        for i, flow_id in enumerate(FLOW_IDS)
+    ]
+
+
+class TestChaosPlan:
+    def test_sample_is_deterministic(self):
+        a = ChaosPlan.sample(7, FLOW_IDS, crashes=1, hangs=1, corruptions=1)
+        b = ChaosPlan.sample(7, FLOW_IDS, crashes=1, hangs=1, corruptions=1)
+        assert a == b
+
+    def test_sample_pools_are_disjoint(self):
+        plan = ChaosPlan.sample(
+            7, FLOW_IDS, crashes=2, hangs=1, raises=1, corruptions=2
+        )
+        pools = [
+            set(plan.crash), set(plan.hang), set(plan.raise_),
+            set(plan.corrupt_store),
+        ]
+        union = set().union(*pools)
+        assert len(union) == sum(len(pool) for pool in pools) == 6
+
+    def test_sample_rejects_too_many_victims(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.sample(7, FLOW_IDS[:2], crashes=2, hangs=1)
+
+    def test_overlapping_actions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(crash={"f/0": (0,)}, hang={"f/0": (0,)})
+
+    def test_action_for_fires_once(self):
+        plan = ChaosPlan(crash={"f/0": (0,)}, hang={"f/1": (1,)}, hang_s=5.0)
+        assert plan.action_for("f/0", 0) == ("crash",)
+        assert plan.action_for("f/0", 1) is None
+        assert plan.action_for("f/1", 0) is None
+        assert plan.action_for("f/1", 1) == ("hang", 5.0)
+        assert plan.action_for("f/2", 0) is None
+
+    def test_needs_pool(self):
+        assert ChaosPlan(crash={"f/0": (0,)}).needs_pool
+        assert ChaosPlan(hang={"f/0": (0,)}).needs_pool
+        assert ChaosPlan(raise_={"f/0": (0,)}).needs_pool
+        assert not ChaosPlan(corrupt_store=("f/0",)).needs_pool
+
+    def test_summary_counts(self):
+        plan = ChaosPlan.sample(7, FLOW_IDS, crashes=1, hangs=1, corruptions=1)
+        assert plan.summary() == (
+            "chaos plan: 1 crashes, 1 hangs (30s), 0 raises, "
+            "1 corrupted entries"
+        )
+
+
+class TestDeterminismGate:
+    """The acceptance criterion, verbatim."""
+
+    def _run_chaotic(self, store_root):
+        plan = ChaosPlan.sample(
+            7, FLOW_IDS, crashes=1, hangs=1, corruptions=1, hang_s=30.0
+        )
+        # Warm exactly the corruption victim so there is a shard to rot;
+        # the crash/hang victims must stay cold or the cache would serve
+        # them before the supervisor ever sees them.
+        victims = set(plan.corrupt_store)
+        assert victims
+        batch = specs()
+        with store_scope(store_root):
+            Executor().run([s for s in batch if s.flow_id in victims])
+            backend = ChaosBackend(
+                plan,
+                ProcessPoolBackend(2),
+                policy=SupervisorPolicy(deadline_s=2.0),
+            )
+            result = Executor(backend=backend).run(batch)
+        return plan, backend, result
+
+    def test_chaotic_campaign_completes_and_replays_byte_identically(
+        self, tmp_path
+    ):
+        plan, backend_a, first = self._run_chaotic(tmp_path / "a")
+        _, backend_b, second = self._run_chaotic(tmp_path / "b")
+
+        # the plan really did all three kinds of damage
+        assert plan.crash and plan.hang and plan.corrupt_store
+        assert backend_a.corrupted  # a shard was truncated on disk
+        classes = {f.failure_class for f in first.report.failures}
+        assert {"worker_crash", "deadline"} <= classes
+
+        # ...and the campaign still completed, with the damage repaired
+        report = first.report
+        assert report.attempted == len(FLOW_IDS)
+        assert report.succeeded == len(FLOW_IDS)
+        assert report.quarantined == 0
+        assert not report.interrupted
+        assert report.cache_corrupt == 1  # the rotten shard, recomputed
+        store = ResultStore(tmp_path / "a")
+        assert store.verify()[1] == []  # re-stored cleanly
+
+        # the gate: two runs, byte-identical report JSON
+        assert first.report.to_json() == second.report.to_json()
+
+    def test_corruption_hits_only_existing_entries(self, tmp_path):
+        # A cold store has nothing to truncate: the corrupting plan is
+        # a no-op, not an error.
+        plan = ChaosPlan(corrupt_store=(FLOW_IDS[0],))
+        backend = ChaosBackend(plan, store=ResultStore(tmp_path / "cold"))
+        result = Executor(backend=backend).run(specs()[:2])
+        assert backend.corrupted == {}
+        assert result.report.succeeded == 2
+
+    def test_corrupted_shard_is_actually_rotten(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        batch = specs()[:1]
+        with store_scope(store.root):
+            Executor().run(batch)
+        plan = ChaosPlan(corrupt_store=(batch[0].flow_id,))
+        backend = ChaosBackend(plan, store=store)
+        backend.prepare_batch([(0, batch[0], None)])
+        key = flow_key(batch[0])
+        assert backend.corrupted == {batch[0].flow_id: key}
+        payload, was_corrupt = store.get(key)
+        assert payload is None and was_corrupt

@@ -57,6 +57,7 @@ class TestPartition:
         assert inner.total == 3
         assert backend.last_stats == {
             "items": 3, "hits": 0, "misses": 3, "corrupt": 0, "uncacheable": 0,
+            "errors": 0,
         }
         warm = backend.map(_execute_payload, payloads)
         assert inner.total == 3  # nothing new simulated

@@ -1,0 +1,188 @@
+"""Store behaviour under concurrency and failure.
+
+Two campaigns sharing one store directory must race benignly (atomic
+same-key writes, last identical write wins), a truncated entry read
+mid-campaign must degrade to quarantine-and-recompute rather than an
+exception, and the circuit breaker must fail the store *open* — an
+unusable disk degrades a campaign to uncached execution, never aborts
+it.
+"""
+
+import errno
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import pytest
+
+from repro.exec.executor import Executor, _execute_payload
+from repro.exec.spec import FlowSpec
+from repro.hsr import CHINA_MOBILE, hsr_scenario
+from repro.robustness.campaign import RetryPolicy
+from repro.store import CachedBackend, ResultStore, StoreCircuitBreaker, flow_key
+from repro.store.scope import store_scope
+
+
+def _specs(n):
+    return [
+        FlowSpec(
+            scenario=hsr_scenario(CHINA_MOBILE), duration=3.0, seed=70 + i,
+            flow_id=f"c/{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def _payloads(n):
+    return [(i, spec, RetryPolicy()) for i, spec in enumerate(_specs(n))]
+
+
+def _run_store_campaign(store_root):
+    """One full store-backed campaign; module-level so spawn can pickle it."""
+    with store_scope(store_root):
+        result = Executor().run(_specs(3))
+    return result.report.to_json()
+
+
+def _hammer_same_key(store_root, rounds):
+    """Write the same entries over and over (the same-key race arm)."""
+    store = ResultStore(store_root)
+    spec = _specs(1)[0]
+    key = flow_key(spec)
+    for _ in range(rounds):
+        store.put(key, {"flow_id": spec.flow_id, "round_trip": True})
+    return key
+
+
+class TestConcurrentCampaigns:
+    def test_two_processes_share_one_store(self, tmp_path):
+        """Two simultaneous campaigns over the same specs and store:
+        both complete, reports match, and the store stays sound."""
+        root = str(tmp_path / "shared")
+        with ProcessPoolExecutor(
+            max_workers=2, mp_context=get_context("spawn")
+        ) as pool:
+            reports = list(pool.map(_run_store_campaign, [root, root]))
+        assert reports[0] == reports[1]
+        store = ResultStore(root)
+        assert store.verify() == (3, [])
+        # a third, warm run serves everything from the store
+        with store_scope(root):
+            warm = Executor().run(_specs(3))
+        assert warm.report.cache_hits == 3
+        assert warm.report.to_json() == reports[0]
+
+    def test_same_key_writers_race_benignly(self, tmp_path):
+        root = str(tmp_path / "race")
+        with ProcessPoolExecutor(
+            max_workers=2, mp_context=get_context("spawn")
+        ) as pool:
+            keys = list(pool.map(_hammer_same_key, [root, root], [50, 50]))
+        assert keys[0] == keys[1]
+        store = ResultStore(root)
+        assert store.verify() == (1, [])  # never a torn entry
+        payload = store.load(keys[0])
+        assert payload == {"flow_id": "c/0", "round_trip": True}
+        # no leaked temp files from either writer
+        assert not list(store.root.rglob("*.tmp"))
+
+
+class TestTruncatedEntryMidCampaign:
+    def test_truncated_read_degrades_to_recompute(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        backend = CachedBackend(store)
+        payloads = _payloads(3)
+        backend.map(_execute_payload, payloads)
+        key = flow_key(payloads[1][1])
+        path = store.path_for(key)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # half a gzip frame
+        outcomes = backend.map(_execute_payload, payloads)  # must not raise
+        assert [o.cache_state for o in outcomes] == ["hit", "corrupt", "hit"]
+        assert all(o.ok for o in outcomes)
+        assert backend.last_stats["corrupt"] == 1
+        # the rotten bytes were quarantined for post-mortem, and the
+        # recomputed entry reads cleanly from now on
+        assert store.stats().quarantined == 1
+        assert store.verify() == (3, [])
+        warm = backend.map(_execute_payload, payloads)
+        assert [o.cache_state for o in warm] == ["hit"] * 3
+
+
+class _FailingStore:
+    """A store whose configured operations raise OSError."""
+
+    def __init__(self, fail=("get", "put", "quarantine")):
+        self.fail = set(fail)
+        self.calls = []
+
+    def _maybe_fail(self, op):
+        self.calls.append(op)
+        if op in self.fail:
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+    def get(self, key):
+        self._maybe_fail("get")
+        return None, False
+
+    def put(self, key, payload):
+        self._maybe_fail("put")
+
+    def quarantine(self, key):
+        self._maybe_fail("quarantine")
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self, capsys):
+        breaker = StoreCircuitBreaker(_FailingStore(), threshold=3)
+        for _ in range(3):
+            assert breaker.get("k" * 64) == (None, False, True)
+        assert breaker.open
+        assert breaker.errors == 3
+        err = capsys.readouterr().err
+        assert "circuit breaker OPEN" in err
+        assert "UNCACHED" in err
+        assert err.count("circuit breaker OPEN") == 1  # one loud note
+
+    def test_open_circuit_short_circuits(self):
+        store = _FailingStore()
+        breaker = StoreCircuitBreaker(store, threshold=1)
+        breaker.get("k" * 64)
+        assert breaker.open
+        calls_when_opened = len(store.calls)
+        assert breaker.get("k" * 64) == (None, False, True)
+        assert breaker.put("k" * 64, {}) is False
+        assert breaker.quarantine("k" * 64) is False
+        assert len(store.calls) == calls_when_opened  # disk never touched
+
+    def test_success_resets_the_consecutive_count(self):
+        store = _FailingStore(fail=("put",))
+        breaker = StoreCircuitBreaker(store, threshold=2)
+        assert breaker.put("k" * 64, {}) is False  # 1 consecutive
+        assert breaker.get("k" * 64) == (None, False, False)  # blip absorbed
+        assert breaker.put("k" * 64, {}) is False  # 1 again, not 2
+        assert not breaker.open
+        assert breaker.errors == 2  # total is monotone regardless
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            StoreCircuitBreaker(_FailingStore(), threshold=0)
+
+    def test_campaign_survives_a_dead_store(self, tmp_path, monkeypatch):
+        """End to end: every store op fails, the campaign still completes
+        with every flow computed fresh and counted as a store error."""
+        import repro.store.backend as backend_module
+
+        real_store = ResultStore(tmp_path / "store")
+
+        def exploding(self, key):
+            raise OSError(errno.EIO, "bad disk")
+
+        monkeypatch.setattr(ResultStore, "get", exploding)
+        monkeypatch.setattr(
+            ResultStore, "put", lambda self, key, payload: exploding(self, key)
+        )
+        backend = CachedBackend(real_store)
+        outcomes = backend.map(_execute_payload, _payloads(3))
+        assert all(o.ok for o in outcomes)
+        assert [o.cache_state for o in outcomes] == ["error"] * 3
+        assert backend.last_stats["errors"] == 3

@@ -37,6 +37,7 @@ API_SNAPSHOT = {
         "ResultStore",
         "RetryPolicy",
         "Scenario",
+        "SupervisorPolicy",
         "SyntheticDataset",
         "Telemetry",
         "TelemetryConfig",
@@ -52,6 +53,7 @@ API_SNAPSHOT = {
         "generate_dataset",
         "generate_stationary_reference",
         "hsr_scenario",
+        "interrupt_signal",
         "mptcp_gain",
         "padhye_approx_throughput",
         "padhye_full_throughput",
@@ -60,11 +62,14 @@ API_SNAPSHOT = {
         "simulate_spec",
         "stationary_scenario",
         "store_scope",
+        "supervise_scope",
         "telemetry_scope",
         "watchdog_scope",
     ],
     "repro.exec": [
         "AutoBackend",
+        "ChaosBackend",
+        "ChaosPlan",
         "ExecutionResult",
         "Executor",
         "FlowOutcome",
@@ -72,7 +77,13 @@ API_SNAPSHOT = {
         "ProcessPoolBackend",
         "ResolvedFlow",
         "SerialBackend",
+        "SupervisedBackend",
+        "SupervisorPolicy",
+        "clear_interrupt",
+        "current_supervisor_policy",
+        "interrupt_signal",
         "simulate_spec",
+        "supervise_scope",
     ],
     "repro.simulator": [
         "AckRecord",
@@ -116,6 +127,7 @@ API_SNAPSHOT = {
         "CampaignReport",
         "DEFAULT_EVENT_BUDGET",
         "DEFAULT_WALL_CLOCK_S",
+        "FAILURE_CLASSES",
         "FaultPlan",
         "FlowFailure",
         "QuarantineRecord",
@@ -151,6 +163,7 @@ API_SNAPSHOT = {
         "ENGINE_SCHEMA_VERSION",
         "ResultStore",
         "SCHEMA_VERSION",
+        "StoreCircuitBreaker",
         "StoreConfig",
         "StoreStats",
         "UnhashableSpecError",
@@ -167,7 +180,7 @@ API_SNAPSHOT = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
