@@ -31,6 +31,9 @@ Layers, bottom to top (each imports only downwards):
 * :mod:`repro.store` — content-addressed flow-result persistence
   (:class:`ResultStore`, :class:`CachedBackend`, resumable campaigns).
 * :mod:`repro.hsr` — high-speed-rail channel/mobility substrate.
+* :mod:`repro.scenarios` — scenarios as data: schema-validated
+  YAML/JSON documents, a compiler to :class:`Scenario`, the bundled
+  scenario library (``python -m repro.scenarios list``).
 * :mod:`repro.core` — the enhanced throughput model and baselines.
 * :mod:`repro.traces` — trace capture, analysis, synthetic dataset.
 * :mod:`repro.experiments` — one driver per paper table/figure.
@@ -58,7 +61,13 @@ from repro.exec import (
     simulate_spec,
     supervise_scope,
 )
-from repro.hsr import Scenario, hsr_scenario, stationary_scenario
+from repro.hsr import (
+    HookSpec,
+    Scenario,
+    driving_scenario,
+    hsr_scenario,
+    stationary_scenario,
+)
 from repro.robustness import (
     CampaignReport,
     FaultPlan,
@@ -66,6 +75,11 @@ from repro.robustness import (
     Watchdog,
     fault_scope,
     watchdog_scope,
+)
+from repro.scenarios import (
+    ScenarioDocument,
+    compile_scenario,
+    scenario_names,
 )
 from repro.simulator import ConnectionConfig, FlowResult, run_flow
 from repro.store import CachedBackend, ResultStore, flow_key, store_scope
@@ -84,7 +98,7 @@ from repro.traces import (
     generate_stationary_reference,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CachedBackend",
@@ -98,12 +112,14 @@ __all__ = [
     "FlowOutcome",
     "FlowResult",
     "FlowSpec",
+    "HookSpec",
     "LinkParams",
     "ModelOptions",
     "NullTelemetry",
     "ResultStore",
     "RetryPolicy",
     "Scenario",
+    "ScenarioDocument",
     "SupervisorPolicy",
     "SyntheticDataset",
     "Telemetry",
@@ -113,7 +129,9 @@ __all__ = [
     "Watchdog",
     "__version__",
     "compare_models",
+    "compile_scenario",
     "deviation_rate",
+    "driving_scenario",
     "enhanced_throughput",
     "fault_scope",
     "flow_key",
@@ -126,6 +144,7 @@ __all__ = [
     "padhye_full_throughput",
     "padhye_paper_form",
     "run_flow",
+    "scenario_names",
     "simulate_spec",
     "stationary_scenario",
     "store_scope",

@@ -108,13 +108,33 @@ class FlowSpec:
     #: :meth:`for_attempt` so the result store resolves reseeded retry
     #: specs to the *original* flow's cache entry
     parent_key: Optional[str] = None
+    #: scenario *reference* — a registered scenario name or a path to a
+    #: scenario document (:mod:`repro.scenarios`); resolved into
+    #: ``scenario`` at construction, so the rest of the pipeline never
+    #: sees the indirection
+    scenario_ref: Optional[str] = None
 
     #: fields the result store excludes from the content hash —
-    #: ``telemetry`` never changes simulated bytes, and ``parent_key``
-    #: is the back-pointer the hash itself resolves through
-    _CACHE_KEY_EXCLUDE = frozenset({"parent_key", "telemetry"})
+    #: ``telemetry`` never changes simulated bytes, ``parent_key``
+    #: is the back-pointer the hash itself resolves through, and
+    #: ``scenario_ref`` is already captured by the resolved ``scenario``
+    #: (a by-name spec must hash identically to the same spec built
+    #: from the compiled scenario directly)
+    _CACHE_KEY_EXCLUDE = frozenset({"parent_key", "telemetry", "scenario_ref"})
 
     def __post_init__(self) -> None:
+        if self.scenario_ref is not None:
+            if self.scenario is not None:
+                raise ConfigurationError(
+                    "give scenario or scenario_ref, not both"
+                )
+            # Lazy import: repro.scenarios sits above repro.exec in the
+            # layering (its compiler builds on repro.hsr).
+            from repro.scenarios import compile_scenario
+
+            object.__setattr__(
+                self, "scenario", compile_scenario(self.scenario_ref)
+            )
         if self.scenario is None and self.config is None:
             raise ConfigurationError(
                 "FlowSpec needs a scenario or an explicit ConnectionConfig"

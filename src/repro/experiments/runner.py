@@ -97,12 +97,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
-    run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment_id")
+    run_parser = sub.add_parser(
+        "run", help="run one experiment (or one scenario via --scenario)"
+    )
+    run_parser.add_argument(
+        "experiment_id", nargs="?", default=None,
+        help="experiment id (omit when using --scenario)")
+    run_parser.add_argument(
+        "--scenario", metavar="NAME|FILE", default=None,
+        help="run a flow campaign in this scenario (a bundled scenario "
+             "name or a scenario document file; see "
+             "`python -m repro.scenarios list`) instead of a registered "
+             "experiment")
+    _add_scenario_workload(run_parser)
     _add_common(run_parser)
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a campaign per scenario and compare them"
+    )
+    sweep_parser.add_argument(
+        "scenarios", nargs="*", metavar="NAME|FILE",
+        help="scenario names or document files (default with --all: the "
+             "whole bundled library)")
+    sweep_parser.add_argument(
+        "--all", action="store_true",
+        help="sweep every bundled scenario")
+    _add_scenario_workload(sweep_parser)
+    _add_common(sweep_parser)
     all_parser = sub.add_parser("all", help="run every experiment")
     _add_common(all_parser)
     return parser
+
+
+def _add_scenario_workload(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--flows", type=int, default=4,
+        help="flows per scenario campaign (default 4)")
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="seconds of simulated time per flow (default 30)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -166,19 +198,88 @@ def _watchdog_from(args: argparse.Namespace) -> Optional[Watchdog]:
     return Watchdog(max_events=max_events, wall_clock_s=wall_clock)
 
 
+def _run_scenarios(args: argparse.Namespace, refs: List[str]) -> int:
+    """Run the scenario campaign/sweep the CLI asked for; 0 on success."""
+    # Imported lazily: the experiments CLI should not pay for the
+    # scenarios package (or its YAML parse of the library) unless a
+    # scenario run was actually requested.
+    from repro.experiments.scenario_run import (
+        run_scenario_campaign,
+        run_scenario_sweep,
+    )
+    from repro.util.errors import ReproError
+
+    flows = max(1, round(args.flows * args.scale))
+    try:
+        if len(refs) == 1 and args.command == "run":
+            result = run_scenario_campaign(
+                refs[0],
+                flows=flows,
+                duration=args.duration,
+                seed=args.seed,
+                workers=args.workers,
+            )
+        else:
+            result = run_scenario_sweep(
+                refs,
+                flows=flows,
+                duration=args.duration,
+                seed=args.seed,
+                workers=args.workers,
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(asdict(result), indent=2))
+    else:
+        print(format_result(result))
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id, title in list_experiments().items():
             print(f"{experiment_id:14s} {title}")
         return 0
+    ids: List[str] = []
+    scenario_refs: Optional[List[str]] = None
     if args.command == "run":
-        ids = [args.experiment_id]
-        if args.experiment_id not in list_experiments():
-            known = ", ".join(sorted(list_experiments()))
+        if args.scenario is not None:
+            if args.experiment_id is not None:
+                print(
+                    "give an experiment id or --scenario, not both",
+                    file=sys.stderr,
+                )
+                return 2
+            scenario_refs = [args.scenario]
+        elif args.experiment_id is None:
             print(
-                f"unknown experiment {args.experiment_id!r}; known: {known}",
+                "an experiment id (or --scenario NAME|FILE) is required",
                 file=sys.stderr,
+            )
+            return 2
+        else:
+            ids = [args.experiment_id]
+            if args.experiment_id not in list_experiments():
+                known = ", ".join(sorted(list_experiments()))
+                print(
+                    f"unknown experiment {args.experiment_id!r}; known: {known}",
+                    file=sys.stderr,
+                )
+                return 2
+    elif args.command == "sweep":
+        if args.all:
+            from repro.scenarios import scenario_names
+
+            scenario_refs = list(scenario_names()) + list(args.scenarios)
+        elif args.scenarios:
+            scenario_refs = list(args.scenarios)
+        else:
+            print(
+                "sweep needs scenario names/files or --all", file=sys.stderr
             )
             return 2
     else:
@@ -202,6 +303,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     with watchdog_scope(_watchdog_from(args)), fault_scope(plan), telemetry_scope(
         telemetry_config
     ), store_scope(args.store, refresh=args.no_cache), supervise_scope(supervisor):
+        if scenario_refs is not None:
+            exit_code = _run_scenarios(args, scenario_refs)
+            interrupted_by = interrupt_signal()
         for experiment_id in ids:
             result, failure = run_experiment_safe(
                 experiment_id,

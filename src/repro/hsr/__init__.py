@@ -7,6 +7,14 @@ radio-quality mapping, and presets for the three measured carriers.
 """
 
 from repro.hsr.cells import CellLayout, handoff_times, outage_windows
+from repro.hsr.hooks import (
+    HookSpec,
+    chain_hooks,
+    hook_names,
+    register_hook,
+    resolve_hook,
+    unregister_hook,
+)
 from repro.hsr.mobility import (
     MobilityProfile,
     btr_profile,
@@ -39,20 +47,26 @@ __all__ = [
     "CHINA_UNICOM",
     "CellLayout",
     "ChannelQuality",
+    "HookSpec",
     "MobilityProfile",
     "Provider",
     "REFERENCE_SPEED",
     "Scenario",
     "TripSegment",
     "btr_profile",
+    "chain_hooks",
     "channel_quality",
     "driving_profile",
     "driving_scenario",
     "handoff_times",
+    "hook_names",
     "hsr_scenario",
     "outage_windows",
     "provider_by_name",
+    "register_hook",
+    "resolve_hook",
     "simulate_trip",
     "stationary_profile",
     "stationary_scenario",
+    "unregister_hook",
 ]

@@ -1,0 +1,232 @@
+"""Named, parameterised channel hooks: post-build transforms as data.
+
+``Scenario.channel_hook`` historically took an opaque callable
+``(built, seed) -> built``.  Opaque callables defeat everything the
+rest of the stack builds on values: they cannot be serialized into a
+scenario document, cannot be content-hashed into a
+:func:`~repro.store.keys.flow_key` (lambdas and closures raise
+:class:`~repro.store.keys.UnhashableSpecError`, silently bypassing the
+result store), and cannot be rendered back out by tooling.
+
+A :class:`HookSpec` is the declarative replacement: a registered hook
+*name* plus a sorted tuple of ``(key, value)`` parameters — pure data,
+picklable, canonically encodable, and resolvable to the callable it
+stands for at build time.  Built-in hooks:
+
+* ``"faults"`` — a :class:`~repro.robustness.faults.FaultPlan` by its
+  field values; the declarative form of chaos injection.
+* ``"extra_loss"`` — an additional Gilbert–Elliott loss overlay on one
+  direction (tunnel fades, weather degradation, station congestion).
+* ``"chain"`` — sequential composition of other hook specs.
+
+Custom hooks register a factory with :func:`register_hook`; the factory
+receives the spec's parameters as keyword arguments and returns the
+``(built, seed) -> built`` transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.simulator.channel import CompositeLoss, GilbertElliottLoss
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+__all__ = [
+    "HookSpec",
+    "chain_hooks",
+    "hook_names",
+    "register_hook",
+    "resolve_hook",
+    "unregister_hook",
+]
+
+#: value types a hook parameter may carry (tuples may nest HookSpecs)
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _freeze_param(name: str, value: object) -> object:
+    """Normalise one parameter value to immutable, canonical data."""
+    if isinstance(value, _SCALAR_TYPES) or isinstance(value, HookSpec):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_param(name, item) for item in value)
+    raise ConfigurationError(
+        f"hook parameter {name!r} has unsupported type "
+        f"{type(value).__name__!r}; hook specs carry plain data only"
+    )
+
+
+@dataclass(frozen=True)
+class HookSpec:
+    """A named post-build transform with pure-data parameters.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so equality,
+    pickling, and canonical encoding are order-independent.  Construct
+    via :meth:`make` (keyword arguments) or supply the tuple directly.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("HookSpec needs a non-empty hook name")
+        frozen = tuple(
+            sorted((str(key), _freeze_param(str(key), value))
+                   for key, value in self.params)
+        )
+        keys = [key for key, _ in frozen]
+        if len(keys) != len(set(keys)):
+            raise ConfigurationError(
+                f"duplicate hook parameter in {self.name!r} spec: {keys}"
+            )
+        object.__setattr__(self, "params", frozen)
+
+    @classmethod
+    def make(cls, hook_name: str, **params: object) -> "HookSpec":
+        """Build a spec from keyword parameters.
+
+        The positional is called ``hook_name`` (not ``name``) so hooks
+        may themselves take a ``name`` parameter — ``"faults"`` does.
+        """
+        return cls(name=hook_name, params=tuple(params.items()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """The parameters as a plain dict (insertion order = sorted keys)."""
+        return dict(self.params)
+
+    def resolve(self) -> Callable:
+        """The ``(built, seed) -> built`` callable this spec names."""
+        return resolve_hook(self)
+
+
+#: name -> factory(**params) -> (built, seed) -> built
+_HOOK_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_hook(name: str, factory: Callable) -> None:
+    """Register ``factory`` under ``name``.
+
+    The factory is called with the spec's parameters as keyword
+    arguments and must return a ``(built, seed) -> built`` transform.
+    Re-registering an existing name raises — hooks are part of a
+    scenario's identity, and silently replacing one would let two runs
+    disagree about what a stored document means.
+    """
+    if not name:
+        raise ConfigurationError("hook name must be non-empty")
+    if name in _HOOK_REGISTRY:
+        raise ConfigurationError(f"hook {name!r} is already registered")
+    _HOOK_REGISTRY[name] = factory
+
+
+def unregister_hook(name: str) -> None:
+    """Remove a registered hook (tests of custom hooks clean up with this)."""
+    if name not in _HOOK_REGISTRY:
+        raise ConfigurationError(f"hook {name!r} is not registered")
+    del _HOOK_REGISTRY[name]
+
+
+def hook_names() -> Tuple[str, ...]:
+    """Registered hook names, sorted."""
+    return tuple(sorted(_HOOK_REGISTRY))
+
+
+def resolve_hook(spec: HookSpec) -> Callable:
+    """Materialise the transform a :class:`HookSpec` names."""
+    try:
+        factory = _HOOK_REGISTRY[spec.name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown channel hook {spec.name!r}; registered: "
+            f"{sorted(_HOOK_REGISTRY)}"
+        ) from None
+    return factory(**spec.as_dict())
+
+
+def chain_hooks(specs: Sequence[HookSpec]) -> HookSpec:
+    """One spec composing ``specs`` in order (flattens nested chains).
+
+    Zero specs is a configuration error; one spec is returned as
+    itself — a chain of one would hash differently from the bare spec
+    while meaning the same thing.
+    """
+    flat: list = []
+    for spec in specs:
+        if spec.name == "chain":
+            flat.extend(spec.as_dict()["hooks"])
+        else:
+            flat.append(spec)
+    if not flat:
+        raise ConfigurationError("chain_hooks needs at least one hook spec")
+    if len(flat) == 1:
+        return flat[0]
+    return HookSpec.make("chain", hooks=tuple(flat))
+
+
+# -- built-in hooks -----------------------------------------------------
+
+
+def _faults_factory(**params: object) -> Callable:
+    """``"faults"``: a FaultPlan reconstructed from its field values."""
+    from repro.robustness.faults import FaultPlan
+
+    return FaultPlan(**params).apply
+
+
+def _chain_factory(hooks: Sequence[HookSpec] = ()) -> Callable:
+    """``"chain"``: apply each hook spec in order."""
+    resolved = [resolve_hook(spec) for spec in hooks]
+
+    def apply_chain(built, seed: int):
+        for hook in resolved:
+            built = hook(built, seed)
+        return built
+
+    return apply_chain
+
+
+def _extra_loss_factory(
+    direction: str = "data",
+    mean_good_s: float = 30.0,
+    mean_bad_s: float = 1.0,
+    loss_good: float = 0.0,
+    loss_bad: float = 1.0,
+    label: str = "extra-loss",
+) -> Callable:
+    """``"extra_loss"``: a Gilbert–Elliott overlay on one direction.
+
+    The overlay's RNG stream is derived from the flow's channel seed
+    and ``label``, independent of the scenario's own streams — adding
+    an overlay never perturbs the base channel's draw sequence (the
+    same isolation contract as :meth:`FaultPlan.apply`).
+    """
+    if direction not in ("data", "ack"):
+        raise ConfigurationError(
+            f"extra_loss direction must be 'data' or 'ack', got {direction!r}"
+        )
+
+    def apply_extra_loss(built, seed: int):
+        from dataclasses import replace
+
+        overlay = GilbertElliottLoss(
+            RngStream(seed, f"hook/extra-loss/{label}"),
+            mean_good_duration=mean_good_s,
+            mean_bad_duration=mean_bad_s,
+            loss_good=loss_good,
+            loss_bad=loss_bad,
+        )
+        if direction == "data":
+            return replace(
+                built, data_loss=CompositeLoss([built.data_loss, overlay])
+            )
+        return replace(built, ack_loss=CompositeLoss([built.ack_loss, overlay]))
+
+    return apply_extra_loss
+
+
+register_hook("faults", _faults_factory)
+register_hook("chain", _chain_factory)
+register_hook("extra_loss", _extra_loss_factory)

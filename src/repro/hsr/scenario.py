@@ -11,10 +11,12 @@ Presets mirror the paper's measurement settings: ``hsr_scenario``
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple, Union
 
 from repro.hsr.cells import CellLayout, handoff_times, outage_windows
+from repro.hsr.hooks import HookSpec, resolve_hook
 from repro.hsr.mobility import (
     MobilityProfile,
     btr_profile,
@@ -80,11 +82,17 @@ class Scenario:
     #: time into the trip at which the measured flow starts; the BTR
     #: default places it in the 300 km/h cruise segment.
     flow_start_offset: float = 300.0
-    #: optional post-build transform ``(built, seed) -> built`` — the
-    #: attachment point for fault injection (:mod:`repro.robustness.faults`)
-    #: and other channel wrappers, applied as the last step of
-    #: :meth:`build`.
-    channel_hook: Optional[Callable[["BuiltChannels", int], "BuiltChannels"]] = None
+    #: optional post-build transform applied as the last step of
+    #: :meth:`build` — the attachment point for fault injection
+    #: (:mod:`repro.robustness.faults`) and other channel wrappers.
+    #: Preferably a declarative :class:`~repro.hsr.hooks.HookSpec`
+    #: (serializable, content-hashable — the scenario stays cacheable);
+    #: a raw ``(built, seed) -> built`` callable is still accepted but
+    #: makes the scenario opaque to the result store and to the
+    #: scenario-document serializer.
+    channel_hook: Optional[
+        Union[HookSpec, Callable[["BuiltChannels", int], "BuiltChannels"]]
+    ] = None
 
     def cruise_speed(self) -> float:
         """Train speed during the measured window."""
@@ -96,8 +104,15 @@ class Scenario:
         self, duration: float, seed: int, b: int = 2, wmax: Optional[float] = None
     ) -> BuiltChannels:
         """Materialise loss models and a connection config for one flow."""
-        if duration <= 0.0:
-            raise ConfigurationError(f"duration must be positive, got {duration}")
+        if not math.isfinite(duration) or duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be positive and finite, got {duration}"
+            )
+        if not math.isfinite(self.flow_start_offset) or self.flow_start_offset < 0.0:
+            raise ConfigurationError(
+                f"flow_start_offset must be >= 0 and finite, got "
+                f"{self.flow_start_offset}"
+            )
         rng = RngStream(seed, f"scenario/{self.name}")
         quality = channel_quality(self.provider, self.cruise_speed())
 
@@ -186,14 +201,30 @@ class Scenario:
             outages=tuple(windows),
         )
         if self.channel_hook is not None:
-            built = self.channel_hook(built, seed)
+            hook = (
+                resolve_hook(self.channel_hook)
+                if isinstance(self.channel_hook, HookSpec)
+                else self.channel_hook
+            )
+            built = hook(built, seed)
         return built
 
     def with_channel_hook(
-        self, hook: Optional[Callable[["BuiltChannels", int], "BuiltChannels"]]
+        self,
+        hook: Optional[
+            Union[HookSpec, Callable[["BuiltChannels", int], "BuiltChannels"]]
+        ],
     ) -> "Scenario":
         """A copy of this scenario with ``hook`` as its post-build transform."""
         return replace(self, channel_hook=hook)
+
+    @property
+    def is_declarative(self) -> bool:
+        """True when this scenario is pure data: no opaque callable hook
+        (``None`` or a :class:`~repro.hsr.hooks.HookSpec`), so it can be
+        serialized to a scenario document and content-hashed for the
+        result store."""
+        return self.channel_hook is None or isinstance(self.channel_hook, HookSpec)
 
 
 def hsr_scenario(provider: Provider = CHINA_MOBILE, name: Optional[str] = None) -> Scenario:

@@ -203,10 +203,39 @@ class FaultPlan:
         """The plan as a ``Scenario.channel_hook`` callable."""
         return self.apply
 
+    def to_hook_spec(self):
+        """The plan as a declarative ``"faults"``
+        :class:`~repro.hsr.hooks.HookSpec` — pure data, so a scenario
+        carrying it serializes to a document and content-hashes for the
+        result store.  Round-trips exactly:
+        ``FaultPlan(**spec.as_dict())`` rebuilds this plan.
+        """
+        # Lazy import: repro.hsr sits above repro.robustness in the
+        # layering (hooks.py imports this module).
+        from repro.hsr.hooks import HookSpec
+
+        return HookSpec.make(
+            "faults",
+            name=self.name,
+            handoff_storm_rate=self.handoff_storm_rate,
+            handoff_storm_mean_outage=self.handoff_storm_mean_outage,
+            deep_fade_rate=self.deep_fade_rate,
+            deep_fade_mean_duration=self.deep_fade_mean_duration,
+            deep_fade_loss=self.deep_fade_loss,
+            ack_blackout_rate=self.ack_blackout_rate,
+            ack_blackout_mean_duration=self.ack_blackout_mean_duration,
+            rtt_spike_sigma=self.rtt_spike_sigma,
+        )
+
 
 def with_faults(scenario: "Scenario", plan: FaultPlan) -> "Scenario":
-    """A copy of ``scenario`` whose every build is wrapped by ``plan``."""
-    return scenario.with_channel_hook(plan.as_channel_hook())
+    """A copy of ``scenario`` whose every build is wrapped by ``plan``.
+
+    The plan is attached declaratively (:meth:`FaultPlan.to_hook_spec`),
+    so the faulted scenario remains serializable and content-hashable —
+    a chaos campaign caches and resumes exactly like a clean one.
+    """
+    return scenario.with_channel_hook(plan.to_hook_spec())
 
 
 _ambient_plan: ContextVar[Optional[FaultPlan]] = ContextVar(

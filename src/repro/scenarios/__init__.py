@@ -1,0 +1,77 @@
+"""Scenarios as data: schema, compiler, registry, bundled library.
+
+This package turns the measurement environments of Wang et al. — and
+any environment a user wants to study — into validated, serializable
+*scenario documents* (YAML/JSON) that compile to the frozen
+:class:`~repro.hsr.scenario.Scenario` the rest of the stack runs:
+
+* :mod:`repro.scenarios.schema` — loading + located validation errors;
+* :mod:`repro.scenarios.document` — the document model and its parser;
+* :mod:`repro.scenarios.compile` — document ⇄ scenario, both ways;
+* :mod:`repro.scenarios.serialize` — YAML/JSON text round-tripping;
+* :mod:`repro.scenarios.registry` — the name registry plus the bundled
+  library (``python -m repro.scenarios list``);
+* :mod:`repro.scenarios.cli` — the ``list|validate|show|compile``
+  command-line toolbox.
+
+The paper's three presets re-expressed as bundled documents compile to
+byte-identical flows (the equivalence tests pin this), so the data path
+is not an approximation of the code path — it *is* the code path.
+"""
+
+from repro.scenarios.compile import compile_document, document_from_scenario
+from repro.scenarios.document import (
+    CellsSpec,
+    ExtraLossSpec,
+    MobilitySpec,
+    ProviderSpec,
+    ScenarioDocument,
+    document_to_dict,
+    parse_document,
+)
+from repro.scenarios.registry import (
+    compile_scenario,
+    get_scenario_document,
+    library_dir,
+    library_paths,
+    register_document,
+    resolve_scenario_ref,
+    scenario_names,
+    unregister_document,
+)
+from repro.scenarios.schema import SchemaError, SourceInfo, load_mapping
+from repro.scenarios.serialize import (
+    document_to_json,
+    document_to_yaml,
+    load_document_file,
+    load_document_text,
+    roundtrip_check,
+)
+
+__all__ = [
+    "CellsSpec",
+    "ExtraLossSpec",
+    "MobilitySpec",
+    "ProviderSpec",
+    "ScenarioDocument",
+    "SchemaError",
+    "SourceInfo",
+    "compile_document",
+    "compile_scenario",
+    "document_from_scenario",
+    "document_to_dict",
+    "document_to_json",
+    "document_to_yaml",
+    "get_scenario_document",
+    "library_dir",
+    "library_paths",
+    "load_document_file",
+    "load_document_text",
+    "load_mapping",
+    "parse_document",
+    "register_document",
+    "resolve_scenario_ref",
+    "roundtrip_check",
+    "scenario_names",
+    "unregister_document",
+]

@@ -1,0 +1,213 @@
+"""``python -m repro.scenarios`` — the scenario toolbox.
+
+Subcommands:
+
+* ``list`` — catalog of every known scenario (name, speed, carrier,
+  loss regime), ``--json`` for machines;
+* ``validate`` — parse + compile scenario files or the whole bundled
+  library (``--all``), optionally running a short flow through each
+  compiled scenario (``--run-flows SECONDS``) — the CI gate;
+* ``show`` — one scenario re-serialized as canonical YAML;
+* ``compile`` — compile a reference and report the built channel
+  parameters as JSON.
+
+References are registered names or paths to ``.yaml``/``.yml``/
+``.json`` files, everywhere a scenario is accepted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.scenarios.compile import compile_document
+from repro.scenarios.document import ScenarioDocument
+from repro.scenarios.registry import (
+    resolve_scenario_ref,
+    scenario_names,
+)
+from repro.scenarios.serialize import document_to_yaml
+from repro.util.errors import ReproError
+from repro.util.units import mps_to_kmh
+
+__all__ = ["main"]
+
+
+def _loss_regime(document: ScenarioDocument) -> str:
+    parts: List[str] = ["base"]
+    if document.extra_loss:
+        parts.append("overlay")
+    if document.faults is not None and not document.faults.is_noop():
+        parts.append("faults")
+    return "+".join(parts)
+
+
+def _catalog_row(document: ScenarioDocument) -> dict:
+    scenario = compile_document(document)
+    return {
+        "name": document.name,
+        "speed_kmh": round(mps_to_kmh(scenario.cruise_speed()), 1),
+        "provider": scenario.provider.name,
+        "technology": scenario.provider.technology,
+        "loss_regime": _loss_regime(document),
+        "tags": list(document.tags),
+        "description": document.description,
+    }
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in scenario_names():
+        document = resolve_scenario_ref(name)
+        if args.tag and args.tag not in document.tags:
+            continue
+        rows.append(_catalog_row(document))
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    header = f"{'NAME':<26} {'KM/H':>6} {'PROVIDER':<18} {'TECH':<4} REGIME"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:<26} {row['speed_kmh']:>6.1f} "
+            f"{row['provider']:<18} {row['technology']:<4} "
+            f"{row['loss_regime']}"
+        )
+    print(f"{len(rows)} scenario(s)")
+    return 0
+
+
+def _run_short_flow(document: ScenarioDocument, duration: float, seed: int):
+    # Imported here so `list`/`show` never pull in the executor stack.
+    from repro.exec.executor import simulate_spec
+    from repro.exec.spec import FlowSpec
+
+    spec = FlowSpec(
+        scenario=compile_document(document),
+        duration=duration,
+        seed=seed,
+        flow_id=document.name,
+    )
+    result, _ = simulate_spec(spec)
+    return result
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    refs: Sequence[str] = args.refs
+    if args.all or not refs:
+        refs = scenario_names()
+    failures = 0
+    for ref in refs:
+        try:
+            document = resolve_scenario_ref(ref)
+            scenario = compile_document(document)
+            status = f"ok       compiled {scenario.name!r}"
+            if args.run_flows is not None:
+                result = _run_short_flow(document, args.run_flows, args.seed)
+                status = (
+                    f"ok       {result.throughput_mbps:8.3f} Mbps over "
+                    f"{args.run_flows:g}s"
+                )
+        except ReproError as error:
+            failures += 1
+            status = f"FAIL     {error}"
+        print(f"{ref:<28} {status}")
+    if failures:
+        print(f"{failures} scenario(s) failed validation", file=sys.stderr)
+        return 1
+    print(f"{len(refs)} scenario(s) valid")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    document = resolve_scenario_ref(args.ref)
+    sys.stdout.write(document_to_yaml(document))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    document = resolve_scenario_ref(args.ref)
+    scenario = compile_document(document)
+    built = scenario.build(duration=args.duration, seed=args.seed)
+    payload = {
+        "name": scenario.name,
+        "document_name": document.name,
+        "mobility": scenario.mobility.name,
+        "cruise_speed_kmh": mps_to_kmh(scenario.cruise_speed()),
+        "provider": scenario.provider.name,
+        "technology": scenario.provider.technology,
+        "loss_regime": _loss_regime(document),
+        "declarative": scenario.is_declarative,
+        "build": {
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "base_rtt_s": scenario.provider.base_rtt,
+            "min_rto_s": built.config.min_rto,
+            "wmax": built.config.wmax,
+            "jitter_sigma": built.config.jitter_sigma,
+            "outage_windows": len(built.outages),
+        },
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List, validate, inspect, and compile scenario documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="catalog of known scenarios")
+    p_list.add_argument("--json", action="store_true", help="JSON output")
+    p_list.add_argument("--tag", help="only scenarios carrying this tag")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_validate = sub.add_parser(
+        "validate", help="parse + compile scenarios (default: whole library)"
+    )
+    p_validate.add_argument(
+        "refs", nargs="*", help="scenario names or files (default: all)"
+    )
+    p_validate.add_argument(
+        "--all", action="store_true", help="validate every known scenario"
+    )
+    p_validate.add_argument(
+        "--run-flows",
+        type=float,
+        metavar="SECONDS",
+        help="also run one flow of this duration per scenario",
+    )
+    p_validate.add_argument("--seed", type=int, default=1)
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_show = sub.add_parser("show", help="one scenario as canonical YAML")
+    p_show.add_argument("ref", help="scenario name or file")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile a scenario and report built parameters"
+    )
+    p_compile.add_argument("ref", help="scenario name or file")
+    p_compile.add_argument("--duration", type=float, default=60.0)
+    p_compile.add_argument("--seed", type=int, default=1)
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

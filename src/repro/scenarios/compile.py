@@ -1,0 +1,222 @@
+"""Compiling scenario documents to :class:`~repro.hsr.scenario.Scenario`
+objects, and decompiling scenarios back to documents.
+
+The compiler is a pure function of the document: compiling the same
+document twice yields equal (``==``) frozen scenarios, and everything
+stochastic stays seed-derived inside ``Scenario.build`` — a compiled
+scenario is bit-compatible with a hand-constructed one.  In particular
+the three paper presets re-expressed as documents (with
+``scenario_name`` pinning the legacy RNG stream label) produce
+byte-identical flows.
+
+Decompilation (:func:`document_from_scenario`) is the tooling path:
+any *declarative* scenario — one whose ``channel_hook`` is ``None`` or
+a :class:`~repro.hsr.hooks.HookSpec` — maps back to a document, which
+is how ``parse → compile → serialize → parse`` round-trips.  A scenario
+carrying an opaque callable hook cannot be decompiled and fails with a
+:class:`~repro.util.errors.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hsr.cells import CellLayout
+from repro.hsr.hooks import HookSpec, chain_hooks
+from repro.hsr.mobility import (
+    MobilityProfile,
+    btr_profile,
+    driving_profile,
+    stationary_profile,
+)
+from repro.hsr.provider import ALL_PROVIDERS, Provider, provider_by_name
+from repro.hsr.scenario import Scenario
+from repro.robustness.faults import FaultPlan
+from repro.scenarios.document import (
+    CellsSpec,
+    ExtraLossSpec,
+    MobilitySpec,
+    ProviderSpec,
+    ScenarioDocument,
+)
+from repro.util.errors import ConfigurationError
+
+__all__ = ["compile_document", "document_from_scenario"]
+
+_PRESET_PROFILES = {
+    "btr": btr_profile,
+    "stationary": stationary_profile,
+    "driving": driving_profile,
+}
+
+
+def _compile_mobility(spec: MobilitySpec) -> MobilityProfile:
+    if spec.preset is not None:
+        return _PRESET_PROFILES[spec.preset]()
+    assert spec.peak_speed_mps is not None  # enforced by parse_document
+    name = spec.name
+    if name is None:
+        name = (
+            "stationary"
+            if spec.peak_speed_mps == 0.0
+            else f"custom-{spec.peak_speed_mps:g}mps"
+        )
+    return MobilityProfile(
+        name=name,
+        peak_speed=spec.peak_speed_mps,
+        acceleration=spec.acceleration,
+        route_length=spec.route_length_m,
+    )
+
+
+def _compile_provider(spec: ProviderSpec) -> Provider:
+    if spec.ref is not None:
+        return provider_by_name(spec.ref)
+    return Provider(
+        name=spec.name or "custom",
+        technology=spec.technology,
+        one_way_delay=spec.one_way_delay_s,
+        base_data_loss=spec.base_data_loss,
+        base_ack_loss=spec.base_ack_loss,
+        coverage_penalty=spec.coverage_penalty,
+        wmax=spec.wmax,
+        handoff_mean_outage=spec.handoff_mean_outage_s,
+        ack_burst_mean_duration=spec.ack_burst_mean_duration_s,
+        ack_burst_spacing=spec.ack_burst_spacing_s,
+    )
+
+
+def _overlay_hook(overlay: ExtraLossSpec) -> HookSpec:
+    return HookSpec.make(
+        "extra_loss",
+        direction=overlay.direction,
+        mean_good_s=overlay.mean_good_s,
+        mean_bad_s=overlay.mean_bad_s,
+        loss_good=overlay.loss_good,
+        loss_bad=overlay.loss_bad,
+        label=overlay.label,
+    )
+
+
+def compile_document(document: ScenarioDocument) -> Scenario:
+    """The frozen :class:`Scenario` a document describes."""
+    hooks: List[HookSpec] = []
+    if document.faults is not None and not document.faults.is_noop():
+        hooks.append(document.faults.to_hook_spec())
+    hooks.extend(_overlay_hook(overlay) for overlay in document.extra_loss)
+    return Scenario(
+        name=document.scenario_name or document.name,
+        mobility=_compile_mobility(document.mobility),
+        provider=_compile_provider(document.provider),
+        cells=CellLayout(
+            spacing=document.cells.spacing_m, offset=document.cells.offset_m
+        ),
+        flow_start_offset=document.flow_start_offset_s,
+        channel_hook=chain_hooks(hooks) if hooks else None,
+    )
+
+
+# -- decompilation ------------------------------------------------------
+
+_PRESET_PROVIDERS = {provider: provider.name for provider in ALL_PROVIDERS}
+
+
+def _decompile_mobility(profile: MobilityProfile) -> MobilitySpec:
+    for preset, factory in _PRESET_PROFILES.items():
+        if profile == factory():
+            return MobilitySpec(preset=preset)
+    return MobilitySpec(
+        preset=None,
+        name=profile.name,
+        peak_speed_mps=profile.peak_speed,
+        acceleration=profile.acceleration,
+        route_length_m=profile.route_length,
+    )
+
+
+def _decompile_provider(provider: Provider) -> ProviderSpec:
+    ref = _PRESET_PROVIDERS.get(provider)
+    if ref is not None:
+        return ProviderSpec(ref=ref)
+    return ProviderSpec(
+        ref=None,
+        name=provider.name,
+        technology=provider.technology,
+        one_way_delay_s=provider.one_way_delay,
+        base_data_loss=provider.base_data_loss,
+        base_ack_loss=provider.base_ack_loss,
+        coverage_penalty=provider.coverage_penalty,
+        wmax=provider.wmax,
+        handoff_mean_outage_s=provider.handoff_mean_outage,
+        ack_burst_mean_duration_s=provider.ack_burst_mean_duration,
+        ack_burst_spacing_s=provider.ack_burst_spacing,
+    )
+
+
+def _split_hooks(hook: Optional[object], scenario_name: str):
+    """Decompose a declarative channel hook into (faults, overlays)."""
+    if hook is None:
+        return None, ()
+    if not isinstance(hook, HookSpec):
+        raise ConfigurationError(
+            f"scenario {scenario_name!r} carries an opaque channel_hook "
+            f"({hook!r}); only declarative HookSpec hooks can be "
+            "serialized to a document"
+        )
+    specs = (
+        list(hook.as_dict()["hooks"]) if hook.name == "chain" else [hook]
+    )
+    faults: Optional[FaultPlan] = None
+    overlays: List[ExtraLossSpec] = []
+    for spec in specs:
+        params = spec.as_dict()
+        if spec.name == "faults":
+            if faults is not None:
+                raise ConfigurationError(
+                    f"scenario {scenario_name!r} chains two fault plans; "
+                    "documents carry at most one"
+                )
+            faults = FaultPlan(**params)
+        elif spec.name == "extra_loss":
+            overlays.append(ExtraLossSpec(**params))
+        else:
+            raise ConfigurationError(
+                f"scenario {scenario_name!r} uses hook {spec.name!r}, which "
+                "has no document form; only 'faults' and 'extra_loss' "
+                "serialize"
+            )
+    return faults, tuple(overlays)
+
+
+def document_from_scenario(
+    scenario: Scenario,
+    *,
+    name: Optional[str] = None,
+    description: str = "",
+    tags: tuple = (),
+) -> ScenarioDocument:
+    """A document that compiles back to exactly ``scenario``.
+
+    ``name`` defaults to the scenario's own name; when they differ the
+    scenario name is preserved in ``scenario_name`` so the compiled
+    RNG stream label (and therefore every draw) survives the round
+    trip.
+    """
+    document_name = name if name is not None else scenario.name
+    faults, overlays = _split_hooks(scenario.channel_hook, scenario.name)
+    return ScenarioDocument(
+        name=document_name,
+        description=description,
+        tags=tuple(tags),
+        mobility=_decompile_mobility(scenario.mobility),
+        cells=CellsSpec(
+            spacing_m=scenario.cells.spacing, offset_m=scenario.cells.offset
+        ),
+        provider=_decompile_provider(scenario.provider),
+        flow_start_offset_s=scenario.flow_start_offset,
+        faults=faults,
+        extra_loss=overlays,
+        scenario_name=(
+            scenario.name if scenario.name != document_name else None
+        ),
+    )

@@ -1,0 +1,450 @@
+"""The scenario document model: parsed, validated, immutable.
+
+A :class:`ScenarioDocument` is the in-memory form of one scenario file:
+every environment axis the paper measures, as plain data —
+
+* ``mobility`` — a named trapezoidal speed profile or one of the three
+  paper presets (``btr`` / ``stationary`` / ``driving``);
+* ``cells`` — handoff geometry (spacing and phase along the route);
+* ``provider`` — one of the measured carriers by name, or a fully
+  inline carrier definition (multi-provider mixes, hypothetical
+  networks);
+* ``flow_start_offset_s`` — where in the trip the measured flow starts;
+* ``faults`` — a declarative :class:`~repro.robustness.faults.FaultPlan`
+  (handoff storms, deep fades, ACK blackouts, RTT spikes);
+* ``extra_loss`` — additional Gilbert–Elliott loss overlays per
+  direction (tunnels, weather, station congestion).
+
+:func:`parse_document` turns a loaded mapping into a document with
+schema validation (unknown keys fail, with source lines);
+:func:`document_to_dict` is the exact inverse used by the serializer.
+Speeds may be authored in km/h (``peak_speed_kmh``) or m/s
+(``peak_speed_mps``); the serializer always emits m/s so that a
+serialize → parse → compile cycle reproduces a compiled scenario
+bit-for-bit (no unit-conversion rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hsr.mobility import DEFAULT_ACCELERATION
+from repro.robustness.faults import FaultPlan
+from repro.scenarios.schema import (
+    SourceInfo,
+    expect_mapping,
+    reject_unknown_keys,
+    take,
+)
+from repro.util.units import kmh_to_mps
+
+__all__ = [
+    "CellsSpec",
+    "ExtraLossSpec",
+    "MobilitySpec",
+    "ProviderSpec",
+    "ScenarioDocument",
+    "document_to_dict",
+    "parse_document",
+]
+
+#: mobility presets mirroring the paper's three measured regimes
+MOBILITY_PRESETS = ("btr", "stationary", "driving")
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Either a preset name or explicit trapezoid parameters (m/s)."""
+
+    preset: Optional[str] = None
+    name: Optional[str] = None
+    peak_speed_mps: Optional[float] = None
+    acceleration: float = DEFAULT_ACCELERATION
+    route_length_m: float = 120_000.0
+
+
+@dataclass(frozen=True)
+class CellsSpec:
+    """Cell geometry along the route (metres)."""
+
+    spacing_m: float = 2_500.0
+    offset_m: float = 1_250.0
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """A carrier: preset reference (``ref``) or inline definition."""
+
+    ref: Optional[str] = None
+    name: Optional[str] = None
+    technology: str = "LTE"
+    one_way_delay_s: float = 0.030
+    base_data_loss: float = 0.001
+    base_ack_loss: float = 0.001
+    coverage_penalty: float = 1.0
+    wmax: float = 64.0
+    handoff_mean_outage_s: float = 1.2
+    ack_burst_mean_duration_s: float = 0.25
+    ack_burst_spacing_s: float = 30.0
+
+
+@dataclass(frozen=True)
+class ExtraLossSpec:
+    """One Gilbert–Elliott overlay on one direction."""
+
+    direction: str
+    mean_good_s: float
+    mean_bad_s: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    label: str = "extra-loss"
+
+
+@dataclass(frozen=True)
+class ScenarioDocument:
+    """One validated scenario file, ready for the compiler."""
+
+    name: str
+    mobility: MobilitySpec
+    provider: ProviderSpec
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    cells: CellsSpec = CellsSpec()
+    flow_start_offset_s: float = 300.0
+    faults: Optional[FaultPlan] = None
+    extra_loss: Tuple[ExtraLossSpec, ...] = ()
+    #: overrides the compiled ``Scenario.name`` (the RNG stream label);
+    #: used to reproduce the legacy presets' draw sequences byte-for-byte
+    scenario_name: Optional[str] = None
+
+
+# -- parsing ------------------------------------------------------------
+
+_TOP_LEVEL_KEYS = (
+    "name",
+    "description",
+    "tags",
+    "mobility",
+    "cells",
+    "provider",
+    "flow_start_offset_s",
+    "faults",
+    "extra_loss",
+    "scenario_name",
+)
+
+_MOBILITY_KEYS = (
+    "preset",
+    "name",
+    "peak_speed_kmh",
+    "peak_speed_mps",
+    "acceleration",
+    "route_length_m",
+)
+
+_CELLS_KEYS = ("spacing_m", "offset_m")
+
+_PROVIDER_KEYS = (
+    "name",
+    "technology",
+    "one_way_delay_s",
+    "base_data_loss",
+    "base_ack_loss",
+    "coverage_penalty",
+    "wmax",
+    "handoff_mean_outage_s",
+    "ack_burst_mean_duration_s",
+    "ack_burst_spacing_s",
+)
+
+_FAULTS_KEYS = (
+    "name",
+    "handoff_storm_rate",
+    "handoff_storm_mean_outage",
+    "deep_fade_rate",
+    "deep_fade_mean_duration",
+    "deep_fade_loss",
+    "ack_blackout_rate",
+    "ack_blackout_mean_duration",
+    "rtt_spike_sigma",
+)
+
+_EXTRA_LOSS_KEYS = (
+    "direction",
+    "mean_good_s",
+    "mean_bad_s",
+    "loss_good",
+    "loss_bad",
+    "label",
+)
+
+
+def _parse_mobility(value: object, path: str, info: SourceInfo) -> MobilitySpec:
+    mapping = expect_mapping(value, path, info)
+    reject_unknown_keys(mapping, _MOBILITY_KEYS, path, info)
+    preset = take(mapping, "preset", path, info, kind=str,
+                  choices=MOBILITY_PRESETS)
+    kmh = take(mapping, "peak_speed_kmh", path, info, kind=float, minimum=0.0)
+    mps = take(mapping, "peak_speed_mps", path, info, kind=float, minimum=0.0)
+    if preset is not None:
+        extras = [key for key in _MOBILITY_KEYS[1:] if mapping.get(key) is not None]
+        if extras:
+            raise info.error(
+                f"preset mobility takes no other fields, got {extras}", path
+            )
+        return MobilitySpec(preset=preset)
+    if kmh is not None and mps is not None:
+        raise info.error(
+            "give peak_speed_kmh or peak_speed_mps, not both", path
+        )
+    if kmh is None and mps is None:
+        raise info.error(
+            "mobility needs a preset or a peak speed "
+            "(peak_speed_kmh / peak_speed_mps)",
+            path,
+        )
+    peak = kmh_to_mps(kmh) if kmh is not None else mps
+    return MobilitySpec(
+        preset=None,
+        name=take(mapping, "name", path, info, kind=str),
+        peak_speed_mps=peak,
+        acceleration=take(
+            mapping, "acceleration", path, info, kind=float,
+            default=DEFAULT_ACCELERATION,
+        ),
+        route_length_m=take(
+            mapping, "route_length_m", path, info, kind=float,
+            minimum=1.0, default=120_000.0,
+        ),
+    )
+
+
+def _parse_cells(value: object, path: str, info: SourceInfo) -> CellsSpec:
+    mapping = expect_mapping(value, path, info)
+    reject_unknown_keys(mapping, _CELLS_KEYS, path, info)
+    spacing = take(mapping, "spacing_m", path, info, kind=float,
+                   default=2_500.0)
+    offset = take(mapping, "offset_m", path, info, kind=float,
+                  minimum=0.0, default=1_250.0)
+    if not spacing > 0.0:
+        raise info.error(
+            f"spacing_m must be positive, got {spacing!r}", f"{path}.spacing_m"
+        )
+    if offset >= spacing:
+        # CellLayout's phase-offset invariant, checked here so authors
+        # get a located error instead of a compile-time one.
+        raise info.error(
+            f"offset_m must be smaller than spacing_m ({spacing:g}), "
+            f"got {offset!r}",
+            f"{path}.offset_m",
+        )
+    return CellsSpec(spacing_m=spacing, offset_m=offset)
+
+
+def _parse_provider(value: object, path: str, info: SourceInfo) -> ProviderSpec:
+    if isinstance(value, str):
+        return ProviderSpec(ref=value)
+    mapping = expect_mapping(value, path, info)
+    reject_unknown_keys(mapping, _PROVIDER_KEYS, path, info)
+    name = take(mapping, "name", path, info, kind=str, required=True)
+    return ProviderSpec(
+        ref=None,
+        name=name,
+        technology=take(mapping, "technology", path, info, kind=str,
+                        choices=("LTE", "3G"), default="LTE"),
+        one_way_delay_s=take(mapping, "one_way_delay_s", path, info,
+                             kind=float, required=True),
+        base_data_loss=take(mapping, "base_data_loss", path, info,
+                            kind=float, minimum=0.0, required=True),
+        base_ack_loss=take(mapping, "base_ack_loss", path, info,
+                           kind=float, minimum=0.0, required=True),
+        coverage_penalty=take(mapping, "coverage_penalty", path, info,
+                              kind=float, minimum=1.0, default=1.0),
+        wmax=take(mapping, "wmax", path, info, kind=float, default=64.0),
+        handoff_mean_outage_s=take(mapping, "handoff_mean_outage_s", path,
+                                   info, kind=float, default=1.2),
+        ack_burst_mean_duration_s=take(mapping, "ack_burst_mean_duration_s",
+                                       path, info, kind=float, default=0.25),
+        ack_burst_spacing_s=take(mapping, "ack_burst_spacing_s", path, info,
+                                 kind=float, default=30.0),
+    )
+
+
+def _parse_faults(value: object, path: str, info: SourceInfo) -> FaultPlan:
+    mapping = expect_mapping(value, path, info)
+    reject_unknown_keys(mapping, _FAULTS_KEYS, path, info)
+    kwargs: Dict[str, object] = {
+        "name": take(mapping, "name", path, info, kind=str, default="chaos")
+    }
+    for key in _FAULTS_KEYS[1:]:
+        value_taken = take(mapping, key, path, info, kind=float, minimum=0.0)
+        if value_taken is not None:
+            kwargs[key] = value_taken
+    return FaultPlan(**kwargs)
+
+
+def _parse_extra_loss(
+    value: object, path: str, info: SourceInfo
+) -> Tuple[ExtraLossSpec, ...]:
+    if not isinstance(value, list):
+        raise info.error(
+            f"expected a list of overlays, got {type(value).__name__}", path
+        )
+    overlays = []
+    for position, item in enumerate(value):
+        item_path = f"{path}[{position}]"
+        mapping = expect_mapping(item, item_path, info)
+        reject_unknown_keys(mapping, _EXTRA_LOSS_KEYS, item_path, info)
+        direction = take(mapping, "direction", item_path, info, kind=str,
+                         choices=("data", "ack"), required=True)
+        overlays.append(
+            ExtraLossSpec(
+                direction=direction,
+                mean_good_s=take(mapping, "mean_good_s", item_path, info,
+                                 kind=float, required=True),
+                mean_bad_s=take(mapping, "mean_bad_s", item_path, info,
+                                kind=float, required=True),
+                loss_good=take(mapping, "loss_good", item_path, info,
+                               kind=float, minimum=0.0, maximum=1.0,
+                               default=0.0),
+                loss_bad=take(mapping, "loss_bad", item_path, info,
+                              kind=float, minimum=0.0, maximum=1.0,
+                              default=1.0),
+                label=take(mapping, "label", item_path, info, kind=str,
+                           default=f"{direction}-{position}"),
+            )
+        )
+    return tuple(overlays)
+
+
+def parse_document(
+    data: dict, info: Optional[SourceInfo] = None
+) -> ScenarioDocument:
+    """Validate a loaded mapping into a :class:`ScenarioDocument`.
+
+    Every violation raises :class:`~repro.scenarios.schema.SchemaError`
+    naming the offending field (and its source line when ``info``
+    carries one).
+    """
+    if info is None:
+        info = SourceInfo()
+    mapping = expect_mapping(data, "", info)
+    reject_unknown_keys(mapping, _TOP_LEVEL_KEYS, "", info)
+    name = take(mapping, "name", "", info, kind=str, required=True)
+    if not name.strip():
+        raise info.error("scenario name must be non-empty", "name")
+    tags_raw = take(mapping, "tags", "", info, default=[])
+    if not isinstance(tags_raw, list) or not all(
+        isinstance(tag, str) for tag in tags_raw
+    ):
+        raise info.error("tags must be a list of strings", "tags")
+    if "mobility" not in mapping or mapping["mobility"] is None:
+        raise info.error("required field 'mobility' is missing", "")
+    if "provider" not in mapping or mapping["provider"] is None:
+        raise info.error("required field 'provider' is missing", "")
+    faults = mapping.get("faults")
+    extra_loss = mapping.get("extra_loss")
+    return ScenarioDocument(
+        name=name,
+        description=take(mapping, "description", "", info, kind=str,
+                         default=""),
+        tags=tuple(tags_raw),
+        mobility=_parse_mobility(mapping["mobility"], "mobility", info),
+        cells=(
+            _parse_cells(mapping["cells"], "cells", info)
+            if mapping.get("cells") is not None
+            else CellsSpec()
+        ),
+        provider=_parse_provider(mapping["provider"], "provider", info),
+        flow_start_offset_s=take(
+            mapping, "flow_start_offset_s", "", info, kind=float,
+            minimum=0.0, default=300.0,
+        ),
+        faults=(
+            _parse_faults(faults, "faults", info)
+            if faults is not None
+            else None
+        ),
+        extra_loss=(
+            _parse_extra_loss(extra_loss, "extra_loss", info)
+            if extra_loss is not None
+            else ()
+        ),
+        scenario_name=take(mapping, "scenario_name", "", info, kind=str),
+    )
+
+
+# -- serialization ------------------------------------------------------
+
+
+def document_to_dict(document: ScenarioDocument) -> dict:
+    """The exact plain-data inverse of :func:`parse_document`.
+
+    Emits speeds in m/s and omits nothing that was explicit in the
+    document, so ``parse_document(document_to_dict(d)) == d``.
+    """
+    data: dict = {"name": document.name}
+    if document.description:
+        data["description"] = document.description
+    if document.tags:
+        data["tags"] = list(document.tags)
+    mobility = document.mobility
+    if mobility.preset is not None:
+        data["mobility"] = {"preset": mobility.preset}
+    else:
+        mobility_data: dict = {"peak_speed_mps": mobility.peak_speed_mps}
+        if mobility.name is not None:
+            mobility_data["name"] = mobility.name
+        mobility_data["acceleration"] = mobility.acceleration
+        mobility_data["route_length_m"] = mobility.route_length_m
+        data["mobility"] = mobility_data
+    data["cells"] = {
+        "spacing_m": document.cells.spacing_m,
+        "offset_m": document.cells.offset_m,
+    }
+    provider = document.provider
+    if provider.ref is not None:
+        data["provider"] = provider.ref
+    else:
+        data["provider"] = {
+            "name": provider.name,
+            "technology": provider.technology,
+            "one_way_delay_s": provider.one_way_delay_s,
+            "base_data_loss": provider.base_data_loss,
+            "base_ack_loss": provider.base_ack_loss,
+            "coverage_penalty": provider.coverage_penalty,
+            "wmax": provider.wmax,
+            "handoff_mean_outage_s": provider.handoff_mean_outage_s,
+            "ack_burst_mean_duration_s": provider.ack_burst_mean_duration_s,
+            "ack_burst_spacing_s": provider.ack_burst_spacing_s,
+        }
+    data["flow_start_offset_s"] = document.flow_start_offset_s
+    if document.faults is not None:
+        plan = document.faults
+        data["faults"] = {
+            "name": plan.name,
+            "handoff_storm_rate": plan.handoff_storm_rate,
+            "handoff_storm_mean_outage": plan.handoff_storm_mean_outage,
+            "deep_fade_rate": plan.deep_fade_rate,
+            "deep_fade_mean_duration": plan.deep_fade_mean_duration,
+            "deep_fade_loss": plan.deep_fade_loss,
+            "ack_blackout_rate": plan.ack_blackout_rate,
+            "ack_blackout_mean_duration": plan.ack_blackout_mean_duration,
+            "rtt_spike_sigma": plan.rtt_spike_sigma,
+        }
+    if document.extra_loss:
+        data["extra_loss"] = [
+            {
+                "direction": overlay.direction,
+                "mean_good_s": overlay.mean_good_s,
+                "mean_bad_s": overlay.mean_bad_s,
+                "loss_good": overlay.loss_good,
+                "loss_bad": overlay.loss_bad,
+                "label": overlay.label,
+            }
+            for overlay in document.extra_loss
+        ]
+    if document.scenario_name is not None:
+        data["scenario_name"] = document.scenario_name
+    return data

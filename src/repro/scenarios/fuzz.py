@@ -1,0 +1,139 @@
+"""Hypothesis strategies generating valid scenario documents.
+
+The fuzzer's job is to pin the scenario pipeline's two core contracts
+over the whole input space, not just the bundled library:
+
+* **determinism** — parsing, compiling, and building the same document
+  twice yields equal results;
+* **inversion** — serialize → parse is the identity on documents, and
+  compile → decompile → compile is the identity on scenarios.
+
+Strategies stick to finite, in-range values because the schema already
+rejects everything else (those rejections have their own direct tests);
+speeds/accelerations/route lengths are co-constrained so every drawn
+mobility satisfies ``MobilityProfile``'s ramp-fits-route invariant.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.robustness.faults import FaultPlan
+from repro.scenarios.document import (
+    MOBILITY_PRESETS,
+    CellsSpec,
+    ExtraLossSpec,
+    MobilitySpec,
+    ProviderSpec,
+    ScenarioDocument,
+)
+
+__all__ = ["scenario_documents"]
+
+_PROVIDER_REFS = ("China Mobile", "China Unicom", "China Telecom")
+
+
+def _finite(minimum: float, maximum: float) -> st.SearchStrategy:
+    return st.floats(
+        min_value=minimum,
+        max_value=maximum,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=24
+).filter(lambda text: text.strip("-"))
+
+
+@st.composite
+def _mobilities(draw) -> MobilitySpec:
+    if draw(st.booleans()):
+        return MobilitySpec(preset=draw(st.sampled_from(MOBILITY_PRESETS)))
+    peak = draw(_finite(0.0, 300.0))
+    acceleration = draw(_finite(0.1, 3.0))
+    # Ramp-up plus ramp-down must fit the route: 2 * v^2/(2a) <= L.
+    floor = max(1.0, 2.0 * peak * peak / (2.0 * acceleration))
+    route = draw(_finite(floor * 1.01 + 1.0, floor * 1.01 + 500_000.0))
+    return MobilitySpec(
+        preset=None,
+        name=draw(st.one_of(st.none(), _names)),
+        peak_speed_mps=peak,
+        acceleration=acceleration,
+        route_length_m=route,
+    )
+
+
+@st.composite
+def _providers(draw) -> ProviderSpec:
+    if draw(st.booleans()):
+        return ProviderSpec(ref=draw(st.sampled_from(_PROVIDER_REFS)))
+    return ProviderSpec(
+        ref=None,
+        name=draw(_names),
+        technology=draw(st.sampled_from(("LTE", "3G"))),
+        one_way_delay_s=draw(_finite(0.005, 0.5)),
+        base_data_loss=draw(_finite(0.0, 0.05)),
+        base_ack_loss=draw(_finite(0.0, 0.05)),
+        coverage_penalty=draw(_finite(1.0, 5.0)),
+        wmax=draw(_finite(4.0, 256.0)),
+        handoff_mean_outage_s=draw(_finite(0.1, 5.0)),
+        ack_burst_mean_duration_s=draw(_finite(0.05, 2.0)),
+        ack_burst_spacing_s=draw(_finite(5.0, 120.0)),
+    )
+
+
+_faults = st.builds(
+    FaultPlan,
+    name=_names,
+    handoff_storm_rate=_finite(0.0, 0.2),
+    handoff_storm_mean_outage=_finite(0.1, 3.0),
+    deep_fade_rate=_finite(0.0, 0.2),
+    deep_fade_mean_duration=_finite(0.1, 4.0),
+    deep_fade_loss=_finite(0.0, 1.0),
+    ack_blackout_rate=_finite(0.0, 0.2),
+    ack_blackout_mean_duration=_finite(0.1, 3.0),
+    rtt_spike_sigma=_finite(0.0, 1.0),
+)
+
+_extra_loss = st.builds(
+    ExtraLossSpec,
+    direction=st.sampled_from(("data", "ack")),
+    mean_good_s=_finite(1.0, 120.0),
+    mean_bad_s=_finite(0.1, 10.0),
+    loss_good=_finite(0.0, 0.2),
+    loss_bad=_finite(0.5, 1.0),
+    label=_names,
+)
+
+@st.composite
+def _cells(draw) -> CellsSpec:
+    # CellLayout requires 0 <= offset < spacing.
+    spacing = draw(_finite(200.0, 50_000.0))
+    offset = draw(_finite(0.0, spacing * 0.99))
+    return CellsSpec(spacing_m=spacing, offset_m=offset)
+
+
+@st.composite
+def scenario_documents(draw) -> ScenarioDocument:
+    """Arbitrary valid :class:`ScenarioDocument` instances."""
+    return ScenarioDocument(
+        name=draw(_names),
+        description=draw(
+            st.text(
+                alphabet=st.characters(
+                    codec="utf-8", categories=("L", "N", "P", "Zs")
+                ),
+                max_size=60,
+            )
+        ),
+        tags=tuple(draw(st.lists(_names, max_size=3))),
+        mobility=draw(_mobilities()),
+        cells=draw(_cells()),
+        provider=draw(_providers()),
+        flow_start_offset_s=draw(_finite(0.0, 600.0)),
+        faults=draw(st.one_of(st.none(), _faults)),
+        extra_loss=tuple(draw(st.lists(_extra_loss, max_size=2))),
+        scenario_name=draw(st.one_of(st.none(), _names)),
+    )

@@ -1,0 +1,134 @@
+"""The scenario name registry and the bundled library.
+
+Every ``.yaml``/``.yml``/``.json`` file under ``library/`` is one
+bundled scenario; the registry loads them lazily, indexes them by their
+``name`` field, and layers user registrations
+(:func:`register_document`) on top.  A *reference* — the string the CLI
+and ``FlowSpec.scenario_ref`` accept — resolves first as a registered
+name and then, if it names no scenario but points at an existing file,
+as a path; :func:`compile_scenario` takes it straight to a frozen
+:class:`~repro.hsr.scenario.Scenario`.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.hsr.scenario import Scenario
+from repro.scenarios.compile import compile_document
+from repro.scenarios.document import ScenarioDocument
+from repro.scenarios.serialize import load_document_file
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "compile_scenario",
+    "get_scenario_document",
+    "library_dir",
+    "library_paths",
+    "register_document",
+    "resolve_scenario_ref",
+    "scenario_names",
+    "unregister_document",
+]
+
+_SUFFIXES = (".yaml", ".yml", ".json")
+
+_lock = threading.Lock()
+_bundled: Optional[Dict[str, ScenarioDocument]] = None
+_registered: Dict[str, ScenarioDocument] = {}
+
+
+def library_dir() -> Path:
+    """The directory holding the bundled scenario files."""
+    return Path(__file__).resolve().parent / "library"
+
+
+def library_paths() -> Tuple[Path, ...]:
+    """The bundled scenario files, sorted by file name."""
+    return tuple(
+        sorted(
+            (
+                path
+                for path in library_dir().iterdir()
+                if path.suffix in _SUFFIXES
+            ),
+            key=lambda path: path.name,
+        )
+    )
+
+
+def _load_bundled() -> Dict[str, ScenarioDocument]:
+    global _bundled
+    with _lock:
+        if _bundled is None:
+            documents: Dict[str, ScenarioDocument] = {}
+            for path in library_paths():
+                document = load_document_file(path)
+                if document.name in documents:
+                    raise ConfigurationError(
+                        f"bundled scenario name {document.name!r} appears "
+                        f"twice (second occurrence: {path})"
+                    )
+                documents[document.name] = document
+            _bundled = documents
+    return _bundled
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Every known scenario name (bundled + registered), sorted."""
+    return tuple(sorted({**_load_bundled(), **_registered}))
+
+
+def get_scenario_document(name: str) -> ScenarioDocument:
+    """The document registered under ``name``; registrations shadow
+    bundled scenarios of the same name."""
+    document = _registered.get(name) or _load_bundled().get(name)
+    if document is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known scenarios: "
+            f"{list(scenario_names())}"
+        )
+    return document
+
+
+def register_document(document: ScenarioDocument) -> None:
+    """Add ``document`` to the registry under its own name.
+
+    Registering the same name twice raises — like channel hooks, a
+    scenario name is an identity two runs must agree on.
+    """
+    if document.name in _registered:
+        raise ConfigurationError(
+            f"scenario {document.name!r} is already registered"
+        )
+    _registered[document.name] = document
+
+
+def unregister_document(name: str) -> None:
+    """Remove a user registration (bundled scenarios cannot be removed)."""
+    if name not in _registered:
+        raise ConfigurationError(f"scenario {name!r} is not registered")
+    del _registered[name]
+
+
+def resolve_scenario_ref(ref: str) -> ScenarioDocument:
+    """A reference — registered name, or path to a scenario file — as a
+    validated document."""
+    bundled = _load_bundled()
+    if ref in _registered or ref in bundled:
+        return get_scenario_document(ref)
+    path = Path(ref)
+    if path.suffix in _SUFFIXES and path.exists():
+        return load_document_file(path)
+    raise ConfigurationError(
+        f"scenario reference {ref!r} is neither a known scenario name nor "
+        f"an existing {'/'.join(_SUFFIXES)} file; known scenarios: "
+        f"{list(scenario_names())}"
+    )
+
+
+def compile_scenario(ref: str) -> Scenario:
+    """A reference straight to its frozen :class:`Scenario`."""
+    return compile_document(resolve_scenario_ref(ref))

@@ -1,0 +1,215 @@
+"""Schema plumbing for scenario documents: loading, lines, errors.
+
+Scenario documents are YAML (or JSON — YAML is a superset, so one
+loader serves both).  Validation errors must be *actionable*: a
+misspelled key fails with an error naming the offending key, the dotted
+path to it, and — when the document came from text — the source line it
+sits on.  :func:`load_mapping` therefore parses the text twice: once
+with ``yaml.safe_load`` for the data, once with ``yaml.compose`` for
+the node marks, from which it builds a ``dotted.path → line`` map that
+:class:`SchemaError` consults.
+
+The validation helpers (:func:`take`, :func:`expect_mapping`,
+:func:`reject_unknown_keys`) are the small vocabulary
+:mod:`repro.scenarios.document` builds its field-by-field parsing from;
+they thread a :class:`SourceInfo` through so every error is located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import yaml
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "SchemaError",
+    "SourceInfo",
+    "expect_mapping",
+    "load_mapping",
+    "reject_unknown_keys",
+    "take",
+]
+
+#: sentinel distinguishing "absent" from an explicit None
+_MISSING = object()
+
+
+class SchemaError(ConfigurationError):
+    """A scenario document failed schema validation.
+
+    Carries the dotted ``path`` of the offending field and, when the
+    document was loaded from text, the 1-based source ``line`` (and
+    file name) it came from — the message embeds both.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str = "",
+        line: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.source = source
+        location = ""
+        if source is not None and line is not None:
+            location = f" ({source}, line {line})"
+        elif source is not None:
+            location = f" ({source})"
+        elif line is not None:
+            location = f" (line {line})"
+        prefix = f"{path}: " if path else ""
+        super().__init__(f"{prefix}{message}{location}")
+
+
+@dataclass(frozen=True)
+class SourceInfo:
+    """Where a document came from, for locating errors.
+
+    ``lines`` maps dotted field paths (``"mobility.peak_speed_kmh"``,
+    ``"extra_loss[1].direction"``) to 1-based source lines; empty for
+    documents built from in-memory dicts.
+    """
+
+    name: Optional[str] = None
+    lines: Dict[str, int] = field(default_factory=dict)
+
+    def line_of(self, path: str) -> Optional[int]:
+        return self.lines.get(path)
+
+    def error(self, message: str, path: str = "") -> SchemaError:
+        return SchemaError(
+            message, path=path, line=self.line_of(path), source=self.name
+        )
+
+
+def _index_node(node, path: str, lines: Dict[str, int]) -> None:
+    """Record the source line of every field reachable from ``node``."""
+    lines.setdefault(path or "<document>", node.start_mark.line + 1)
+    if isinstance(node, yaml.MappingNode):
+        for key_node, value_node in node.value:
+            key = str(key_node.value)
+            child = f"{path}.{key}" if path else key
+            # The *key's* line is the natural anchor for "unknown key"
+            # errors; the value subtree is indexed beneath it.
+            lines[child] = key_node.start_mark.line + 1
+            _index_node(value_node, child, lines)
+    elif isinstance(node, yaml.SequenceNode):
+        for position, item in enumerate(node.value):
+            _index_node(item, f"{path}[{position}]", lines)
+
+
+def load_mapping(text: str, source_name: Optional[str] = None) -> Tuple[dict, SourceInfo]:
+    """Parse document text into ``(mapping, source-info-with-lines)``.
+
+    Accepts YAML and JSON.  The top level must be a mapping; scalar or
+    sequence documents are schema errors, as is unparseable text.
+    """
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as error:
+        mark = getattr(error, "problem_mark", None)
+        raise SchemaError(
+            f"document is not valid YAML/JSON: {error}",
+            line=None if mark is None else mark.line + 1,
+            source=source_name,
+        ) from None
+    if not isinstance(data, dict):
+        raise SchemaError(
+            f"scenario document must be a mapping, got "
+            f"{type(data).__name__}",
+            source=source_name,
+        )
+    lines: Dict[str, int] = {}
+    node = yaml.compose(text)  # same parser; cannot fail if safe_load didn't
+    if node is not None:
+        _index_node(node, "", lines)
+    return data, SourceInfo(name=source_name, lines=lines)
+
+
+def expect_mapping(value: object, path: str, info: SourceInfo) -> dict:
+    """``value`` as a dict, or a located schema error."""
+    if not isinstance(value, dict):
+        raise info.error(
+            f"expected a mapping, got {type(value).__name__}", path
+        )
+    return value
+
+
+def reject_unknown_keys(
+    mapping: dict, known: Iterable[str], path: str, info: SourceInfo
+) -> None:
+    """Fail on the first unknown key, naming it and its source line."""
+    known_set = set(known)
+    for key in mapping:
+        if str(key) not in known_set:
+            key_path = f"{path}.{key}" if path else str(key)
+            raise SchemaError(
+                f"unknown field {str(key)!r}; known fields here: "
+                f"{sorted(known_set)}",
+                path=key_path,
+                line=info.line_of(key_path),
+                source=info.name,
+            )
+
+
+def take(
+    mapping: dict,
+    key: str,
+    path: str,
+    info: SourceInfo,
+    *,
+    kind: type = object,
+    required: bool = False,
+    default: object = None,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+    choices: Optional[Sequence[object]] = None,
+) -> object:
+    """Fetch + type/range-check one field of a mapping.
+
+    ``kind=float`` accepts ints (YAML authors write ``60`` for ``60.0``)
+    and coerces them; ``bool`` is never accepted as a number.  ``None``
+    values are treated as absent — ``key: ~`` means "use the default".
+    """
+    field_path = f"{path}.{key}" if path else key
+    value = mapping.get(key, _MISSING)
+    if value is _MISSING or value is None:
+        if required:
+            raise info.error(f"required field {key!r} is missing", path or key)
+        return default
+    if kind is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise info.error(
+                f"expected a number, got {type(value).__name__}: {value!r}",
+                field_path,
+            )
+        value = float(value)
+        if value != value or value in (float("inf"), -float("inf")):
+            raise info.error(f"must be finite, got {value!r}", field_path)
+    elif kind is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise info.error(
+                f"expected an integer, got {type(value).__name__}: {value!r}",
+                field_path,
+            )
+    elif kind is not object and not isinstance(value, kind):
+        raise info.error(
+            f"expected {kind.__name__}, got {type(value).__name__}: {value!r}",
+            field_path,
+        )
+    if minimum is not None and value < minimum:
+        raise info.error(f"must be >= {minimum:g}, got {value!r}", field_path)
+    if maximum is not None and value > maximum:
+        raise info.error(f"must be <= {maximum:g}, got {value!r}", field_path)
+    if choices is not None and value not in choices:
+        raise info.error(
+            f"must be one of {sorted(map(str, choices))}, got {value!r}",
+            field_path,
+        )
+    return value

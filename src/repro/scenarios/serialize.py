@@ -1,0 +1,71 @@
+"""Text-form IO for scenario documents: YAML/JSON in, YAML out.
+
+Floats survive the cycle bit-for-bit: PyYAML emits ``repr``-style
+shortest round-trip literals and parses them back to the identical
+double, so ``parse(to_yaml(doc)) == doc`` holds exactly — the property
+the scenario fuzzer pins down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import yaml
+
+from repro.scenarios.document import (
+    ScenarioDocument,
+    document_to_dict,
+    parse_document,
+)
+from repro.scenarios.schema import load_mapping
+
+__all__ = [
+    "document_to_json",
+    "document_to_yaml",
+    "load_document_file",
+    "load_document_text",
+    "roundtrip_check",
+]
+
+
+def load_document_text(
+    text: str, source_name: str = "<string>"
+) -> ScenarioDocument:
+    """Parse YAML/JSON text into a validated document."""
+    data, info = load_mapping(text, source_name)
+    return parse_document(data, info)
+
+
+def load_document_file(path: Union[str, Path]) -> ScenarioDocument:
+    """Parse one scenario file (``.yaml`` / ``.yml`` / ``.json``)."""
+    file_path = Path(path)
+    return load_document_text(
+        file_path.read_text(encoding="utf-8"), source_name=str(file_path)
+    )
+
+
+def _ordered_dump(data: dict) -> str:
+    return yaml.safe_dump(
+        data, sort_keys=False, default_flow_style=False, allow_unicode=True
+    )
+
+
+def document_to_yaml(document: ScenarioDocument) -> str:
+    """The document as YAML text; ``load_document_text`` inverts this."""
+    return _ordered_dump(document_to_dict(document))
+
+
+def document_to_json(document: ScenarioDocument, *, indent: int = 2) -> str:
+    """The document as JSON text (YAML superset — same loader reads it)."""
+    return json.dumps(document_to_dict(document), indent=indent) + "\n"
+
+
+def roundtrip_check(document: ScenarioDocument) -> Tuple[str, ScenarioDocument]:
+    """Serialize then re-parse; returns ``(yaml_text, reparsed)``.
+
+    Convenience for tests asserting serializer/parser inversion.
+    """
+    text = document_to_yaml(document)
+    return text, load_document_text(text)

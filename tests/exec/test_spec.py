@@ -48,6 +48,35 @@ class TestValidation:
             FlowSpec(config=config(), cc="")
 
 
+class TestScenarioRef:
+    def test_ref_resolves_to_compiled_scenario(self):
+        from repro.scenarios import compile_scenario
+
+        spec = FlowSpec(scenario_ref="hsr-china-mobile", duration=5.0)
+        assert spec.scenario == compile_scenario("hsr-china-mobile")
+
+    def test_ref_and_scenario_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            FlowSpec(
+                scenario=hsr_scenario(),
+                scenario_ref="hsr-china-mobile",
+                duration=5.0,
+            )
+
+    def test_unknown_ref_raises(self):
+        with pytest.raises(ConfigurationError, match="neither a known"):
+            FlowSpec(scenario_ref="no-such-scenario", duration=5.0)
+
+    def test_ref_spec_runs_like_direct_spec(self):
+        spec = FlowSpec(scenario_ref="driving-china-telecom", duration=5.0, seed=2)
+        resolved = spec.resolve()
+        assert resolved.config.duration == 5.0
+
+    def test_ref_spec_pickles(self):
+        spec = FlowSpec(scenario_ref="hsr-china-unicom", duration=5.0, seed=4)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
 class TestDerived:
     def test_effective_duration_prefers_explicit(self):
         spec = FlowSpec(config=config(duration=10.0), duration=3.0)

@@ -1,0 +1,157 @@
+"""Tests for declarative channel hooks (:mod:`repro.hsr.hooks`)."""
+
+import pytest
+
+from repro.hsr import (
+    CHINA_MOBILE,
+    HookSpec,
+    chain_hooks,
+    hook_names,
+    hsr_scenario,
+    register_hook,
+    resolve_hook,
+    unregister_hook,
+)
+from repro.robustness.faults import FaultPlan, with_faults
+from repro.simulator.channel import CompositeLoss
+from repro.util.errors import ConfigurationError
+
+
+class TestHookSpec:
+    def test_make_sorts_params(self):
+        spec = HookSpec.make("extra_loss", label="x", direction="data")
+        assert spec.params == (("direction", "data"), ("label", "x"))
+        assert spec.as_dict() == {"direction": "data", "label": "x"}
+
+    def test_equality_is_order_independent(self):
+        a = HookSpec(name="h", params=(("b", 2), ("a", 1)))
+        b = HookSpec(name="h", params=(("a", 1), ("b", 2)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_hooks_may_take_a_name_param(self):
+        spec = HookSpec.make("faults", name="storm")
+        assert spec.name == "faults"
+        assert spec.as_dict()["name"] == "storm"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            HookSpec(name="", params=())
+
+    def test_rejects_duplicate_params(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            HookSpec(name="h", params=(("a", 1), ("a", 2)))
+
+    def test_rejects_non_plain_data(self):
+        with pytest.raises(ConfigurationError, match="plain data"):
+            HookSpec.make("h", callback=lambda: None)
+
+    def test_lists_freeze_to_tuples(self):
+        spec = HookSpec.make("h", values=[1, 2, 3])
+        assert spec.as_dict()["values"] == (1, 2, 3)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"faults", "chain", "extra_loss"} <= set(hook_names())
+
+    def test_register_resolve_unregister(self):
+        marker = object()
+
+        def factory(**params):
+            return lambda built, seed: marker
+
+        register_hook("test-hook", factory)
+        try:
+            assert "test-hook" in hook_names()
+            hook = resolve_hook(HookSpec.make("test-hook"))
+            assert hook(None, 0) is marker
+        finally:
+            unregister_hook("test-hook")
+        assert "test-hook" not in hook_names()
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_hook("faults", lambda **params: None)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="not registered"):
+            unregister_hook("never-was")
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown channel hook"):
+            resolve_hook(HookSpec.make("never-was"))
+
+
+class TestChain:
+    def test_single_spec_collapses(self):
+        spec = HookSpec.make("extra_loss", direction="data")
+        assert chain_hooks([spec]) is spec
+
+    def test_chain_of_two(self):
+        first = HookSpec.make("extra_loss", label="a")
+        second = HookSpec.make("extra_loss", label="b")
+        chained = chain_hooks([first, second])
+        assert chained.name == "chain"
+        assert chained.as_dict()["hooks"] == (first, second)
+
+    def test_nested_chains_flatten(self):
+        a, b, c = (HookSpec.make("extra_loss", label=lbl) for lbl in "abc")
+        inner = chain_hooks([a, b])
+        flat = chain_hooks([inner, c])
+        assert flat.as_dict()["hooks"] == (a, b, c)
+
+    def test_empty_chain_raises(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            chain_hooks([])
+
+
+class TestBuiltinHooks:
+    def test_declarative_faults_match_direct_apply(self):
+        """The "faults" hook and FaultPlan.apply build identical channels."""
+        plan = FaultPlan(name="storm", handoff_storm_rate=0.1,
+                         ack_blackout_rate=0.08, rtt_spike_sigma=0.2)
+        scenario = hsr_scenario(CHINA_MOBILE)
+        via_spec = with_faults(scenario, plan).build(duration=30.0, seed=21)
+        via_apply = scenario.with_channel_hook(plan.apply).build(
+            duration=30.0, seed=21
+        )
+        assert via_spec.config == via_apply.config
+        assert via_spec.outages == via_apply.outages
+
+    def test_with_faults_stays_declarative(self):
+        scenario = with_faults(hsr_scenario(CHINA_MOBILE), FaultPlan.aggressive())
+        assert scenario.is_declarative
+        assert scenario.channel_hook.name == "faults"
+
+    def test_fault_spec_roundtrips_to_plan(self):
+        plan = FaultPlan.aggressive(0.5)
+        assert FaultPlan(**plan.to_hook_spec().as_dict()) == plan
+
+    def test_extra_loss_wraps_only_named_direction(self):
+        scenario = hsr_scenario(CHINA_MOBILE)
+        base = scenario.build(duration=20.0, seed=4)
+        overlay = scenario.with_channel_hook(
+            HookSpec.make("extra_loss", direction="ack", label="t")
+        ).build(duration=20.0, seed=4)
+        assert isinstance(overlay.ack_loss, CompositeLoss)
+        # The data direction and the config are untouched by an ACK overlay.
+        assert type(overlay.data_loss) is type(base.data_loss)
+        assert overlay.config == base.config
+
+    def test_extra_loss_rejects_bad_direction(self):
+        with pytest.raises(ConfigurationError, match="direction"):
+            resolve_hook(HookSpec.make("extra_loss", direction="sideways"))
+
+    def test_opaque_callable_hook_still_works(self):
+        """Back-compat: raw callables remain accepted by build()."""
+        seen = []
+
+        def hook(built, seed):
+            seen.append(seed)
+            return built
+
+        hsr_scenario(CHINA_MOBILE).with_channel_hook(hook).build(
+            duration=10.0, seed=33
+        )
+        assert seen == [33]

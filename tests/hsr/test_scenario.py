@@ -49,6 +49,19 @@ class TestBuild:
         with pytest.raises(ConfigurationError):
             hsr_scenario().build(duration=0.0, seed=1)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_duration(self, bad):
+        with pytest.raises(ConfigurationError, match="duration"):
+            hsr_scenario().build(duration=bad, seed=1)
+
+    @pytest.mark.parametrize("bad", [-1.0, -0.001, float("nan"), float("inf")])
+    def test_rejects_bad_flow_start_offset(self, bad):
+        import dataclasses
+
+        scenario = dataclasses.replace(hsr_scenario(), flow_start_offset=bad)
+        with pytest.raises(ConfigurationError, match="flow_start_offset"):
+            scenario.build(duration=30.0, seed=1)
+
     def test_deterministic_given_seed(self):
         a = hsr_scenario().build(duration=60.0, seed=5)
         b = hsr_scenario().build(duration=60.0, seed=5)

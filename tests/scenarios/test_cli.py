@@ -1,0 +1,100 @@
+"""Tests for ``python -m repro.scenarios`` (driven through ``main``)."""
+
+import json
+
+import pytest
+
+from repro.scenarios import document_to_yaml, load_document_text, scenario_names
+from repro.scenarios.cli import main
+
+CUSTOM = """\
+name: cli-custom
+description: CLI fixture
+tags: [cli]
+mobility:
+  peak_speed_kmh: 200
+provider: China Mobile
+flow_start_offset_s: 60
+"""
+
+
+@pytest.fixture
+def custom_file(tmp_path):
+    path = tmp_path / "cli-custom.yaml"
+    path.write_text(CUSTOM, encoding="utf-8")
+    return path
+
+
+class TestList:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+        assert f"{len(scenario_names())} scenario(s)" in out
+
+    def test_json_output(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == len(scenario_names())
+        row = {entry["name"]: entry for entry in rows}["hsr-china-mobile"]
+        assert row["provider"] == "China Mobile"
+        assert row["speed_kmh"] == pytest.approx(300.0, abs=1.0)
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--json", "--tag", "hsr"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+        assert all("hsr" in row["tags"] for row in rows)
+
+
+class TestValidate:
+    def test_validate_named_scenarios(self, capsys):
+        assert main(["validate", "hsr-china-mobile", "driving-china-telecom"]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenario(s) valid" in out
+
+    def test_validate_file_with_flow(self, custom_file, capsys):
+        assert main(
+            ["validate", str(custom_file), "--run-flows", "2.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Mbps" in out
+
+    def test_validate_failure_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("name: bad\nmobility: {preset: warp}\n", encoding="utf-8")
+        assert main(["validate", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "failed validation" in captured.err
+
+
+class TestShow:
+    def test_show_emits_canonical_yaml(self, capsys):
+        assert main(["show", "hsr-china-mobile"]) == 0
+        out = capsys.readouterr().out
+        shown = load_document_text(out)
+        assert shown.name == "hsr-china-mobile"
+        assert document_to_yaml(shown) == out
+
+    def test_show_file(self, custom_file, capsys):
+        assert main(["show", str(custom_file)]) == 0
+        assert load_document_text(capsys.readouterr().out).name == "cli-custom"
+
+
+class TestCompile:
+    def test_compile_reports_build_parameters(self, capsys):
+        assert main(["compile", "hsr-china-mobile", "--duration", "30"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "hsr/China Mobile"
+        assert payload["document_name"] == "hsr-china-mobile"
+        assert payload["declarative"] is True
+        assert payload["build"]["duration_s"] == 30.0
+        assert payload["build"]["wmax"] > 0
+
+
+class TestErrors:
+    def test_unknown_ref_exits_2(self, capsys):
+        assert main(["show", "no-such-scenario"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,198 @@
+"""Tests for document → Scenario compilation and decompilation."""
+
+import pytest
+
+from repro.hsr import (
+    CHINA_MOBILE,
+    CHINA_TELECOM,
+    HookSpec,
+    hsr_scenario,
+)
+from repro.hsr.mobility import btr_profile
+from repro.robustness.faults import FaultPlan
+from repro.scenarios import (
+    compile_document,
+    document_from_scenario,
+    load_document_text,
+    parse_document,
+)
+from repro.util.errors import ConfigurationError
+
+BASE = {
+    "name": "base",
+    "mobility": {"preset": "btr"},
+    "provider": "China Mobile",
+}
+
+
+class TestCompileDocument:
+    def test_preset_mobility_and_provider(self):
+        scenario = compile_document(parse_document(dict(BASE)))
+        assert scenario.name == "base"
+        assert scenario.mobility == btr_profile()
+        assert scenario.provider == CHINA_MOBILE
+        assert scenario.channel_hook is None
+
+    def test_compile_is_deterministic(self):
+        document = parse_document(dict(BASE))
+        assert compile_document(document) == compile_document(document)
+
+    def test_custom_mobility(self):
+        data = dict(
+            BASE,
+            mobility={
+                "peak_speed_mps": 40.0,
+                "acceleration": 0.8,
+                "route_length_m": 30_000,
+            },
+        )
+        scenario = compile_document(parse_document(data))
+        assert scenario.mobility.peak_speed == 40.0
+        assert scenario.mobility.acceleration == 0.8
+        assert scenario.mobility.name == "custom-40mps"
+
+    def test_zero_speed_names_stationary(self):
+        data = dict(BASE, mobility={"peak_speed_mps": 0})
+        scenario = compile_document(parse_document(data))
+        assert scenario.mobility.name == "stationary"
+        assert scenario.mobility.peak_speed == 0.0
+
+    def test_inline_provider(self):
+        data = dict(
+            BASE,
+            provider={
+                "name": "Inline Net",
+                "technology": "3G",
+                "one_way_delay_s": 0.06,
+                "base_data_loss": 0.005,
+                "base_ack_loss": 0.004,
+            },
+        )
+        scenario = compile_document(parse_document(data))
+        assert scenario.provider.name == "Inline Net"
+        assert scenario.provider.technology == "3G"
+        assert scenario.provider.one_way_delay == 0.06
+
+    def test_cells_and_offset(self):
+        data = dict(
+            BASE,
+            cells={"spacing_m": 1800, "offset_m": 400},
+            flow_start_offset_s=42.0,
+        )
+        scenario = compile_document(parse_document(data))
+        assert scenario.cells.spacing == 1800.0
+        assert scenario.cells.offset == 400.0
+        assert scenario.flow_start_offset == 42.0
+
+    def test_faults_become_declarative_hook(self):
+        data = dict(
+            BASE, faults={"name": "storm", "handoff_storm_rate": 0.05}
+        )
+        scenario = compile_document(parse_document(data))
+        assert isinstance(scenario.channel_hook, HookSpec)
+        assert scenario.channel_hook.name == "faults"
+        assert scenario.channel_hook.as_dict()["handoff_storm_rate"] == 0.05
+
+    def test_noop_faults_compile_to_no_hook(self):
+        data = dict(BASE, faults={"name": "quiet"})
+        scenario = compile_document(parse_document(data))
+        assert scenario.channel_hook is None
+
+    def test_faults_plus_overlay_chain(self):
+        data = dict(
+            BASE,
+            faults={"name": "storm", "deep_fade_rate": 0.01},
+            extra_loss=[
+                {"direction": "ack", "mean_good_s": 30.0, "mean_bad_s": 1.0}
+            ],
+        )
+        scenario = compile_document(parse_document(data))
+        assert scenario.channel_hook.name == "chain"
+        chained = scenario.channel_hook.as_dict()["hooks"]
+        assert [spec.name for spec in chained] == ["faults", "extra_loss"]
+
+    def test_scenario_name_overrides_rng_label(self):
+        data = dict(BASE, scenario_name="hsr/China Mobile")
+        scenario = compile_document(parse_document(data))
+        assert scenario.name == "hsr/China Mobile"
+
+    def test_preset_document_equals_code_preset(self):
+        text = """
+name: preset-check
+mobility: {preset: btr}
+provider: China Mobile
+scenario_name: hsr/China Mobile
+"""
+        scenario = compile_document(load_document_text(text))
+        assert scenario == hsr_scenario(CHINA_MOBILE)
+
+
+class TestDocumentFromScenario:
+    def test_roundtrip_identity_presets(self):
+        scenario = hsr_scenario(CHINA_TELECOM)
+        document = document_from_scenario(scenario)
+        assert compile_document(document) == scenario
+
+    def test_roundtrip_identity_with_hooks(self):
+        data = dict(
+            BASE,
+            faults={"name": "storm", "ack_blackout_rate": 0.03},
+            extra_loss=[
+                {"direction": "data", "mean_good_s": 15.0, "mean_bad_s": 0.8}
+            ],
+        )
+        document = parse_document(data)
+        scenario = compile_document(document)
+        recovered = document_from_scenario(scenario)
+        assert compile_document(recovered) == scenario
+        assert recovered.faults == document.faults
+        assert recovered.extra_loss == document.extra_loss
+
+    def test_renaming_preserves_rng_label(self):
+        scenario = hsr_scenario(CHINA_MOBILE)
+        document = document_from_scenario(scenario, name="friendly-name")
+        assert document.name == "friendly-name"
+        assert document.scenario_name == scenario.name
+        assert compile_document(document) == scenario
+
+    def test_opaque_hook_rejected(self):
+        scenario = hsr_scenario(CHINA_MOBILE)
+        opaque = type(scenario)(
+            name=scenario.name,
+            mobility=scenario.mobility,
+            provider=scenario.provider,
+            cells=scenario.cells,
+            flow_start_offset=scenario.flow_start_offset,
+            channel_hook=lambda built, seed: built,
+        )
+        with pytest.raises(ConfigurationError, match="opaque"):
+            document_from_scenario(opaque)
+
+    def test_unknown_hook_name_rejected(self):
+        plan_hook = HookSpec.make("faults", **_plan_params())
+        unknown = HookSpec(name="mystery", params=())
+        scenario = hsr_scenario(CHINA_MOBILE)
+        bad = type(scenario)(
+            name=scenario.name,
+            mobility=scenario.mobility,
+            provider=scenario.provider,
+            cells=scenario.cells,
+            flow_start_offset=scenario.flow_start_offset,
+            channel_hook=unknown,
+        )
+        with pytest.raises(ConfigurationError, match="mystery"):
+            document_from_scenario(bad)
+        # the declarative fault hook, by contrast, decompiles fine
+        good = type(scenario)(
+            name=scenario.name,
+            mobility=scenario.mobility,
+            provider=scenario.provider,
+            cells=scenario.cells,
+            flow_start_offset=scenario.flow_start_offset,
+            channel_hook=plan_hook,
+        )
+        assert document_from_scenario(good).faults == FaultPlan(**_plan_params())
+
+
+def _plan_params():
+    return {"name": "storm", "handoff_storm_rate": 0.04}

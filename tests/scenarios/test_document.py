@@ -1,0 +1,174 @@
+"""Tests for parsing and serializing :class:`ScenarioDocument`."""
+
+import pytest
+
+from repro.robustness.faults import FaultPlan
+from repro.scenarios import (
+    CellsSpec,
+    MobilitySpec,
+    ScenarioDocument,
+    SchemaError,
+    document_to_dict,
+    load_document_text,
+    parse_document,
+)
+
+MINIMAL = {
+    "name": "minimal",
+    "mobility": {"preset": "btr"},
+    "provider": "China Mobile",
+}
+
+
+def full_document_text():
+    return """\
+name: full
+description: every field exercised
+tags: [test, full]
+mobility:
+  name: test-run
+  peak_speed_kmh: 180
+  acceleration: 0.6
+  route_length_m: 50000
+cells:
+  spacing_m: 2000
+  offset_m: 900
+provider:
+  name: Test Carrier
+  technology: 3G
+  one_way_delay_s: 0.05
+  base_data_loss: 0.004
+  base_ack_loss: 0.003
+flow_start_offset_s: 120
+faults:
+  name: rough
+  handoff_storm_rate: 0.02
+extra_loss:
+  - direction: data
+    mean_good_s: 20.0
+    mean_bad_s: 0.5
+    label: tunnel
+scenario_name: legacy/full
+"""
+
+
+class TestParseDocument:
+    def test_minimal_defaults(self):
+        document = parse_document(dict(MINIMAL))
+        assert document.name == "minimal"
+        assert document.mobility == MobilitySpec(preset="btr")
+        assert document.provider.ref == "China Mobile"
+        assert document.cells == CellsSpec()
+        assert document.flow_start_offset_s == 300.0
+        assert document.faults is None
+        assert document.extra_loss == ()
+        assert document.scenario_name is None
+
+    def test_full_document(self):
+        document = load_document_text(full_document_text(), "full.yaml")
+        assert document.tags == ("test", "full")
+        assert document.mobility.peak_speed_mps == pytest.approx(50.0)
+        assert document.provider.name == "Test Carrier"
+        assert document.provider.technology == "3G"
+        assert isinstance(document.faults, FaultPlan)
+        assert document.faults.handoff_storm_rate == 0.02
+        assert document.extra_loss[0].label == "tunnel"
+        assert document.scenario_name == "legacy/full"
+
+    def test_requires_name(self):
+        with pytest.raises(SchemaError, match="'name'"):
+            parse_document({"mobility": {"preset": "btr"}, "provider": "x"})
+
+    def test_rejects_blank_name(self):
+        data = dict(MINIMAL, name="   ")
+        with pytest.raises(SchemaError, match="non-empty"):
+            parse_document(data)
+
+    def test_requires_mobility_and_provider(self):
+        with pytest.raises(SchemaError, match="'mobility'"):
+            parse_document({"name": "x", "provider": "China Mobile"})
+        with pytest.raises(SchemaError, match="'provider'"):
+            parse_document({"name": "x", "mobility": {"preset": "btr"}})
+
+    def test_unknown_top_level_key(self):
+        data = dict(MINIMAL, velocity=300)
+        with pytest.raises(SchemaError, match="'velocity'"):
+            parse_document(data)
+
+    def test_kmh_and_mps_are_exclusive(self):
+        data = dict(
+            MINIMAL,
+            mobility={"peak_speed_kmh": 100, "peak_speed_mps": 30},
+        )
+        with pytest.raises(SchemaError, match="not both"):
+            parse_document(data)
+
+    def test_mobility_needs_preset_or_speed(self):
+        data = dict(MINIMAL, mobility={"acceleration": 0.5})
+        with pytest.raises(SchemaError, match="unknown field|preset or a peak"):
+            parse_document(dict(MINIMAL, mobility={}))
+        with pytest.raises(SchemaError):
+            parse_document(data)
+
+    def test_preset_takes_no_other_fields(self):
+        data = dict(
+            MINIMAL, mobility={"preset": "btr", "peak_speed_kmh": 300}
+        )
+        with pytest.raises(SchemaError, match="takes no other fields"):
+            parse_document(data)
+
+    def test_unknown_preset(self):
+        data = dict(MINIMAL, mobility={"preset": "warp"})
+        with pytest.raises(SchemaError, match="one of"):
+            parse_document(data)
+
+    def test_negative_flow_start_offset(self):
+        data = dict(MINIMAL, flow_start_offset_s=-1.0)
+        with pytest.raises(SchemaError, match=">= 0"):
+            parse_document(data)
+
+    def test_cells_offset_must_be_below_spacing(self):
+        data = dict(MINIMAL, cells={"spacing_m": 1000, "offset_m": 1000})
+        with pytest.raises(SchemaError, match="smaller than spacing"):
+            parse_document(data)
+
+    def test_tags_must_be_strings(self):
+        data = dict(MINIMAL, tags=[1, 2])
+        with pytest.raises(SchemaError, match="list of strings"):
+            parse_document(data)
+
+    def test_inline_provider_requires_core_fields(self):
+        data = dict(MINIMAL, provider={"name": "X"})
+        with pytest.raises(SchemaError, match="one_way_delay_s"):
+            parse_document(data)
+
+    def test_extra_loss_direction_choices(self):
+        data = dict(
+            MINIMAL,
+            extra_loss=[
+                {"direction": "up", "mean_good_s": 1.0, "mean_bad_s": 1.0}
+            ],
+        )
+        with pytest.raises(SchemaError, match="one of"):
+            parse_document(data)
+
+
+class TestDocumentToDict:
+    def test_parse_is_inverse_minimal(self):
+        document = parse_document(dict(MINIMAL))
+        assert parse_document(document_to_dict(document)) == document
+
+    def test_parse_is_inverse_full(self):
+        document = load_document_text(full_document_text())
+        assert parse_document(document_to_dict(document)) == document
+
+    def test_emits_speeds_in_mps(self):
+        document = load_document_text(full_document_text())
+        data = document_to_dict(document)
+        assert "peak_speed_kmh" not in data["mobility"]
+        assert data["mobility"]["peak_speed_mps"] == pytest.approx(50.0)
+
+    def test_preset_serializes_as_preset(self):
+        data = document_to_dict(parse_document(dict(MINIMAL)))
+        assert data["mobility"] == {"preset": "btr"}
+        assert data["provider"] == "China Mobile"

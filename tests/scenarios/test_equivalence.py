@@ -1,0 +1,47 @@
+"""The equivalence gate: paper presets re-expressed as documents are
+byte-identical to the code-built scenarios — same frozen Scenario, same
+flow key, same encoded FlowOutcome."""
+
+import pytest
+
+from repro.exec import Executor, FlowSpec
+from repro.hsr import (
+    CHINA_MOBILE,
+    CHINA_TELECOM,
+    CHINA_UNICOM,
+    driving_scenario,
+    hsr_scenario,
+    stationary_scenario,
+)
+from repro.scenarios import compile_scenario
+from repro.store import canonical_json, encode_outcome, flow_key
+
+PRESET_PAIRS = [
+    ("hsr-china-mobile", lambda: hsr_scenario(CHINA_MOBILE)),
+    ("stationary-china-unicom", lambda: stationary_scenario(CHINA_UNICOM)),
+    ("driving-china-telecom", lambda: driving_scenario(CHINA_TELECOM)),
+]
+IDS = [name for name, _ in PRESET_PAIRS]
+
+
+@pytest.mark.parametrize("ref,factory", PRESET_PAIRS, ids=IDS)
+class TestPresetEquivalence:
+    def test_compiled_scenario_equals_code_preset(self, ref, factory):
+        assert compile_scenario(ref) == factory()
+
+    def test_flow_keys_match(self, ref, factory):
+        by_ref = FlowSpec(scenario_ref=ref, duration=10.0, seed=5)
+        direct = FlowSpec(scenario=factory(), duration=10.0, seed=5)
+        assert flow_key(by_ref) == flow_key(direct)
+
+    def test_flow_outcomes_byte_identical(self, ref, factory):
+        specs = [
+            FlowSpec(scenario_ref=ref, duration=8.0, seed=17, flow_id="eq"),
+            FlowSpec(scenario=factory(), duration=8.0, seed=17, flow_id="eq"),
+        ]
+        execution = Executor.for_workers(1).run(specs)
+        from_document, from_code = execution.outcomes
+        assert from_document.ok and from_code.ok
+        assert canonical_json(encode_outcome(from_document)) == canonical_json(
+            encode_outcome(from_code)
+        )

@@ -1,0 +1,57 @@
+"""Property-based tests over arbitrary valid scenario documents.
+
+Pins the two pipeline contracts everywhere, not just on the bundled
+library: serialize → parse inversion and compile/build determinism.
+Example counts are kept modest — each example parses YAML and (for the
+build property) runs the channel construction.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.scenarios import compile_document, document_to_dict, parse_document
+from repro.scenarios.fuzz import scenario_documents
+from repro.scenarios.serialize import roundtrip_check
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(document=scenario_documents())
+def test_serialize_parse_is_identity(document):
+    _, reparsed = roundtrip_check(document)
+    assert reparsed == document
+
+
+@RELAXED
+@given(document=scenario_documents())
+def test_dict_roundtrip_is_identity(document):
+    assert parse_document(document_to_dict(document)) == document
+
+
+@RELAXED
+@given(document=scenario_documents())
+def test_compile_is_deterministic(document):
+    assert compile_document(document) == compile_document(document)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(document=scenario_documents())
+def test_build_is_deterministic(document):
+    scenario = compile_document(document)
+    first = scenario.build(duration=5.0, seed=9)
+    second = scenario.build(duration=5.0, seed=9)
+    assert first.config == second.config
+    assert first.outages == second.outages
+
+
+@RELAXED
+@given(document=scenario_documents())
+def test_compiled_scenario_survives_text_cycle(document):
+    scenario = compile_document(document)
+    _, reparsed = roundtrip_check(document)
+    assert compile_document(reparsed) == scenario

@@ -1,0 +1,56 @@
+"""The bundled scenario library: every file parses, compiles, builds."""
+
+import pytest
+
+from repro.scenarios import (
+    compile_document,
+    get_scenario_document,
+    library_paths,
+    load_document_file,
+    roundtrip_check,
+    scenario_names,
+)
+
+ALL_DOCUMENTS = [load_document_file(path) for path in library_paths()]
+
+
+class TestLibraryShape:
+    def test_at_least_24_scenarios(self):
+        assert len(ALL_DOCUMENTS) >= 24
+
+    def test_names_unique(self):
+        names = [document.name for document in ALL_DOCUMENTS]
+        assert len(names) == len(set(names))
+
+    def test_file_name_matches_scenario_name(self):
+        """Library files are named after the scenario they define."""
+        for path, document in zip(library_paths(), ALL_DOCUMENTS):
+            assert path.stem == document.name
+
+    def test_all_names_in_registry(self):
+        names = set(scenario_names())
+        for document in ALL_DOCUMENTS:
+            assert document.name in names
+            assert get_scenario_document(document.name) == document
+
+    def test_every_document_has_description_and_tags(self):
+        for document in ALL_DOCUMENTS:
+            assert document.description, document.name
+            assert document.tags, document.name
+
+
+@pytest.mark.parametrize(
+    "document", ALL_DOCUMENTS, ids=[d.name for d in ALL_DOCUMENTS]
+)
+class TestLibraryContents:
+    def test_compiles_and_builds(self, document):
+        scenario = compile_document(document)
+        built = scenario.build(duration=8.0, seed=3)
+        assert built.config.duration == 8.0
+
+    def test_compile_deterministic(self, document):
+        assert compile_document(document) == compile_document(document)
+
+    def test_serialize_roundtrip(self, document):
+        _, reparsed = roundtrip_check(document)
+        assert reparsed == document

@@ -1,0 +1,105 @@
+"""Tests for the scenario name registry and reference resolution."""
+
+import pytest
+
+from repro.hsr.scenario import Scenario
+from repro.scenarios import (
+    compile_scenario,
+    document_to_yaml,
+    get_scenario_document,
+    library_dir,
+    library_paths,
+    parse_document,
+    register_document,
+    resolve_scenario_ref,
+    scenario_names,
+    unregister_document,
+)
+from repro.util.errors import ConfigurationError
+
+
+def make_document(name="registry-test"):
+    return parse_document(
+        {
+            "name": name,
+            "mobility": {"preset": "driving"},
+            "provider": "China Unicom",
+        }
+    )
+
+
+@pytest.fixture
+def registered():
+    document = make_document()
+    register_document(document)
+    yield document
+    unregister_document(document.name)
+
+
+class TestLibraryDiscovery:
+    def test_library_dir_exists(self):
+        assert library_dir().is_dir()
+
+    def test_paths_sorted_and_known_suffixes(self):
+        paths = library_paths()
+        assert paths
+        assert [path.name for path in paths] == sorted(
+            path.name for path in paths
+        )
+        assert all(path.suffix in (".yaml", ".yml", ".json") for path in paths)
+
+
+class TestRegistry:
+    def test_bundled_names_visible(self):
+        names = scenario_names()
+        assert "hsr-china-mobile" in names
+        assert list(names) == sorted(names)
+
+    def test_register_and_get(self, registered):
+        assert registered.name in scenario_names()
+        assert get_scenario_document(registered.name) == registered
+
+    def test_register_duplicate_raises(self, registered):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_document(make_document(registered.name))
+
+    def test_registration_shadows_bundled(self):
+        shadow = make_document("hsr-china-mobile")
+        register_document(shadow)
+        try:
+            assert get_scenario_document("hsr-china-mobile") == shadow
+        finally:
+            unregister_document("hsr-china-mobile")
+        assert get_scenario_document("hsr-china-mobile") != shadow
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="not registered"):
+            unregister_document("never-registered")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario_document("no-such-scenario")
+
+
+class TestResolveRef:
+    def test_resolves_bundled_name(self):
+        document = resolve_scenario_ref("hsr-china-mobile")
+        assert document.name == "hsr-china-mobile"
+
+    def test_resolves_registered_name(self, registered):
+        assert resolve_scenario_ref(registered.name) == registered
+
+    def test_resolves_file_path(self, tmp_path):
+        document = make_document("from-a-file")
+        path = tmp_path / "from-a-file.yaml"
+        path.write_text(document_to_yaml(document), encoding="utf-8")
+        assert resolve_scenario_ref(str(path)) == document
+
+    def test_unknown_ref_raises(self):
+        with pytest.raises(ConfigurationError, match="neither a known"):
+            resolve_scenario_ref("definitely/not/here.yaml")
+
+    def test_compile_scenario_from_ref(self, registered):
+        scenario = compile_scenario(registered.name)
+        assert isinstance(scenario, Scenario)
+        assert scenario.name == registered.name

@@ -1,0 +1,101 @@
+"""Tests for the schema plumbing: loading, line maps, located errors."""
+
+import pytest
+
+from repro.scenarios.schema import (
+    SchemaError,
+    SourceInfo,
+    expect_mapping,
+    load_mapping,
+    reject_unknown_keys,
+    take,
+)
+
+SAMPLE = """\
+name: sample
+mobility:
+  preset: btr
+provider: China Mobile
+extra_loss:
+  - direction: data
+    mean_good_s: 10.0
+    mean_bad_s: 1.0
+"""
+
+
+class TestLoadMapping:
+    def test_parses_yaml(self):
+        data, info = load_mapping(SAMPLE, "sample.yaml")
+        assert data["name"] == "sample"
+        assert info.name == "sample.yaml"
+
+    def test_parses_json(self):
+        data, _ = load_mapping('{"name": "x", "mobility": {"preset": "btr"}}')
+        assert data["mobility"] == {"preset": "btr"}
+
+    def test_line_map_points_at_keys(self):
+        _, info = load_mapping(SAMPLE, "sample.yaml")
+        assert info.line_of("name") == 1
+        assert info.line_of("mobility") == 2
+        assert info.line_of("mobility.preset") == 3
+        assert info.line_of("provider") == 4
+        assert info.line_of("extra_loss[0].direction") == 6
+
+    def test_rejects_non_mapping_document(self):
+        with pytest.raises(SchemaError, match="must be a mapping"):
+            load_mapping("- a\n- b\n")
+
+    def test_rejects_invalid_yaml_with_line(self):
+        with pytest.raises(SchemaError, match="not valid YAML") as excinfo:
+            load_mapping("a: b\n  c: [unclosed\n", "broken.yaml")
+        assert excinfo.value.source == "broken.yaml"
+
+
+class TestValidationHelpers:
+    def test_expect_mapping_error_names_path(self):
+        with pytest.raises(SchemaError, match="mobility"):
+            expect_mapping("not-a-dict", "mobility", SourceInfo())
+
+    def test_unknown_key_error_names_key_and_line(self):
+        _, info = load_mapping(SAMPLE, "sample.yaml")
+        with pytest.raises(SchemaError) as excinfo:
+            reject_unknown_keys(
+                {"provider": 1}, ["name", "mobility"], "", info
+            )
+        message = str(excinfo.value)
+        assert "'provider'" in message
+        assert "line 4" in message
+        assert "sample.yaml" in message
+
+    def test_take_required_missing(self):
+        with pytest.raises(SchemaError, match="required field 'name'"):
+            take({}, "name", "", SourceInfo(), kind=str, required=True)
+
+    def test_take_coerces_int_to_float(self):
+        value = take({"x": 3}, "x", "", SourceInfo(), kind=float)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_take_rejects_bool_as_number(self):
+        with pytest.raises(SchemaError, match="expected a number"):
+            take({"x": True}, "x", "", SourceInfo(), kind=float)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_take_rejects_non_finite(self, bad):
+        with pytest.raises(SchemaError, match="must be finite"):
+            take({"x": bad}, "x", "", SourceInfo(), kind=float)
+
+    def test_take_range_checks(self):
+        with pytest.raises(SchemaError, match=">= 0"):
+            take({"x": -1.0}, "x", "", SourceInfo(), kind=float, minimum=0.0)
+        with pytest.raises(SchemaError, match="<= 1"):
+            take({"x": 2.0}, "x", "", SourceInfo(), kind=float, maximum=1.0)
+
+    def test_take_choices(self):
+        with pytest.raises(SchemaError, match="one of"):
+            take(
+                {"x": "bad"}, "x", "", SourceInfo(), kind=str,
+                choices=("data", "ack"),
+            )
+
+    def test_take_none_means_default(self):
+        assert take({"x": None}, "x", "", SourceInfo(), default=7) == 7

@@ -1,0 +1,86 @@
+"""Round-trip tests for the text forms (satellite: parse → compile →
+serialize → parse is idempotent; bad documents fail with key + line)."""
+
+import pytest
+
+from repro.scenarios import (
+    SchemaError,
+    compile_document,
+    document_from_scenario,
+    document_to_json,
+    document_to_yaml,
+    load_document_file,
+    load_document_text,
+    roundtrip_check,
+)
+
+DOCUMENT_TEXT = """\
+name: roundtrip
+description: serializer inversion fixture
+tags: [test]
+mobility:
+  peak_speed_kmh: 310
+  acceleration: 0.45
+cells:
+  spacing_m: 2200
+provider: China Telecom
+flow_start_offset_s: 250
+faults:
+  name: mild
+  deep_fade_rate: 0.01
+extra_loss:
+  - direction: ack
+    mean_good_s: 45.0
+    mean_bad_s: 0.7
+    label: viaduct
+"""
+
+
+class TestRoundTrip:
+    def test_yaml_roundtrip_is_identity(self):
+        document = load_document_text(DOCUMENT_TEXT)
+        text, reparsed = roundtrip_check(document)
+        assert reparsed == document
+        # and serialization is a fixed point after the first pass
+        assert document_to_yaml(reparsed) == text
+
+    def test_json_roundtrip_is_identity(self):
+        document = load_document_text(DOCUMENT_TEXT)
+        reparsed = load_document_text(document_to_json(document))
+        assert reparsed == document
+
+    def test_parse_compile_serialize_parse_compile(self):
+        """The satellite contract: the full cycle preserves the scenario."""
+        document = load_document_text(DOCUMENT_TEXT)
+        scenario = compile_document(document)
+        recovered = document_from_scenario(scenario)
+        text, reparsed = roundtrip_check(recovered)
+        assert compile_document(reparsed) == scenario
+
+    def test_file_roundtrip(self, tmp_path):
+        document = load_document_text(DOCUMENT_TEXT)
+        path = tmp_path / "roundtrip.yaml"
+        path.write_text(document_to_yaml(document), encoding="utf-8")
+        assert load_document_file(path) == document
+
+
+class TestFailureLocation:
+    def test_unknown_field_names_key_line_and_file(self, tmp_path):
+        bad = DOCUMENT_TEXT.replace("acceleration", "aceleration")
+        path = tmp_path / "typo.yaml"
+        path.write_text(bad, encoding="utf-8")
+        with pytest.raises(SchemaError) as excinfo:
+            load_document_file(path)
+        error = excinfo.value
+        assert "'aceleration'" in str(error)
+        assert error.line == 6
+        assert error.source == str(path)
+        assert "line 6" in str(error)
+
+    def test_nested_unknown_field_line(self):
+        bad = DOCUMENT_TEXT.replace("label: viaduct", "labell: viaduct")
+        with pytest.raises(SchemaError) as excinfo:
+            load_document_text(bad, "nested.yaml")
+        assert "'labell'" in str(excinfo.value)
+        assert excinfo.value.line == 18
+        assert excinfo.value.source == "nested.yaml"

@@ -1,0 +1,80 @@
+"""Regression: chaos campaigns are cacheable (satellite of the
+scenario-document refactor).
+
+Attaching a :class:`FaultPlan` used to wrap the scenario in an opaque
+bound-method hook, so every faulted spec failed content-hashing and
+silently bypassed the result store — a ``--chaos`` rerun recomputed
+everything.  ``with_faults`` now attaches the plan declaratively as a
+``"faults"`` :class:`HookSpec`, so faulted flows hash, store, and hit
+the warm cache exactly like clean ones.
+"""
+
+from repro.exec.executor import _execute_payload
+from repro.exec.spec import FlowSpec
+from repro.hsr import CHINA_MOBILE, hsr_scenario
+from repro.robustness.campaign import RetryPolicy
+from repro.robustness.faults import FaultPlan, with_faults
+from repro.store import CachedBackend, flow_key
+from tests.store.test_backend import CountingBackend
+
+
+def _chaos_payloads(n=3):
+    scenario = with_faults(hsr_scenario(CHINA_MOBILE), FaultPlan.aggressive())
+    return [
+        (
+            i,
+            FlowSpec(
+                scenario=scenario, duration=3.0, seed=70 + i,
+                flow_id=f"chaos/{i}",
+            ),
+            RetryPolicy(),
+        )
+        for i in range(n)
+    ]
+
+
+class TestChaosCaching:
+    def test_faulted_spec_is_hashable(self):
+        _, spec, _ = _chaos_payloads(1)[0]
+        key = flow_key(spec)
+        assert key is not None
+        # The plan's parameters are part of the identity: a different
+        # intensity must map to a different store entry.
+        other = spec.with_(
+            scenario=with_faults(
+                hsr_scenario(CHINA_MOBILE), FaultPlan.aggressive(2.0)
+            )
+        )
+        assert flow_key(other) != key
+
+    def test_chaos_rerun_hits_warm_cache(self, tmp_path):
+        inner = CountingBackend()
+        backend = CachedBackend(tmp_path / "store", inner)
+        payloads = _chaos_payloads(3)
+        cold = backend.map(_execute_payload, payloads)
+        assert [o.cache_state for o in cold] == ["miss"] * 3
+        assert backend.last_stats["uncacheable"] == 0
+        warm = backend.map(_execute_payload, payloads)
+        assert inner.total == 3  # the rerun simulated nothing
+        assert [o.cache_state for o in warm] == ["hit"] * 3
+        assert backend.last_stats == {
+            "items": 3, "hits": 3, "misses": 0, "corrupt": 0,
+            "uncacheable": 0, "errors": 0,
+        }
+
+    def test_clean_and_faulted_entries_are_distinct(self, tmp_path):
+        inner = CountingBackend()
+        backend = CachedBackend(tmp_path / "store", inner)
+        backend.map(_execute_payload, _chaos_payloads(1))
+        clean = [
+            (
+                0,
+                FlowSpec(
+                    scenario=hsr_scenario(CHINA_MOBILE), duration=3.0,
+                    seed=70, flow_id="chaos/0",
+                ),
+                RetryPolicy(),
+            )
+        ]
+        outcomes = backend.map(_execute_payload, clean)
+        assert [o.cache_state for o in outcomes] == ["miss"]

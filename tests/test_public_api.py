@@ -6,9 +6,9 @@ Guards the advertised API two ways:
   to a real attribute (no stale exports).
 * **Snapshot** — the exported-name sets of the consolidated surfaces
   (``repro``, ``repro.exec``, ``repro.simulator``, ``repro.robustness``,
-  ``repro.telemetry``, ``repro.store``) are pinned verbatim.  Adding or removing a
-  public name is an API change and must update the snapshot here — the
-  diff *is* the review artefact.
+  ``repro.telemetry``, ``repro.store``, ``repro.scenarios``) are pinned
+  verbatim.  Adding or removing a public name is an API change and must
+  update the snapshot here — the diff *is* the review artefact.
 """
 
 import importlib
@@ -31,12 +31,14 @@ API_SNAPSHOT = {
         "FlowOutcome",
         "FlowResult",
         "FlowSpec",
+        "HookSpec",
         "LinkParams",
         "ModelOptions",
         "NullTelemetry",
         "ResultStore",
         "RetryPolicy",
         "Scenario",
+        "ScenarioDocument",
         "SupervisorPolicy",
         "SyntheticDataset",
         "Telemetry",
@@ -46,7 +48,9 @@ API_SNAPSHOT = {
         "Watchdog",
         "__version__",
         "compare_models",
+        "compile_scenario",
         "deviation_rate",
+        "driving_scenario",
         "enhanced_throughput",
         "fault_scope",
         "flow_key",
@@ -59,6 +63,7 @@ API_SNAPSHOT = {
         "padhye_full_throughput",
         "padhye_paper_form",
         "run_flow",
+        "scenario_names",
         "simulate_spec",
         "stationary_scenario",
         "store_scope",
@@ -175,12 +180,39 @@ API_SNAPSHOT = {
         "flow_key",
         "store_scope",
     ],
+    "repro.scenarios": [
+        "CellsSpec",
+        "ExtraLossSpec",
+        "MobilitySpec",
+        "ProviderSpec",
+        "ScenarioDocument",
+        "SchemaError",
+        "SourceInfo",
+        "compile_document",
+        "compile_scenario",
+        "document_from_scenario",
+        "document_to_dict",
+        "document_to_json",
+        "document_to_yaml",
+        "get_scenario_document",
+        "library_dir",
+        "library_paths",
+        "load_document_file",
+        "load_document_text",
+        "load_mapping",
+        "parse_document",
+        "register_document",
+        "resolve_scenario_ref",
+        "roundtrip_check",
+        "scenario_names",
+        "unregister_document",
+    ],
 }
 
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
@@ -235,6 +267,7 @@ class TestApiSnapshot:
         "repro.exec",
         "repro.simulator",
         "repro.hsr",
+        "repro.scenarios",
         "repro.telemetry",
         "repro.traces",
         "repro.experiments",
