@@ -25,6 +25,25 @@ def write_artifact(path: str, result: dict) -> None:
     print(f"bench: wrote {path}")
 
 
+def append_history(record: dict, output_path: str) -> None:
+    """Append a timestamped run record to ``BENCH_history.jsonl``.
+
+    The history file lives next to the written artefact and is
+    append-only JSON-lines: one line per benchmark run, stamped with
+    UTC wall-clock time, so throughput trends across commits and hosts
+    can be plotted without digging through git history.  Unlike the
+    artefacts it is never rewritten, only extended.
+    """
+    import time
+
+    entry = dict(record)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    directory = os.path.dirname(os.path.abspath(output_path)) or REPO_ROOT
+    path = os.path.join(directory, "BENCH_history.jsonl")
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
 def overhead_pct(baseline_s: float, measured_s: float) -> float:
     """Relative slowdown of ``measured_s`` over ``baseline_s``, in percent.
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Micro-benchmark: campaign throughput, serial vs parallel vs auto backend.
+"""Micro-benchmark: campaign throughput across executor backends.
 
 Runs the same miniature paper campaign through the flow executor — on
 the ``SerialBackend``, on a multi-process ``ProcessPoolBackend``, on
-the ``AutoBackend`` (which probes the batch and picks serial vs pool
-itself), and finally twice through a throw-away ``ResultStore`` (a
-cold populating run, then a warm all-hits one) — and reports flows/sec
-for each, the serial→pool speedup, the auto backend's recorded
-decision, and the warm-cache speedup, in ``BENCH_campaign.json``.
+the ``LockstepBackend`` (eligible flows share one event wheel), on
+the ``AutoBackend`` (which probes the batch and picks
+lockstep/serial/pool itself), and finally twice through a throw-away
+``ResultStore`` (a cold populating run, then a warm all-hits one) —
+and reports flows/sec for each, the serial→pool and serial→lockstep
+speedups, the auto backend's recorded decision, and the warm-cache
+speedup, in ``BENCH_campaign.json``.  Each run also appends a
+timestamped one-line summary to ``BENCH_history.jsonl``.
 
 All runs must produce identical traces and an identical campaign
 report (that is the executor's determinism contract, and this script
@@ -36,7 +39,7 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from _common import write_artifact  # noqa: E402
+from _common import append_history, write_artifact  # noqa: E402
 
 
 def _timed_campaign(flow_scale: float, duration: float, workers):
@@ -65,6 +68,18 @@ def _timed_auto_campaign(flow_scale: float, duration: float):
         traces=execution.traces, entries=PAPER_CAMPAIGN, report=execution.report
     )
     return dataset, elapsed, backend.last_decision
+
+
+def _timed_lockstep_campaign(flow_scale: float, duration: float):
+    """The lockstep leg: eligible flows share one event wheel."""
+    from repro.traces.generator import generate_dataset
+
+    start = time.perf_counter()
+    dataset = generate_dataset(
+        seed=2015, duration=duration, flow_scale=flow_scale, workers="lockstep"
+    )
+    elapsed = time.perf_counter() - start
+    return dataset, elapsed
 
 
 def _timed_cached_campaign(flow_scale: float, duration: float):
@@ -101,6 +116,7 @@ def run_benchmark(
         workers = min(4, cpu_count)
     serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1)
     parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers)
+    lockstep_dataset, lockstep_s = _timed_lockstep_campaign(flow_scale, duration)
     auto_dataset, auto_s, auto_decision = _timed_auto_campaign(flow_scale, duration)
     warm_dataset, cold_s, warm_s = _timed_cached_campaign(flow_scale, duration)
 
@@ -109,6 +125,8 @@ def run_benchmark(
     identical = (
         serial_report == parallel_dataset.report.to_json()
         and serial_pickles == _trace_pickles(parallel_dataset)
+        and serial_report == lockstep_dataset.report.to_json()
+        and serial_pickles == _trace_pickles(lockstep_dataset)
         and serial_report == auto_dataset.report.to_json()
         and serial_pickles == _trace_pickles(auto_dataset)
         and serial_report == warm_dataset.report.to_json()
@@ -128,6 +146,11 @@ def run_benchmark(
             "workers": workers,
             "elapsed_s": round(parallel_s, 4),
             "flows_per_s": round(flows / parallel_s, 4) if parallel_s else 0.0,
+        },
+        "lockstep": {
+            "elapsed_s": round(lockstep_s, 4),
+            "flows_per_s": round(flows / lockstep_s, 4) if lockstep_s else 0.0,
+            "speedup": round(serial_s / lockstep_s, 4) if lockstep_s else 0.0,
         },
         "auto": {
             "elapsed_s": round(auto_s, 4),
@@ -161,12 +184,27 @@ def main(argv=None) -> int:
 
     result = run_benchmark(args.flow_scale, args.duration, args.workers)
     write_artifact(args.output, result)
+    append_history(
+        {
+            "benchmark": "campaign",
+            "flows": result["flows"],
+            "serial_flows_per_s": result["serial"]["flows_per_s"],
+            "parallel_flows_per_s": result["parallel"]["flows_per_s"],
+            "lockstep_flows_per_s": result["lockstep"]["flows_per_s"],
+            "auto_mode": result["auto"]["decision"].get("mode")
+            if result["auto"]["decision"]
+            else None,
+        },
+        args.output,
+    )
 
     print(f"bench: {result['cpu_count']} cpus, {result['flows']} flows — "
           f"serial {result['serial']['flows_per_s']:.2f} flows/s, "
           f"{result['parallel']['workers']} workers "
           f"{result['parallel']['flows_per_s']:.2f} flows/s "
           f"(speedup {result['speedup']:.2f}x), "
+          f"lockstep {result['lockstep']['flows_per_s']:.2f} flows/s "
+          f"({result['lockstep']['speedup']:.2f}x), "
           f"auto {result['auto']['flows_per_s']:.2f} flows/s "
           f"[{result['auto']['decision']['mode']}], "
           f"warm cache {result['cached']['warm_flows_per_s']:.2f} flows/s "

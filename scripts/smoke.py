@@ -231,7 +231,7 @@ def smoke_bench() -> None:
     if record["serial"]["flows_per_s"] <= 0.0:
         fail("bench: non-positive serial throughput")
     decision = record["auto"]["decision"]
-    if not decision or decision.get("mode") not in ("serial", "pool"):
+    if not decision or decision.get("mode") not in ("serial", "pool", "lockstep"):
         fail("bench: auto backend recorded no usable decision")
     print(f"smoke: bench ok — {record['serial']['flows_per_s']:.1f} flows/s serial, "
           f"speedup {record['speedup']:.2f}x with "
@@ -442,7 +442,7 @@ def smoke_engine_bench() -> None:
     output = os.path.join(REPO_ROOT, "BENCH_engine.current.json")
     command = [
         sys.executable, bench,
-        "--events", "100000", "--flow-duration", "10", "--repeats", "2",
+        "--events", "100000", "--flow-duration", "10", "--repeats", "4",
         "--output", output,
     ]
     print("smoke: running", " ".join(command), flush=True)

@@ -98,7 +98,7 @@ from repro.traces import (
     generate_stationary_reference,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CachedBackend",

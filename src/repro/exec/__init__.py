@@ -16,6 +16,7 @@ from repro.exec.executor import (
     ExecutionResult,
     Executor,
     FlowOutcome,
+    LockstepBackend,
     ProcessPoolBackend,
     SerialBackend,
     simulate_spec,
@@ -38,6 +39,7 @@ __all__ = [
     "Executor",
     "FlowOutcome",
     "FlowSpec",
+    "LockstepBackend",
     "ProcessPoolBackend",
     "ResolvedFlow",
     "SerialBackend",

@@ -79,14 +79,14 @@ __all__ = ["main"]
 
 
 def _workers_arg(value: str):
-    """Parse ``--workers``: an integer process count or the string 'auto'."""
-    if value == "auto":
-        return "auto"
+    """Parse ``--workers``: an integer count, 'auto', or 'lockstep'."""
+    if value in ("auto", "lockstep"):
+        return value
     try:
         return int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"workers must be an integer or 'auto', got {value!r}"
+            f"workers must be an integer, 'auto', or 'lockstep', got {value!r}"
         )
 
 
@@ -168,9 +168,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "quarantining the remainder (default 8)")
     parser.add_argument(
         "--workers", type=_workers_arg, default=1, metavar="N",
-        help="fan campaign/sweep flows out over N processes, or 'auto' "
-             "to probe the batch and pick serial vs pool; results are "
-             "byte-identical to a serial run either way (default 1)")
+        help="fan campaign/sweep flows out over N processes, 'auto' to "
+             "probe the batch and pick lockstep/serial/pool, or "
+             "'lockstep' to run eligible flows on one shared event "
+             "wheel in-process; results are byte-identical to a serial "
+             "run any way (default 1)")
     parser.add_argument(
         "--telemetry", action="store_true",
         help="collect per-flow counters in every campaign and print the "

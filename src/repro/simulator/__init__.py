@@ -43,8 +43,14 @@ from repro.simulator.channel import (
     RoundCorrelatedLoss,
     TraceDrivenLoss,
 )
-from repro.simulator.connection import ConnectionConfig, FlowResult, run_flow
+from repro.simulator.connection import (
+    ConnectionConfig,
+    FlowHarness,
+    FlowResult,
+    run_flow,
+)
 from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.lockstep import run_lockstep
 from repro.simulator.metrics import (
     AckRecord,
     CwndSample,
@@ -55,7 +61,7 @@ from repro.simulator.metrics import (
 )
 from repro.simulator.mptcp import MptcpResult, run_backup, run_duplex
 from repro.simulator.newreno import NewRenoSender
-from repro.simulator.packet import AckSegment, Segment
+from repro.simulator.packet import AckSegment, PacketPool, Segment
 from repro.simulator.receiver import Receiver
 from repro.simulator.reno import RenoSender
 from repro.simulator.rto import MAX_BACKOFF_FACTOR, RtoEstimator
@@ -70,6 +76,7 @@ __all__ = [
     "CwndSample",
     "DataPacketRecord",
     "EventHandle",
+    "FlowHarness",
     "FlowLog",
     "FlowResult",
     "GilbertElliottLoss",
@@ -80,6 +87,7 @@ __all__ = [
     "MptcpResult",
     "NewRenoSender",
     "NoLoss",
+    "PacketPool",
     "Receiver",
     "RecoveryPhaseRecord",
     "RenoSender",
@@ -96,5 +104,6 @@ __all__ = [
     "run_backup",
     "run_duplex",
     "run_flow",
+    "run_lockstep",
     "unregister_cc",
 ]

@@ -48,6 +48,8 @@ class BottleneckLink:
         "_service_free_at",
         "_telemetry",
         "direction",
+        "packet_pool",
+        "release",
     )
 
     def __init__(
@@ -61,6 +63,8 @@ class BottleneckLink:
         on_drop: Optional[Callable] = None,
         telemetry: Optional[Telemetry] = None,
         direction: str = "data",
+        packet_pool=None,
+        release: Optional[Callable] = None,
     ) -> None:
         if delay <= 0.0:
             raise ConfigurationError(f"delay must be positive, got {delay}")
@@ -87,6 +91,9 @@ class BottleneckLink:
             else _observed_delivery(deliver, self._telemetry, direction)
         )
         self.on_drop = on_drop
+        # Same pool discovery/release contract as Link (see there).
+        self.packet_pool = packet_pool
+        self.release = release
 
         self.sent = 0
         self.dropped = 0  # random-loss drops
@@ -138,9 +145,61 @@ class BottleneckLink:
         self._simulator.schedule_call(departure - now, self._depart, None)
         self._simulator.schedule_call(departure + self.delay - now, self.deliver, packet)
 
+    def send_burst(self, packets) -> None:
+        """Enqueue a whole round, batching the loss draws and telemetry.
+
+        Event-for-event identical to per-packet :meth:`send`: the
+        (departure, delivery) event *pair* of each packet must keep its
+        interleaved push order — on a rate grid, packet ``i+k``'s
+        departure can tie packet ``i``'s delivery time exactly, and the
+        engine breaks ties by sequence number, which decides the
+        ``_queued`` count an overflow check observes.  Only the loss
+        draws and hook calls are batched.
+        """
+        count = len(packets)
+        if count == 0:
+            return
+        if count == 1:
+            self.send(packets[0])
+            return
+        telemetry = self._telemetry
+        if telemetry is not None and not telemetry.batched_packet_hooks:
+            for packet in packets:
+                self.send(packet)
+            return
+        now = self._simulator.now
+        self.sent += count
+        if telemetry is not None:
+            telemetry.on_packets_sent(self.direction, now, count)
+        lost_flags = self.loss_model.is_lost_block([now] * count)
+        schedule_call = self._simulator.schedule_call
+        service_time = self.service_time
+        drops = 0
+        for packet, lost in zip(packets, lost_flags):
+            if lost:
+                self.dropped += 1
+                drops += 1
+                self._drop(packet, now)
+                continue
+            if self._queued >= self.buffer_packets:
+                self.overflows += 1
+                drops += 1
+                self._drop(packet, now)
+                continue
+            self._queued += 1
+            start = max(now, self._service_free_at)
+            departure = start + service_time
+            self._service_free_at = departure
+            schedule_call(departure - now, self._depart, None)
+            schedule_call(departure + self.delay - now, self.deliver, packet)
+        if drops and telemetry is not None:
+            telemetry.on_packets_dropped(self.direction, now, drops)
+
     def _depart(self, _payload, _time) -> None:
         self._queued -= 1
 
     def _drop(self, packet, now: float) -> None:
         if self.on_drop is not None:
             self.on_drop(packet, now)
+        if self.release is not None:
+            self.release(packet)

@@ -40,11 +40,16 @@ child stream per model).
 from __future__ import annotations
 
 from math import log as _log
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.telemetry.base import Telemetry, active as _active_telemetry
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
+
+try:  # optional acceleration for whole-block comparisons
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
 
 __all__ = [
     "LossModel",
@@ -65,12 +70,31 @@ _UNIFORM_BLOCK = 256
 
 
 class LossModel:
-    """Base class: decides, per wire transmission, whether it is lost."""
+    """Base class: decides, per wire transmission, whether it is lost.
+
+    :meth:`is_lost_block` evaluates a whole burst (typically one cwnd
+    of packets submitted in a single round) in one call.  The default
+    implementation loops the scalar :meth:`is_lost`, so third-party
+    models that implement only the scalar method keep working —
+    including under the links' batched transmit path — while the
+    bundled models override it with draw-sequence-identical batched
+    versions.
+    """
 
     __slots__ = ()
 
     def is_lost(self, now: float) -> bool:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        """Per-transmission outcomes for a burst at the given times.
+
+        Element-for-element identical to calling :meth:`is_lost` once
+        per element, in order — the batched-RNG invariant extended to
+        whole rounds.
+        """
+        is_lost = self.is_lost
+        return [is_lost(now) for now in times]
 
 
 class NoLoss(LossModel):
@@ -81,6 +105,9 @@ class NoLoss(LossModel):
     def is_lost(self, now: float) -> bool:
         return False
 
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        return [False] * len(times)
+
 
 class _BufferedLoss(LossModel):
     """Shared machinery: a block-buffered uniform supply for one stream.
@@ -89,13 +116,38 @@ class _BufferedLoss(LossModel):
     batched-RNG invariant in the module docstring) and call
     :meth:`_bernoulli` / :meth:`_next_uniform` instead of the scalar
     stream methods.
+
+    Models whose per-packet probability is a *fixed* value in (0, 1)
+    (Bernoulli loss, the round-correlated trigger) set ``_fixed_rate``;
+    every refill then precomputes the whole block's Bernoulli outcomes
+    in one pass (vectorised through numpy when available), so the
+    per-packet cost collapses to a list index.  The raw-uniform cursor
+    and the outcome cursor are the same cursor — mixed consumption
+    (e.g. Gilbert–Elliott sojourn draws between packet draws) walks a
+    single underlying uniform sequence, exactly as the scalar code
+    would.
     """
 
-    __slots__ = ("_rng", "_block", "_cursor")
+    __slots__ = ("_rng", "_block", "_cursor", "_fixed_rate", "_outcomes")
 
-    def __init__(self, rng: RngStream) -> None:
+    def __init__(self, rng: RngStream, fixed_rate: Optional[float] = None) -> None:
         self._rng = rng
         self._block: Sequence[float] = ()
+        self._cursor = 0
+        self._fixed_rate = (
+            fixed_rate if fixed_rate is not None and 0.0 < fixed_rate < 1.0 else None
+        )
+        self._outcomes: List[bool] = []
+
+    def _refill(self) -> None:
+        """Draw the next uniform block; precompute fixed-rate outcomes."""
+        block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+        rate = self._fixed_rate
+        if rate is not None:
+            if _np is not None:
+                self._outcomes = (_np.frombuffer(block) < rate).tolist()
+            else:
+                self._outcomes = [value < rate for value in block]
         self._cursor = 0
 
     def _next_uniform(self) -> float:
@@ -103,7 +155,8 @@ class _BufferedLoss(LossModel):
         cursor = self._cursor
         block = self._block
         if cursor >= len(block):
-            block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+            self._refill()
+            block = self._block
             cursor = 0
         self._cursor = cursor + 1
         return block[cursor]
@@ -118,10 +171,61 @@ class _BufferedLoss(LossModel):
         cursor = self._cursor
         block = self._block
         if cursor >= len(block):
-            block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+            self._refill()
+            block = self._block
             cursor = 0
         self._cursor = cursor + 1
         return block[cursor] < probability
+
+    def _bernoulli_fixed(self) -> bool:
+        """One precomputed outcome at ``_fixed_rate``; consumes one draw."""
+        cursor = self._cursor
+        outcomes = self._outcomes
+        if cursor >= len(outcomes):
+            self._refill()
+            outcomes = self._outcomes
+            cursor = 0
+        self._cursor = cursor + 1
+        return outcomes[cursor]
+
+    def _bernoulli_fixed_block(self, n: int) -> List[bool]:
+        """``n`` precomputed outcomes at ``_fixed_rate``, sliced off the
+        block (refilling as needed); consumes exactly ``n`` draws."""
+        out: List[bool] = []
+        cursor = self._cursor
+        outcomes = self._outcomes
+        while n > 0:
+            available = len(outcomes) - cursor
+            if available <= 0:
+                self._refill()
+                outcomes = self._outcomes
+                cursor = 0
+                available = len(outcomes)
+            take = n if n <= available else available
+            out.extend(outcomes[cursor : cursor + take])
+            cursor += take
+            n -= take
+        self._cursor = cursor
+        return out
+
+    def _bernoulli_many(self, probability: float, n: int) -> List[bool]:
+        """``n`` Bernoulli draws at an arbitrary probability in (0, 1),
+        consuming exactly ``n`` uniforms from the block."""
+        out: List[bool] = []
+        append = out.append
+        cursor = self._cursor
+        block = self._block
+        length = len(block)
+        for _ in range(n):
+            if cursor >= length:
+                self._refill()
+                block = self._block
+                length = len(block)
+                cursor = 0
+            append(block[cursor] < probability)
+            cursor += 1
+        self._cursor = cursor
+        return out
 
 
 class BernoulliLoss(_BufferedLoss):
@@ -132,20 +236,25 @@ class BernoulliLoss(_BufferedLoss):
     def __init__(self, rate: float, rng: RngStream) -> None:
         if not 0.0 <= rate < 1.0:
             raise ConfigurationError(f"loss rate must be in [0, 1), got {rate}")
-        super().__init__(rng)
+        super().__init__(rng, fixed_rate=rate)
         self.rate = rate
 
     def is_lost(self, now: float) -> bool:
-        rate = self.rate
-        if rate <= 0.0:
+        if self.rate <= 0.0:
             return False
         cursor = self._cursor
-        block = self._block
-        if cursor >= len(block):
-            block = self._block = self._rng.random_block(_UNIFORM_BLOCK)
+        outcomes = self._outcomes
+        if cursor >= len(outcomes):
+            self._refill()
+            outcomes = self._outcomes
             cursor = 0
         self._cursor = cursor + 1
-        return block[cursor] < rate
+        return outcomes[cursor]
+
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        if self.rate <= 0.0:
+            return [False] * len(times)
+        return self._bernoulli_fixed_block(len(times))
 
 
 class RoundCorrelatedLoss(_BufferedLoss):
@@ -172,7 +281,7 @@ class RoundCorrelatedLoss(_BufferedLoss):
             raise ConfigurationError(
                 f"round_duration must be positive, got {round_duration}"
             )
-        super().__init__(rng)
+        super().__init__(rng, fixed_rate=trigger_rate)
         self.trigger_rate = trigger_rate
         self.round_duration = round_duration
         self._burst_until = -float("inf")
@@ -184,10 +293,30 @@ class RoundCorrelatedLoss(_BufferedLoss):
     def is_lost(self, now: float) -> bool:
         if now < self._burst_until:
             return True
-        if self._bernoulli(self.trigger_rate):
+        if self.trigger_rate > 0.0 and self._bernoulli_fixed():
             self._burst_until = now + self.round_duration
             return True
         return False
+
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        out: List[bool] = []
+        append = out.append
+        burst_until = self._burst_until
+        trigger = self.trigger_rate
+        duration = self.round_duration
+        for now in times:
+            # Inside a burst no draw is consumed — identical to the
+            # scalar short-circuit, so a triggered loss silences the
+            # trigger stream for the rest of the round.
+            if now < burst_until:
+                append(True)
+            elif trigger > 0.0 and self._bernoulli_fixed():
+                burst_until = now + duration
+                append(True)
+            else:
+                append(False)
+        self._burst_until = burst_until
+        return out
 
 
 class GilbertElliottLoss(_BufferedLoss):
@@ -255,6 +384,22 @@ class GilbertElliottLoss(_BufferedLoss):
         rate = self.loss_bad if self._in_bad_state else self.loss_good
         return self._bernoulli(rate)
 
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        # A burst is typically a run of equal times, so after the first
+        # element the state-advance check is a single comparison; the
+        # per-packet Bernoulli keeps the scalar short-circuits (the
+        # default loss_good=0 / loss_bad=1 states consume no draws).
+        out: List[bool] = []
+        append = out.append
+        bernoulli = self._bernoulli
+        for now in times:
+            if now >= self._state_expires:
+                self._advance_to(now)
+            append(
+                bernoulli(self.loss_bad if self._in_bad_state else self.loss_good)
+            )
+        return out
+
 
 class HandoffLoss(_BufferedLoss):
     """Deterministic outage windows plus a base loss rate.
@@ -306,6 +451,23 @@ class HandoffLoss(_BufferedLoss):
         rate = self.loss_during if self.in_outage(now) else self.base_rate
         return self._bernoulli(rate)
 
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        n = len(times)
+        if n == 0:
+            return []
+        # The transmit path submits whole rounds at one instant, so the
+        # common case is a single outage lookup for the burst; a burst
+        # spanning several instants falls back to the scalar walk.
+        if times[0] == times[-1]:
+            rate = self.loss_during if self.in_outage(times[0]) else self.base_rate
+            if rate <= 0.0:
+                return [False] * n
+            if rate >= 1.0:
+                return [True] * n
+            return self._bernoulli_many(rate, n)
+        is_lost = self.is_lost
+        return [is_lost(now) for now in times]
+
 
 class TraceDrivenLoss(LossModel):
     """Scripted outcomes: the n-th transmission is lost iff listed.
@@ -329,6 +491,13 @@ class TraceDrivenLoss(LossModel):
         self._count += 1
         return lost
 
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        count = self._count
+        lost_indices = self.lost_indices
+        n = len(times)
+        self._count = count + n
+        return [(count + i) in lost_indices for i in range(n)]
+
 
 class CompositeLoss(LossModel):
     """Lost if any component process loses the packet."""
@@ -349,6 +518,20 @@ class CompositeLoss(LossModel):
             if component.is_lost(now):
                 lost = True
         return lost
+
+    def is_lost_block(self, times: Sequence[float]) -> List[bool]:
+        # Component order matches the scalar path; within a component
+        # the whole burst is drawn at once, which only reorders draws
+        # *across* components — invisible, because every stochastic
+        # model owns a dedicated stream (the batched-RNG invariant).
+        components = self.components
+        result = components[0].is_lost_block(times)
+        for component in components[1:]:
+            block = component.is_lost_block(times)
+            for i, flag in enumerate(block):
+                if flag:
+                    result[i] = True
+        return result
 
 
 def _observed_delivery(
@@ -403,6 +586,8 @@ class Link:
         "_last_arrival",
         "_telemetry",
         "direction",
+        "packet_pool",
+        "release",
     )
 
     def __init__(
@@ -415,6 +600,8 @@ class Link:
         on_drop: Optional[Callable] = None,
         telemetry: Optional[Telemetry] = None,
         direction: str = "data",
+        packet_pool=None,
+        release: Optional[Callable] = None,
     ) -> None:
         if delay <= 0.0:
             raise ConfigurationError(f"link delay must be positive, got {delay}")
@@ -431,6 +618,14 @@ class Link:
         self.dropped = 0
         self._last_arrival = 0.0
         self.direction = direction
+        #: the flow's :class:`~repro.simulator.packet.PacketPool`, when
+        #: pooling is on; senders discover it here so the registry's
+        #: sender signature stays pool-agnostic
+        self.packet_pool = packet_pool
+        #: recycles a *dropped* packet back to the pool (delivered
+        #: packets are released by the consumer callback instead, so
+        #: the delivery fast path gains no extra frame)
+        self.release = release
         self._telemetry = _active_telemetry(telemetry)
         self.deliver = (
             deliver
@@ -457,6 +652,8 @@ class Link:
                 telemetry.on_packet_dropped(self.direction, now)
             if self.on_drop is not None:
                 self.on_drop(packet, now)
+            if self.release is not None:
+                self.release(packet)
             return
         jitter = self.jitter
         if jitter is None:
@@ -473,3 +670,71 @@ class Link:
         else:
             self._last_arrival = arrival
         simulator.schedule_call(arrival - now, self.deliver, packet)
+
+    def send_burst(self, packets: Sequence) -> None:
+        """Transmit a whole round of packets in one call.
+
+        Equivalent, draw for draw and event for event, to calling
+        :meth:`send` once per packet: the loss model consumes its block
+        with the scalar draw sequence (the batched-RNG invariant),
+        jitter is drawn only for survivors in survivor order, and the
+        delivery events receive the same consecutive engine sequence
+        numbers the scalar loop would assign (nothing else schedules
+        between the per-packet sends of a burst).
+
+        A non-batch-capable telemetry sink (e.g. the timeline recorder,
+        whose record order is part of its contract) forces the exact
+        scalar loop; batch-capable sinks get one hook call per burst.
+        """
+        count = len(packets)
+        if count == 0:
+            return
+        if count == 1:
+            self.send(packets[0])
+            return
+        telemetry = self._telemetry
+        if telemetry is not None and not telemetry.batched_packet_hooks:
+            for packet in packets:
+                self.send(packet)
+            return
+        simulator = self._simulator
+        now = simulator.now
+        self.sent += count
+        if telemetry is not None:
+            telemetry.on_packets_sent(self.direction, now, count)
+        lost_flags = self.loss_model.is_lost_block([now] * count)
+        jitter = self.jitter
+        base_arrival = now + self.delay
+        on_drop = self.on_drop
+        release = self.release
+        last = self._last_arrival
+        survivors = []
+        arrivals = []
+        drops = 0
+        for packet, lost in zip(packets, lost_flags):
+            if lost:
+                drops += 1
+                if on_drop is not None:
+                    on_drop(packet, now)
+                if release is not None:
+                    release(packet)
+                continue
+            if jitter is None:
+                arrival = base_arrival
+            else:
+                extra = jitter()
+                arrival = base_arrival + extra if extra > 0.0 else base_arrival
+            # FIFO clamp, identical to the scalar path.
+            if arrival < last:
+                arrival = last
+            else:
+                last = arrival
+            survivors.append(packet)
+            arrivals.append(arrival)
+        self._last_arrival = last
+        if drops:
+            self.dropped += drops
+            if telemetry is not None:
+                telemetry.on_packets_dropped(self.direction, now, drops)
+        if survivors:
+            simulator.schedule_calls_at(arrivals, self.deliver, survivors)

@@ -17,6 +17,7 @@ from repro.simulator.cc import make_sender
 from repro.simulator.channel import Link, LossModel, NoLoss
 from repro.simulator.engine import Simulator
 from repro.simulator.metrics import FlowLog
+from repro.simulator.packet import PacketPool
 from repro.simulator.receiver import Receiver
 from repro.simulator.rto import RtoEstimator
 from repro.telemetry.base import Telemetry, active as _active_telemetry
@@ -24,7 +25,7 @@ from repro.util.errors import BudgetExceededError, ConfigurationError
 from repro.util.rng import RngStream
 from repro.util.units import pps_to_mbps
 
-__all__ = ["ConnectionConfig", "FlowResult", "run_flow"]
+__all__ = ["ConnectionConfig", "FlowHarness", "FlowResult", "run_flow"]
 
 
 @dataclass(frozen=True)
@@ -109,15 +110,202 @@ class FlowResult:
         return self.log.ack_loss_rate
 
 
+class _BufferedJitter:
+    """Per-packet jitter drawn from a block-buffered log-normal stream.
+
+    Call-for-call identical to ``rng.lognormal(-3.5, 1.0) * sigma``:
+    :meth:`RngStream.lognormal_block` replicates CPython's rejection
+    loop bit for bit and the scaling multiply is the same float op, so
+    pre-drawing a block only moves *when* the dedicated jitter stream
+    is consumed, never what any call returns.
+    """
+
+    __slots__ = ("_rng", "_sigma", "_values", "_cursor")
+
+    _BLOCK = 64
+
+    def __init__(self, rng: RngStream, sigma: float) -> None:
+        self._rng = rng
+        self._sigma = sigma
+        self._values: list = []
+        self._cursor = 0
+
+    def __call__(self) -> float:
+        cursor = self._cursor
+        values = self._values
+        if cursor >= len(values):
+            sigma = self._sigma
+            block = self._rng.lognormal_block(-3.5, 1.0, self._BLOCK)
+            values = self._values = [value * sigma for value in block]
+            cursor = 0
+        self._cursor = cursor + 1
+        return values[cursor]
+
+
 def _jitter_fn(rng: Optional[RngStream], sigma: float) -> Optional[Callable[[], float]]:
     if rng is None or sigma <= 0.0:
         return None
+    return _BufferedJitter(rng, sigma)
 
-    def jitter() -> float:
-        # Log-normal with median 0-ish small values; clipped at 0 by Link.
-        return rng.lognormal(mu=-3.5, sigma=1.0) * sigma
 
-    return jitter
+class FlowHarness:
+    """One fully wired TCP flow on a (possibly shared) simulator.
+
+    Extracts the wiring half of :func:`run_flow` so other drivers —
+    the lockstep campaign engine (:mod:`repro.simulator.lockstep`)
+    builds many harnesses on one shared event wheel — can construct
+    flows without re-running them one ``Simulator.run`` at a time.
+    Construction wires everything and calls ``sender.start()``; the
+    caller owns advancing the simulator and harvesting :meth:`result`.
+
+    Each harness owns a private :class:`PacketPool` shared by its
+    sender, receiver, and links, so steady-state rounds allocate no
+    packet objects and pooled packets never cross flows.
+    """
+
+    __slots__ = (
+        "config",
+        "simulator",
+        "log",
+        "pool",
+        "sender",
+        "receiver",
+        "data_link",
+        "ack_link",
+        "redundant_link",
+        "telemetry",
+    )
+
+    def __init__(
+        self,
+        config: ConnectionConfig,
+        *,
+        simulator: Simulator,
+        data_loss: Optional[LossModel] = None,
+        ack_loss: Optional[LossModel] = None,
+        seed: int = 0,
+        redundant_data_loss: Optional[LossModel] = None,
+        variant: str = "reno",
+        bottleneck_rate: Optional[float] = None,
+        bottleneck_buffer: int = 64,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        tel = _active_telemetry(telemetry)
+        sim = simulator
+        log = FlowLog()
+        rng = RngStream(seed, "connection")
+        pool = PacketPool()
+        self.config = config
+        self.simulator = sim
+        self.log = log
+        self.pool = pool
+        self.telemetry = tel
+
+        # The wiring is cyclic (ACK link → sender → data link →
+        # receiver → ACK link), so the ACK link's deliver closes over
+        # the sender constructed below (late binding); it is also the
+        # terminal owner of a delivered ACK and recycles it.
+        def deliver_ack(ack, time: float) -> None:
+            sender.on_ack(ack, time)
+            pool.release_ack(ack)
+
+        ack_link = Link(
+            sim,
+            delay=config.reverse_delay,
+            loss_model=ack_loss or NoLoss(),
+            jitter=_jitter_fn(rng.spawn("ack-jitter"), config.jitter_sigma),
+            deliver=deliver_ack,
+            on_drop=lambda ack, time: log.record_ack_drop(ack.transmission_id),
+            telemetry=tel,
+            direction="ack",
+            packet_pool=pool,
+            release=pool.release_ack,
+        )
+        receiver = Receiver(
+            sim,
+            ack_link,
+            log,
+            b=config.b,
+            delack_timeout=config.delack_timeout,
+            pool=pool,
+        )
+        if bottleneck_rate is not None:
+            data_link = BottleneckLink(
+                sim,
+                delay=config.forward_delay,
+                rate_pps=bottleneck_rate,
+                buffer_packets=bottleneck_buffer,
+                loss_model=data_loss or NoLoss(),
+                deliver=receiver.on_data,
+                on_drop=lambda segment, time: log.record_data_drop(
+                    segment.transmission_id
+                ),
+                telemetry=tel,
+                direction="data",
+                packet_pool=pool,
+                release=pool.release_segment,
+            )
+        else:
+            data_link = Link(
+                sim,
+                delay=config.forward_delay,
+                loss_model=data_loss or NoLoss(),
+                jitter=_jitter_fn(rng.spawn("data-jitter"), config.jitter_sigma),
+                deliver=receiver.on_data,
+                on_drop=lambda segment, time: log.record_data_drop(
+                    segment.transmission_id
+                ),
+                telemetry=tel,
+                direction="data",
+                packet_pool=pool,
+                release=pool.release_segment,
+            )
+        redundant_link: Optional[Link] = None
+        if redundant_data_loss is not None:
+            redundant_link = Link(
+                sim,
+                delay=config.forward_delay,
+                loss_model=redundant_data_loss,
+                jitter=_jitter_fn(rng.spawn("alt-jitter"), config.jitter_sigma),
+                deliver=receiver.on_data,
+                on_drop=lambda segment, time: log.record_data_drop(
+                    segment.transmission_id
+                ),
+                telemetry=tel,
+                direction="data",
+                packet_pool=pool,
+                release=pool.release_segment,
+            )
+
+        # Registered third-party senders may not accept a telemetry
+        # kwarg, so it is only forwarded when a sink is actually active.
+        sender_kwargs = {} if tel is None else {"telemetry": tel}
+        sender = make_sender(
+            variant,
+            sim,
+            data_link,
+            log,
+            wmax=config.wmax,
+            initial_cwnd=config.initial_cwnd,
+            rto=RtoEstimator(initial_rto=config.initial_rto, min_rto=config.min_rto),
+            redundant_retransmit_link=redundant_link,
+            **sender_kwargs,
+        )
+        self.sender = sender
+        self.receiver = receiver
+        self.data_link = data_link
+        self.ack_link = ack_link
+        self.redundant_link = redundant_link
+        sender.start()
+
+    def result(self) -> FlowResult:
+        """The flow's result as of the simulator's current progress."""
+        return FlowResult(
+            config=self.config,
+            log=self.log,
+            duration=self.config.duration,
+            telemetry=self.telemetry,
+        )
 
 
 def run_flow(
@@ -164,75 +352,17 @@ def run_flow(
     """
     tel = _active_telemetry(telemetry)
     sim = simulator or Simulator(telemetry=tel)
-    log = FlowLog()
-    rng = RngStream(seed, "connection")
-
-    # The wiring is cyclic (ACK link → sender → data link → receiver →
-    # ACK link), so the ACK link's deliver is a late-binding lambda over
-    # the sender constructed below; every other callback is the bound
-    # method itself — packet delivery costs no intermediate frame.
-    ack_link = Link(
-        sim,
-        delay=config.reverse_delay,
-        loss_model=ack_loss or NoLoss(),
-        jitter=_jitter_fn(rng.spawn("ack-jitter"), config.jitter_sigma),
-        deliver=lambda ack, time: sender.on_ack(ack, time),
-        on_drop=lambda ack, time: log.record_ack_drop(ack.transmission_id),
+    harness = FlowHarness(
+        config,
+        simulator=sim,
+        data_loss=data_loss,
+        ack_loss=ack_loss,
+        seed=seed,
+        redundant_data_loss=redundant_data_loss,
+        variant=variant,
+        bottleneck_rate=bottleneck_rate,
+        bottleneck_buffer=bottleneck_buffer,
         telemetry=tel,
-        direction="ack",
-    )
-    receiver = Receiver(
-        sim, ack_link, log, b=config.b, delack_timeout=config.delack_timeout
-    )
-    if bottleneck_rate is not None:
-        data_link = BottleneckLink(
-            sim,
-            delay=config.forward_delay,
-            rate_pps=bottleneck_rate,
-            buffer_packets=bottleneck_buffer,
-            loss_model=data_loss or NoLoss(),
-            deliver=receiver.on_data,
-            on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
-            telemetry=tel,
-            direction="data",
-        )
-    else:
-        data_link = Link(
-            sim,
-            delay=config.forward_delay,
-            loss_model=data_loss or NoLoss(),
-            jitter=_jitter_fn(rng.spawn("data-jitter"), config.jitter_sigma),
-            deliver=receiver.on_data,
-            on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
-            telemetry=tel,
-            direction="data",
-        )
-    redundant_link: Optional[Link] = None
-    if redundant_data_loss is not None:
-        redundant_link = Link(
-            sim,
-            delay=config.forward_delay,
-            loss_model=redundant_data_loss,
-            jitter=_jitter_fn(rng.spawn("alt-jitter"), config.jitter_sigma),
-            deliver=receiver.on_data,
-            on_drop=lambda segment, time: log.record_data_drop(segment.transmission_id),
-            telemetry=tel,
-            direction="data",
-        )
-
-    # Registered third-party senders may not accept a telemetry kwarg,
-    # so it is only forwarded when a sink is actually active.
-    sender_kwargs = {} if tel is None else {"telemetry": tel}
-    sender = make_sender(
-        variant,
-        sim,
-        data_link,
-        log,
-        wmax=config.wmax,
-        initial_cwnd=config.initial_cwnd,
-        rto=RtoEstimator(initial_rto=config.initial_rto, min_rto=config.min_rto),
-        redundant_retransmit_link=redundant_link,
-        **sender_kwargs,
     )
 
     if watchdog is None:
@@ -243,7 +373,6 @@ def run_flow(
 
         watchdog = current_watchdog()
 
-    sender.start()
     run_kwargs = watchdog.run_kwargs() if watchdog is not None else {}
     try:
         sim.run(until=config.duration, **run_kwargs)
@@ -251,4 +380,4 @@ def run_flow(
         if tel is not None:
             tel.on_budget_exceeded(error.kind)
         raise
-    return FlowResult(config=config, log=log, duration=config.duration, telemetry=tel)
+    return harness.result()

@@ -50,6 +50,7 @@ class Receiver:
         "_pending_unacked",
         "_delack_timer",
         "_ack_transmission_counter",
+        "_pool",
     )
 
     def __init__(
@@ -60,6 +61,7 @@ class Receiver:
         b: int = 2,
         delack_timeout: float = DEFAULT_DELACK_TIMEOUT,
         subflow_id: int = 0,
+        pool=None,
     ) -> None:
         if b < 1:
             raise ConfigurationError(f"b must be >= 1, got {b}")
@@ -80,28 +82,38 @@ class Receiver:
         self._pending_unacked = 0
         self._delack_timer: Optional[EventHandle] = None
         self._ack_transmission_counter = 0
+        #: optional :class:`~repro.simulator.packet.PacketPool` shared
+        #: with the flow's sender/links; ACKs are acquired from it and
+        #: delivered data segments recycled into it
+        self._pool = pool
 
     # -- data path ------------------------------------------------------
 
     def on_data(self, segment: Segment, arrival_time: float) -> None:
         """Handle an arriving data segment (the Link's deliver callback)."""
         self._log.record_data_arrival(segment.transmission_id, arrival_time)
-        if segment.seq in self._delivered:
+        seq = segment.seq
+        if self._pool is not None:
+            # The receiver is the terminal owner of a delivered data
+            # segment; only its plain-int fields are needed past this
+            # point, so recycle it before the ACK logic runs.
+            self._pool.release_segment(segment)
+        if seq in self._delivered:
             # Second copy of an already-received payload: the smoking
             # gun of a spurious retransmission (paper Section III-B.2).
             self._log.duplicate_payloads += 1
             self._send_ack(is_duplicate=False)  # re-ACK to resynchronise
             return
-        self._delivered.add(segment.seq)
-        if segment.seq == self.expected_seq:
+        self._delivered.add(seq)
+        if seq == self.expected_seq:
             self._advance_in_order()
             self._pending_unacked += 1
             if self._pending_unacked >= self.b:
                 self._send_ack(is_duplicate=False)
             else:
                 self._arm_delack_timer()
-        elif segment.seq > self.expected_seq:
-            self._out_of_order.add(segment.seq)
+        elif seq > self.expected_seq:
+            self._out_of_order.add(seq)
             self._log.delivered_payloads += 1
             # Out-of-order data: immediate duplicate ACK (fast-retransmit
             # signal for the sender).
@@ -137,13 +149,23 @@ class Receiver:
             self._delack_timer = None
         self._pending_unacked = 0
         now = self._simulator.now
-        ack = AckSegment(
-            ack_seq=self.expected_seq,
-            transmission_id=self._ack_transmission_counter,
-            send_time=now,
-            is_duplicate=is_duplicate,
-            subflow_id=self.subflow_id,
-        )
+        pool = self._pool
+        if pool is not None:
+            ack = pool.ack(
+                self.expected_seq,
+                self._ack_transmission_counter,
+                now,
+                is_duplicate,
+                self.subflow_id,
+            )
+        else:
+            ack = AckSegment(
+                ack_seq=self.expected_seq,
+                transmission_id=self._ack_transmission_counter,
+                send_time=now,
+                is_duplicate=is_duplicate,
+                subflow_id=self.subflow_id,
+            )
         self._ack_transmission_counter += 1
         self._log.record_ack_send(
             AckRecord(

@@ -70,6 +70,8 @@ class RenoSender:
         "_send_info",
         "_telemetry",
         "_tel_records",
+        "_pool",
+        "_send_burst",
     )
 
     def __init__(
@@ -117,6 +119,12 @@ class RenoSender:
         self._tel_records: Optional[Dict[int, DataPacketRecord]] = (
             {} if self._telemetry is not None else None
         )
+        # Packet pooling is discovered from the link rather than taken
+        # as a constructor argument, so the CC registry's sender
+        # signature stays pool-agnostic; links wired without a pool
+        # (third-party harnesses, manual tests) simply allocate.
+        self._pool = getattr(data_link, "packet_pool", None)
+        self._send_burst = getattr(data_link, "send_burst", None)
         self._log.record_cwnd(simulator.now, self.cwnd, self._phase)
 
     # -- public surface ---------------------------------------------------
@@ -158,11 +166,62 @@ class RenoSender:
         # snd_una only change from ACK/timeout events, which are never
         # processed inside this loop), so hoist the floor() out of it.
         limit = self.snd_una + math.floor(min(self.cwnd, self.wmax))
-        while self.snd_nxt < limit:
-            self._transmit(self.snd_nxt, is_retransmission=self.snd_nxt < self.snd_max)
-            self.snd_nxt += 1
-            if self.snd_nxt > self.snd_max:
-                self.snd_max = self.snd_nxt
+        nxt = self.snd_nxt
+        count = limit - nxt
+        if count <= 0:
+            self._ensure_rto_armed()
+            return
+        if count == 1 or self._send_burst is None:
+            while self.snd_nxt < limit:
+                self._transmit(
+                    self.snd_nxt, is_retransmission=self.snd_nxt < self.snd_max
+                )
+                self.snd_nxt += 1
+                if self.snd_nxt > self.snd_max:
+                    self.snd_max = self.snd_nxt
+            self._ensure_rto_armed()
+            return
+        # Burst path: build the whole round, then hand it to the link
+        # in one call so loss draws, telemetry, and event scheduling
+        # batch.  ``seq < snd_max`` (the pre-burst value) is exactly
+        # the retransmission flag the scalar loop computes, because
+        # snd_max only trails snd_nxt upward inside the loop.
+        now = self._simulator.now
+        snd_max = self.snd_max
+        subflow_id = self.subflow_id
+        pool = self._pool
+        send_info = self._send_info
+        tel_records = self._tel_records
+        record_send = self._log.record_data_send
+        tid = self._transmission_counter
+        segments = []
+        append = segments.append
+        for seq in range(nxt, limit):
+            retx = seq < snd_max
+            if pool is not None:
+                segment = pool.segment(seq, tid, now, retx, False, subflow_id)
+            else:
+                segment = Segment(seq, tid, now, retx, False, subflow_id)
+            previous = send_info.get(seq)
+            send_info[seq] = (now, retx or (previous is not None and previous[1]))
+            record = DataPacketRecord(
+                transmission_id=tid,
+                seq=seq,
+                send_time=now,
+                is_retransmission=retx,
+                in_timeout_recovery=False,
+                subflow_id=subflow_id,
+            )
+            record_send(record)
+            if tel_records is not None:
+                tel_records[seq] = record
+            tid += 1
+            append(segment)
+        self._transmission_counter = tid
+        self.snd_nxt = limit
+        if limit > snd_max:
+            self.snd_max = limit
+        self._send_burst(segments)
         self._ensure_rto_armed()
 
     # -- ACK processing -----------------------------------------------------
@@ -331,14 +390,25 @@ class RenoSender:
     def _transmit(self, seq: int, is_retransmission: bool) -> None:
         now = self._simulator.now
         in_recovery = self._phase == _TIMEOUT_RECOVERY
-        segment = Segment(
-            seq=seq,
-            transmission_id=self._transmission_counter,
-            send_time=now,
-            is_retransmission=is_retransmission,
-            in_timeout_recovery=in_recovery and is_retransmission,
-            subflow_id=self.subflow_id,
-        )
+        pool = self._pool
+        if pool is not None:
+            segment = pool.segment(
+                seq,
+                self._transmission_counter,
+                now,
+                is_retransmission,
+                in_recovery and is_retransmission,
+                self.subflow_id,
+            )
+        else:
+            segment = Segment(
+                seq=seq,
+                transmission_id=self._transmission_counter,
+                send_time=now,
+                is_retransmission=is_retransmission,
+                in_timeout_recovery=in_recovery and is_retransmission,
+                subflow_id=self.subflow_id,
+            )
         self._transmission_counter += 1
         previous = self._send_info.get(seq)
         self._send_info[seq] = (now, is_retransmission or (previous is not None and previous[1]))

@@ -16,9 +16,20 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, List, Optional, Sequence
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence
+
+try:  # optional acceleration for block post-processing (never generation)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
 
 __all__ = ["RngStream", "spawn_streams", "derive_seed"]
+
+#: ``4 * exp(-0.5) / sqrt(2)`` — CPython's Kinderman–Monahan constant,
+#: recomputed here with the same expression so :meth:`RngStream.lognormal_block`
+#: is bit-identical to ``random.Random.lognormvariate`` on every platform.
+_NV_MAGICCONST = 4 * math.exp(-0.5) / math.sqrt(2.0)
 
 _MIX_CONSTANT = 0x9E3779B97F4A7C15  # 64-bit golden-ratio constant
 
@@ -58,6 +69,9 @@ class RngStream:
         self.seed = int(seed)
         self.name = name
         self._random = random.Random(self.seed)
+        #: preallocated per-size ``array('d')`` buffers reused by the
+        #: ``*_block`` methods (one float buffer per distinct block size)
+        self._block_buffers: Dict[int, array] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStream(name={self.name!r}, seed={self.seed})"
@@ -86,44 +100,95 @@ class RngStream:
     # yields exactly the values n successive random() calls would, and
     # the derived blocks apply the same per-element expressions (and
     # the same 0/1 short-circuits) as their scalar counterparts.
+    #
+    # Buffer contract: the float-block methods fill and return a
+    # *preallocated* ``array('d')`` owned by this stream (one buffer per
+    # block size), so a refill loop allocates no fresh list per call.
+    # The returned buffer is overwritten by the next same-size call on
+    # the same stream — copy it if it must survive.  Hot consumers
+    # (``repro.simulator.channel._BufferedLoss``) replace their
+    # reference on every refill, which is exactly this contract.
 
-    def random_block(self, n: int) -> List[float]:
-        """Draw ``n`` uniforms from ``[0, 1)`` in one Python-level call.
-
-        Identical values, in order, to ``n`` calls of :meth:`random`.
-        """
+    def _checked_block(self, n: int) -> array:
+        """Validate ``n`` once and return this stream's reusable buffer."""
         if n < 0:
             raise ValueError(f"block size must be >= 0, got {n}")
+        buffers = self._block_buffers
+        buffer = buffers.get(n)
+        if buffer is None:
+            buffer = buffers[n] = array("d", bytes(8 * n))
+        return buffer
+
+    def random_block(self, n: int) -> Sequence[float]:
+        """Draw ``n`` uniforms from ``[0, 1)`` in one Python-level call.
+
+        Identical values, in order, to ``n`` calls of :meth:`random`,
+        returned in the stream's preallocated ``array('d')`` buffer.
+        """
+        buffer = self._checked_block(n)
         random = self._random.random
-        return [random() for _ in range(n)]
+        buffer[:] = array("d", [random() for _ in range(n)])
+        return buffer
 
     def bernoulli_block(self, probability: float, n: int) -> List[bool]:
         """``n`` Bernoulli outcomes, identical to ``n`` scalar calls.
 
         Mirrors :meth:`bernoulli` exactly: probabilities ``<= 0`` and
         ``>= 1`` short-circuit without consuming any underlying draws.
+        The comparison is vectorised through numpy when available.
         """
-        if n < 0:
-            raise ValueError(f"block size must be >= 0, got {n}")
+        self._checked_block(n)
         if probability <= 0.0:
             return [False] * n
         if probability >= 1.0:
             return [True] * n
         random = self._random.random
+        if _np is not None and n >= 32:
+            draws = self.random_block(n)
+            return (_np.frombuffer(draws) < probability).tolist()
         return [random() < probability for _ in range(n)]
 
-    def expovariate_block(self, rate: float, n: int) -> List[float]:
+    def expovariate_block(self, rate: float, n: int) -> Sequence[float]:
         """``n`` exponential draws, identical to ``n`` scalar calls.
 
         Uses the same expression CPython's ``Random.expovariate`` uses
         (``-log(1 - random()) / rate``), so each element is bit-identical
-        to the corresponding :meth:`expovariate` call.
+        to the corresponding :meth:`expovariate` call.  Returned in the
+        stream's preallocated ``array('d')`` buffer.
         """
-        if n < 0:
-            raise ValueError(f"block size must be >= 0, got {n}")
+        buffer = self._checked_block(n)
         random = self._random.random
         log = math.log
-        return [-log(1.0 - random()) / rate for _ in range(n)]
+        buffer[:] = array("d", [-log(1.0 - random()) / rate for _ in range(n)])
+        return buffer
+
+    def lognormal_block(self, mu: float, sigma: float, n: int) -> Sequence[float]:
+        """``n`` log-normal draws, identical to ``n`` :meth:`lognormal` calls.
+
+        Replicates CPython's Kinderman–Monahan rejection loop
+        (``random.Random.normalvariate``) bit for bit — same draws
+        consumed, same accept condition, same arithmetic — then
+        exponentiates, so batching the per-packet jitter stream cannot
+        change a single delivery time.  Returned in the stream's
+        preallocated ``array('d')`` buffer.
+        """
+        buffer = self._checked_block(n)
+        random = self._random.random
+        log = math.log
+        exp = math.exp
+        magic = _NV_MAGICCONST
+        values = []
+        append = values.append
+        for _ in range(n):
+            while True:
+                u1 = random()
+                u2 = 1.0 - random()
+                z = magic * (u1 - 0.5) / u2
+                if z * z / 4.0 <= -log(u2):
+                    break
+            append(exp(mu + z * sigma))
+        buffer[:] = array("d", values)
+        return buffer
 
     def randint(self, low: int, high: int) -> int:
         """Draw an integer uniformly from ``[low, high]`` inclusive."""

@@ -1,0 +1,238 @@
+"""Lockstep campaign mode: byte-identity, eligibility, and fallback.
+
+The lockstep backend's whole value rests on one claim — N independent
+flows advanced on one shared event wheel produce exactly the outcomes
+of N solo runs — so these tests compare against the serial backend
+pickle-for-pickle, and then probe every edge where lockstep must step
+aside (ineligible specs, ambient watchdogs, failing groups, forced
+pools).
+"""
+
+import pickle
+
+import pytest
+
+from repro.exec import Executor, FlowSpec, LockstepBackend
+from repro.exec.executor import AutoBackend, _execute_payload
+from repro.hsr import CHINA_MOBILE, CHINA_TELECOM, hsr_scenario
+from repro.robustness import Watchdog, watchdog_scope
+from repro.simulator import ConnectionConfig, FlowHarness, Simulator, run_lockstep
+from repro.util.errors import ConfigurationError
+
+
+def _specs(n=6, duration=4.0, **kwargs):
+    return [
+        FlowSpec(
+            scenario=hsr_scenario(CHINA_TELECOM),
+            duration=duration,
+            seed=100 + index,
+            flow_id=f"lockstep/{index}",
+            **kwargs,
+        )
+        for index in range(n)
+    ]
+
+
+def _log_pickles(execution):
+    return [
+        pickle.dumps(outcome.result.log) if outcome.result is not None else None
+        for outcome in execution.outcomes
+    ]
+
+
+class TestRunLockstepPrimitive:
+    def test_empty_setups_short_circuit(self):
+        assert run_lockstep([], 5.0) == []
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_lockstep([lambda sim: None], 0.0)
+
+    def test_two_flows_match_solo_runs(self):
+        config = ConnectionConfig(duration=3.0)
+
+        def setup_for(seed):
+            return lambda sim: FlowHarness(config, simulator=sim, seed=seed)
+
+        shared = run_lockstep([setup_for(1), setup_for(2)], 3.0)
+        solo = []
+        for seed in (1, 2):
+            sim = Simulator()
+            harness = FlowHarness(config, simulator=sim, seed=seed)
+            sim.run(until=3.0)
+            solo.append(harness.result())
+        for left, right in zip(shared, solo):
+            assert pickle.dumps(left.log) == pickle.dumps(right.log)
+
+
+class TestLockstepByteIdentity:
+    def test_homogeneous_batch_matches_serial(self):
+        specs = _specs()
+        serial = Executor.for_workers(1).run(specs)
+        lockstep = Executor.for_workers("lockstep").run(specs)
+        assert serial.report.to_json() == lockstep.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(lockstep)
+
+    def test_mixed_durations_grouped_and_identical(self):
+        specs = _specs(3, duration=3.0) + _specs(3, duration=5.0)
+        serial = Executor.for_workers(1).run(specs)
+        lockstep = Executor.for_workers("lockstep").run(specs)
+        assert serial.report.to_json() == lockstep.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(lockstep)
+
+    def test_mixed_scenarios_and_cc_identical(self):
+        specs = [
+            FlowSpec(
+                scenario=hsr_scenario(CHINA_MOBILE if index % 2 else CHINA_TELECOM),
+                duration=4.0,
+                seed=50 + index,
+                cc="newreno" if index % 2 else "reno",
+                flow_id=f"mixed/{index}",
+            )
+            for index in range(4)
+        ]
+        serial = Executor.for_workers(1).run(specs)
+        lockstep = Executor.for_workers("lockstep").run(specs)
+        assert serial.report.to_json() == lockstep.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(lockstep)
+
+    def test_telemetry_specs_fall_back_and_match(self):
+        # Telemetry collection is per-simulator, so those specs are
+        # ineligible — they must still run (per-item) and match serial.
+        specs = _specs(4)
+        serial = Executor.for_workers(1, telemetry=True).run(specs)
+        lockstep = Executor.for_workers("lockstep", telemetry=True).run(specs)
+        assert serial.report.to_json() == lockstep.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(lockstep)
+        assert all(
+            outcome.result.telemetry is not None for outcome in lockstep.outcomes
+        )
+
+
+class TestEligibilityAndPlan:
+    def test_plan_partitions_by_duration(self):
+        backend = LockstepBackend()
+        specs = _specs(2, duration=3.0) + _specs(2, duration=5.0)
+        payloads = [(index, spec, None) for index, spec in enumerate(specs)]
+        chunks, singles = backend.plan(_execute_payload, payloads)
+        assert singles == []
+        assert chunks == [[0, 1], [2, 3]]
+
+    def test_watchdog_spec_is_single(self):
+        backend = LockstepBackend()
+        specs = _specs(2)
+        specs.append(specs[0].with_(watchdog=Watchdog(max_events=10**7)))
+        payloads = [(index, spec, None) for index, spec in enumerate(specs)]
+        chunks, singles = backend.plan(_execute_payload, payloads)
+        assert chunks == [[0, 1]]
+        assert singles == [2]
+
+    def test_ambient_watchdog_disables_the_plan(self):
+        backend = LockstepBackend()
+        payloads = [(index, spec, None) for index, spec in enumerate(_specs(2))]
+        with watchdog_scope(Watchdog(max_events=10**7)):
+            assert backend.plan(_execute_payload, payloads) is None
+
+    def test_foreign_fn_falls_back_to_serial(self):
+        backend = LockstepBackend()
+        assert backend.map(lambda item: item * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_group_size_caps_chunks(self):
+        backend = LockstepBackend(group_size=2)
+        payloads = [(index, spec, None) for index, spec in enumerate(_specs(5))]
+        chunks, singles = backend.plan(_execute_payload, payloads)
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        assert singles == []
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LockstepBackend(group_size=0)
+
+
+class TestGroupFallback:
+    def test_failing_spec_quarantined_groupmates_unharmed(self):
+        # An unknown cc variant raises while the group is being wired:
+        # the whole shared simulator is discarded and every payload
+        # re-runs per-item, so the bad spec quarantines exactly as it
+        # would serially and its groupmates' bytes are untouched.
+        specs = _specs(4)
+        specs[2] = specs[2].with_(cc="no-such-sender")
+        serial = Executor.for_workers(1).run(specs)
+        lockstep = Executor.for_workers("lockstep").run(specs)
+        assert serial.report.to_json() == lockstep.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(lockstep)
+        assert lockstep.outcomes[2].quarantine is not None
+        assert all(
+            lockstep.outcomes[index].ok for index in (0, 1, 3)
+        )
+
+
+def _fake_clock(values):
+    """A clock() stub that replays ``values`` then repeats the last."""
+    remaining = list(values)
+
+    def clock():
+        if len(remaining) > 1:
+            return remaining.pop(0)
+        return remaining[0]
+
+    return clock
+
+
+class TestAutoPicksLockstep:
+    # The lockstep race reads the clock 4 times: around the serial
+    # head and around the shared-wheel group.  [0, 10, 10, 10.1] makes
+    # the serial head look slow and the group fast (and vice versa),
+    # so the timing-based decision is exercised deterministically.
+
+    def test_large_homogeneous_batch_when_probe_favors_lockstep(self):
+        specs = _specs(AutoBackend.LOCKSTEP_MIN_ITEMS)
+        backend = AutoBackend(clock=_fake_clock([0.0, 10.0, 10.0, 10.1]))
+        execution = Executor(backend=backend).run(specs)
+        assert backend.last_decision is not None
+        assert backend.last_decision["mode"] == "lockstep"
+        assert all(outcome.ok for outcome in execution.outcomes)
+        serial = Executor.for_workers(1).run(specs)
+        assert serial.report.to_json() == execution.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(execution)
+
+    def test_serial_when_probe_favors_serial(self):
+        specs = _specs(AutoBackend.LOCKSTEP_MIN_ITEMS)
+        backend = AutoBackend(clock=_fake_clock([0.0, 0.001, 0.001, 10.0]))
+        execution = Executor(backend=backend).run(specs)
+        assert backend.last_decision["mode"] == "serial"
+        assert backend.last_decision["lockstep_probe_s_per_flow"] > 0
+        serial = Executor.for_workers(1).run(specs)
+        assert serial.report.to_json() == execution.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(execution)
+
+    def test_small_batch_not_a_candidate(self):
+        backend = AutoBackend()
+        payloads = [
+            (index, spec, None)
+            for index, spec in enumerate(_specs(AutoBackend.LOCKSTEP_MIN_ITEMS - 1))
+        ]
+        assert backend.lockstep_candidate(_execute_payload, payloads) is None
+
+    def test_heterogeneous_durations_not_a_candidate(self):
+        backend = AutoBackend()
+        specs = _specs(4, duration=3.0) + _specs(4, duration=5.0)
+        payloads = [(index, spec, None) for index, spec in enumerate(specs)]
+        assert backend.lockstep_candidate(_execute_payload, payloads) is None
+
+    def test_auto_result_matches_serial(self):
+        specs = _specs(AutoBackend.LOCKSTEP_MIN_ITEMS)
+        serial = Executor.for_workers(1).run(specs)
+        auto = Executor.for_workers("auto").run(specs)
+        assert serial.report.to_json() == auto.report.to_json()
+        assert _log_pickles(serial) == _log_pickles(auto)
+
+
+class TestForWorkersArg:
+    def test_lockstep_string_selects_backend(self):
+        executor = Executor.for_workers("lockstep")
+        assert isinstance(executor.backend, LockstepBackend)
+
+    def test_unknown_string_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Executor.for_workers("warp-speed")

@@ -222,3 +222,99 @@ class TestLink:
         sim.schedule(0.001, lambda: link.send(2))
         sim.run()
         assert arrivals == [1, 2]
+
+
+class TestGilbertElliottBoundaries:
+    """Edge semantics of the continuous-time state advance."""
+
+    def _model(self, seed=77, **kwargs):
+        defaults = dict(
+            mean_good_duration=2.0, mean_bad_duration=0.5,
+            loss_good=0.0, loss_bad=1.0,
+        )
+        defaults.update(kwargs)
+        return GilbertElliottLoss(RngStream(seed, "ge"), **defaults)
+
+    def test_expiry_instant_belongs_to_next_state(self):
+        # The sojourn interval is half-open: a packet sent exactly when
+        # the state expires sees the *new* state, matching the `>=`
+        # guard in is_lost.
+        model = self._model()
+        expires = model._state_expires
+        assert not model._in_bad_state
+        model._advance_to(expires)
+        assert model._in_bad_state
+        assert model._state_expires > expires
+
+    def test_advance_skips_multiple_epochs(self):
+        # A long quiet gap (an idle connection) must land in the state
+        # that continuous time dictates, not merely the next one.
+        model = self._model()
+        horizon = model._state_expires + 50.0
+        model._advance_to(horizon)
+        assert model._state_expires > horizon
+
+    def test_block_at_expiry_matches_scalar(self):
+        # A burst whose timestamps straddle the state boundary draws
+        # exactly the outcomes the scalar walk would.
+        scalar = self._model(seed=91, loss_good=0.3, loss_bad=0.9)
+        block = self._model(seed=91, loss_good=0.3, loss_bad=0.9)
+        edge = scalar._state_expires
+        times = [edge - 1e-9, edge, edge, edge + 1e-9]
+        expected = [scalar.is_lost(now) for now in times]
+        assert list(block.is_lost_block(times)) == expected
+        assert block._state_expires == scalar._state_expires
+        assert block._in_bad_state == scalar._in_bad_state
+
+    def test_zero_length_burst_is_a_noop(self):
+        model = self._model()
+        state = (model._in_bad_state, model._state_expires)
+        assert list(model.is_lost_block([])) == []
+        assert (model._in_bad_state, model._state_expires) == state
+
+
+class TestHandoffBoundaries:
+    """Half-open outage windows and cursor behaviour at the edges."""
+
+    def test_outage_start_is_inclusive(self):
+        model = HandoffLoss(rng(), outages=[(1.0, 2.0)])
+        assert model.in_outage(1.0)
+
+    def test_outage_end_is_exclusive(self):
+        # A packet sent exactly when the outage ends is already clear:
+        # the window is [start, end), mirroring the state-expiry rule.
+        model = HandoffLoss(rng(), outages=[(1.0, 2.0)])
+        assert not model.in_outage(2.0)
+
+    def test_edge_exactly_at_now_loses_then_survives(self):
+        model = HandoffLoss(rng(), outages=[(1.0, 2.0)], base_rate=0.0)
+        assert model.is_lost(1.0)
+        assert not model.is_lost(2.0)
+
+    def test_adjacent_outages_have_no_gap(self):
+        # (1,2) and (2,3) touching: t=2.0 belongs to the second window.
+        model = HandoffLoss(rng(), outages=[(1.0, 2.0), (2.0, 3.0)])
+        assert model.in_outage(1.999999)
+        assert model.in_outage(2.0)
+        assert not model.in_outage(3.0)
+
+    def test_zero_length_burst_is_a_noop(self):
+        model = HandoffLoss(rng(), outages=[(1.0, 2.0)])
+        model.in_outage(0.5)
+        cursor = model._cursor_outage
+        assert list(model.is_lost_block([])) == []
+        assert model._cursor_outage == cursor
+
+    def test_block_at_window_edge_matches_scalar(self):
+        scalar = HandoffLoss(RngStream(5, "h"), outages=[(1.0, 2.0)], base_rate=0.2)
+        block = HandoffLoss(RngStream(5, "h"), outages=[(1.0, 2.0)], base_rate=0.2)
+        for edge in (1.0, 2.0):
+            times = [edge] * 6
+            expected = [scalar.is_lost(now) for now in times]
+            assert list(block.is_lost_block(times)) == expected
+
+    def test_cursor_past_last_outage(self):
+        model = HandoffLoss(rng(), outages=[(1.0, 2.0)])
+        assert not model.in_outage(10.0)
+        assert not model.in_outage(11.0)
+        assert model._cursor_outage == 1

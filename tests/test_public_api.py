@@ -79,6 +79,7 @@ API_SNAPSHOT = {
         "Executor",
         "FlowOutcome",
         "FlowSpec",
+        "LockstepBackend",
         "ProcessPoolBackend",
         "ResolvedFlow",
         "SerialBackend",
@@ -100,6 +101,7 @@ API_SNAPSHOT = {
         "CwndSample",
         "DataPacketRecord",
         "EventHandle",
+        "FlowHarness",
         "FlowLog",
         "FlowResult",
         "GilbertElliottLoss",
@@ -110,6 +112,7 @@ API_SNAPSHOT = {
         "MptcpResult",
         "NewRenoSender",
         "NoLoss",
+        "PacketPool",
         "Receiver",
         "RecoveryPhaseRecord",
         "RenoSender",
@@ -126,6 +129,7 @@ API_SNAPSHOT = {
         "run_backup",
         "run_duplex",
         "run_flow",
+        "run_lockstep",
         "unregister_cc",
     ],
     "repro.robustness": [
@@ -212,7 +216,7 @@ API_SNAPSHOT = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
