@@ -25,7 +25,13 @@ on 1 CPU measures oversubscription, nothing else.
 Usage::
 
     python benchmarks/bench_campaign.py [--flow-scale 0.2]
-        [--duration 20] [--workers N] [--output BENCH_campaign.json]
+        [--duration 20] [--workers N] [--cc bbr]
+        [--output BENCH_campaign.json]
+
+The ``--cc`` flag points every leg at another registered congestion
+control (see ``python -m repro.cc list``); the identity gate is the
+same, so the determinism contract is benchmarked — and enforced — for
+the whole zoo, not just Reno.
 """
 
 from __future__ import annotations
@@ -42,18 +48,18 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 from _common import append_history, write_artifact  # noqa: E402
 
 
-def _timed_campaign(flow_scale: float, duration: float, workers):
+def _timed_campaign(flow_scale: float, duration: float, workers, cc: str):
     from repro.traces.generator import generate_dataset
 
     start = time.perf_counter()
     dataset = generate_dataset(
-        seed=2015, duration=duration, flow_scale=flow_scale, workers=workers
+        seed=2015, duration=duration, flow_scale=flow_scale, workers=workers, cc=cc
     )
     elapsed = time.perf_counter() - start
     return dataset, elapsed
 
 
-def _timed_auto_campaign(flow_scale: float, duration: float):
+def _timed_auto_campaign(flow_scale: float, duration: float, cc: str):
     """The auto leg, run through an explicit backend so the probe's
     decision record can be captured for the artefact."""
     from repro.exec import AutoBackend, Executor
@@ -61,7 +67,7 @@ def _timed_auto_campaign(flow_scale: float, duration: float):
 
     backend = AutoBackend()
     start = time.perf_counter()
-    specs = campaign_specs(seed=2015, duration=duration, flow_scale=flow_scale)
+    specs = campaign_specs(seed=2015, duration=duration, flow_scale=flow_scale, cc=cc)
     execution = Executor(backend=backend).run(specs)
     elapsed = time.perf_counter() - start
     dataset = SyntheticDataset(
@@ -70,19 +76,19 @@ def _timed_auto_campaign(flow_scale: float, duration: float):
     return dataset, elapsed, backend.last_decision
 
 
-def _timed_lockstep_campaign(flow_scale: float, duration: float):
+def _timed_lockstep_campaign(flow_scale: float, duration: float, cc: str):
     """The lockstep leg: eligible flows share one event wheel."""
     from repro.traces.generator import generate_dataset
 
     start = time.perf_counter()
     dataset = generate_dataset(
-        seed=2015, duration=duration, flow_scale=flow_scale, workers="lockstep"
+        seed=2015, duration=duration, flow_scale=flow_scale, workers="lockstep", cc=cc
     )
     elapsed = time.perf_counter() - start
     return dataset, elapsed
 
 
-def _timed_cached_campaign(flow_scale: float, duration: float):
+def _timed_cached_campaign(flow_scale: float, duration: float, cc: str):
     """Cold (populate) then warm (all hits) run through a ResultStore."""
     import tempfile
 
@@ -91,12 +97,12 @@ def _timed_cached_campaign(flow_scale: float, duration: float):
     with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
         start = time.perf_counter()
         generate_dataset(
-            seed=2015, duration=duration, flow_scale=flow_scale, store=tmp
+            seed=2015, duration=duration, flow_scale=flow_scale, store=tmp, cc=cc
         )
         cold_s = time.perf_counter() - start
         start = time.perf_counter()
         warm_dataset = generate_dataset(
-            seed=2015, duration=duration, flow_scale=flow_scale, store=tmp
+            seed=2015, duration=duration, flow_scale=flow_scale, store=tmp, cc=cc
         )
         warm_s = time.perf_counter() - start
     return warm_dataset, cold_s, warm_s
@@ -109,16 +115,16 @@ def _trace_pickles(dataset):
 
 
 def run_benchmark(
-    flow_scale: float = 0.2, duration: float = 20.0, workers=None
+    flow_scale: float = 0.2, duration: float = 20.0, workers=None, cc: str = "reno"
 ) -> dict:
     cpu_count = os.cpu_count() or 1
     if workers is None:
         workers = min(4, cpu_count)
-    serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1)
-    parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers)
-    lockstep_dataset, lockstep_s = _timed_lockstep_campaign(flow_scale, duration)
-    auto_dataset, auto_s, auto_decision = _timed_auto_campaign(flow_scale, duration)
-    warm_dataset, cold_s, warm_s = _timed_cached_campaign(flow_scale, duration)
+    serial_dataset, serial_s = _timed_campaign(flow_scale, duration, 1, cc)
+    parallel_dataset, parallel_s = _timed_campaign(flow_scale, duration, workers, cc)
+    lockstep_dataset, lockstep_s = _timed_lockstep_campaign(flow_scale, duration, cc)
+    auto_dataset, auto_s, auto_decision = _timed_auto_campaign(flow_scale, duration, cc)
+    warm_dataset, cold_s, warm_s = _timed_cached_campaign(flow_scale, duration, cc)
 
     serial_pickles = _trace_pickles(serial_dataset)
     serial_report = serial_dataset.report.to_json()
@@ -136,6 +142,7 @@ def run_benchmark(
     return {
         "benchmark": "campaign",
         "cpu_count": cpu_count,
+        "cc": cc,
         "flows": flows,
         "flow_duration_s": duration,
         "serial": {
@@ -178,15 +185,20 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="process count for the parallel run "
                              "(default min(4, cpu_count))")
+    parser.add_argument("--cc", default="reno",
+                        help="congestion control for every leg (default "
+                             "reno; any registered repro.cc name — the "
+                             "identity gate applies to all of them)")
     parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_campaign.json"),
                         help="where to write the JSON artefact")
     args = parser.parse_args(argv)
 
-    result = run_benchmark(args.flow_scale, args.duration, args.workers)
+    result = run_benchmark(args.flow_scale, args.duration, args.workers, args.cc)
     write_artifact(args.output, result)
     append_history(
         {
             "benchmark": "campaign",
+            "cc": result["cc"],
             "flows": result["flows"],
             "serial_flows_per_s": result["serial"]["flows_per_s"],
             "parallel_flows_per_s": result["parallel"]["flows_per_s"],
@@ -198,7 +210,8 @@ def main(argv=None) -> int:
         args.output,
     )
 
-    print(f"bench: {result['cpu_count']} cpus, {result['flows']} flows — "
+    print(f"bench: {result['cpu_count']} cpus, {result['flows']} flows "
+          f"[{result['cc']}] — "
           f"serial {result['serial']['flows_per_s']:.2f} flows/s, "
           f"{result['parallel']['workers']} workers "
           f"{result['parallel']['flows_per_s']:.2f} flows/s "

@@ -24,7 +24,11 @@ Layers, bottom to top (each imports only downwards):
 * :mod:`repro.util` — seeded RNG streams, statistics, units, errors.
 * :mod:`repro.telemetry` — zero-overhead-when-off instrumentation
   (:class:`Telemetry` hooks, counters, campaign aggregation, progress).
-* :mod:`repro.simulator` — discrete-event TCP Reno / MPTCP simulator.
+* :mod:`repro.simulator` — discrete-event TCP / MPTCP simulator with a
+  congestion-control zoo (Reno, NewReno, CUBIC, BBR, Compound,
+  Relentless).
+* :mod:`repro.cc` — the congestion-control registry: :class:`CCInfo`
+  metadata, per-CC tuning dataclasses, ``python -m repro.cc list``.
 * :mod:`repro.robustness` — fault injection, watchdogs, retry/quarantine.
 * :mod:`repro.exec` — the unified flow-execution pipeline
   (:class:`FlowSpec` → :class:`Executor`, serial/pool byte-identical).
@@ -39,6 +43,14 @@ Layers, bottom to top (each imports only downwards):
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
+from repro.cc import (
+    CCInfo,
+    cc_infos,
+    cc_names,
+    describe_cc,
+    make_sender,
+    register_cc,
+)
 from repro.core import (
     LinkParams,
     ModelOptions,
@@ -98,9 +110,10 @@ from repro.traces import (
     generate_stationary_reference,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "CCInfo",
     "CachedBackend",
     "CampaignReport",
     "CampaignTelemetry",
@@ -128,8 +141,11 @@ __all__ = [
     "TimelineTelemetry",
     "Watchdog",
     "__version__",
+    "cc_infos",
+    "cc_names",
     "compare_models",
     "compile_scenario",
+    "describe_cc",
     "deviation_rate",
     "driving_scenario",
     "enhanced_throughput",
@@ -139,10 +155,12 @@ __all__ = [
     "generate_stationary_reference",
     "hsr_scenario",
     "interrupt_signal",
+    "make_sender",
     "mptcp_gain",
     "padhye_approx_throughput",
     "padhye_full_throughput",
     "padhye_paper_form",
+    "register_cc",
     "run_flow",
     "scenario_names",
     "simulate_spec",

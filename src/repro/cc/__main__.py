@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.cc``."""
+
+import sys
+
+from repro.cc.cli import main
+
+sys.exit(main())

@@ -1,0 +1,124 @@
+"""``python -m repro.cc`` — the congestion-control zoo from the shell.
+
+Subcommands:
+
+* ``list`` — catalog of every registered variant (name, family,
+  tuning-params type, summary), ``--json`` for machines;
+* ``show`` — one variant in full: metadata, reference docs, and the
+  tuning dataclass's fields with their defaults.
+
+Mirrors the :mod:`repro.scenarios` CLI idiom: argparse subcommands
+bound via ``set_defaults(fn=...)``, :class:`~repro.util.errors.ReproError`
+mapped to exit code 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.cc.info import CCInfo
+from repro.cc.registry import cc_infos, describe_cc
+from repro.util.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _params_fields(info: CCInfo) -> list:
+    if info.params_type is None:
+        return []
+    return [
+        {"name": field.name, "default": field.default, "type": field.type}
+        for field in dataclasses.fields(info.params_type)
+    ]
+
+
+def _info_row(info: CCInfo) -> dict:
+    return {
+        "name": info.name,
+        "family": info.family,
+        "params": info.params_type.__name__ if info.params_type else None,
+        "summary": info.summary,
+        "docs": info.docs,
+    }
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [_info_row(info) for info in cc_infos()]
+    if args.family:
+        rows = [row for row in rows if row["family"] == args.family]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    header = f"{'NAME':<12} {'FAMILY':<12} {'PARAMS':<16} SUMMARY"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:<12} {row['family']:<12} "
+            f"{row['params'] or '-':<16} {row['summary']}"
+        )
+    print(f"{len(rows)} variant(s)")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    info = describe_cc(args.name)
+    if args.json:
+        payload = _info_row(info)
+        payload["factory"] = f"{info.factory.__module__}.{info.factory.__qualname__}"
+        payload["params_fields"] = _params_fields(info)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"name:    {info.name}")
+    print(f"family:  {info.family}")
+    print(f"factory: {info.factory.__module__}.{info.factory.__qualname__}")
+    print(f"summary: {info.summary}")
+    if info.docs:
+        print(f"docs:    {info.docs}")
+    if info.params_type is not None:
+        print(f"params:  {info.params_type.__name__}")
+        for field in _params_fields(info):
+            print(f"  {field['name']:<18} = {field['default']!r}")
+    else:
+        print("params:  none")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cc",
+        description="List and describe the registered congestion controls.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="catalog of registered variants")
+    p_list.add_argument("--json", action="store_true", help="JSON output")
+    p_list.add_argument(
+        "--family", help="only variants of this family "
+        "(loss-based, delay-based, rate-based)"
+    )
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_show = sub.add_parser("show", help="one variant in full")
+    p_show.add_argument("name", help="registered variant name")
+    p_show.add_argument("--json", action="store_true", help="JSON output")
+    p_show.set_defaults(fn=_cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

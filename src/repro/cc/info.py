@@ -1,0 +1,187 @@
+"""Congestion-control metadata: :class:`CCInfo` and per-CC tuning params.
+
+Every sender in the registry is described by one :class:`CCInfo`
+record: the short registry name, the factory (usually the sender class
+itself), the algorithm family, a one-line summary, an optional
+keyword-only tuning dataclass, and a pointer to the reference the
+implementation follows.  The record — not the bare factory — is what
+:func:`repro.cc.register_cc` stores, so tooling (the ``python -m
+repro.cc`` CLI, the README zoo table, experiment reports) can describe
+a variant without instantiating it.
+
+Tuning dataclasses are frozen and keyword-only.  A
+:class:`~repro.exec.FlowSpec` carries one on its ``cc_params`` field;
+the store's canonical encoder hashes dataclasses field by field, so two
+specs differing only in a tuning knob land under different flow keys.
+:func:`repro.cc.make_sender` spreads the fields into the sender
+constructor as keyword arguments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "CC_FAMILIES",
+    "CCInfo",
+    "BbrParams",
+    "CompoundParams",
+    "CubicParams",
+    "RelentlessParams",
+]
+
+#: The recognised algorithm families (how the window is governed).
+CC_FAMILIES: Tuple[str, ...] = ("loss-based", "delay-based", "rate-based")
+
+
+@dataclass(frozen=True)
+class CCInfo:
+    """One registered congestion-control variant, described.
+
+    ``factory`` must follow the sender constructor protocol documented
+    on :class:`repro.simulator.sender_base.BaseSender`.  ``params_type``
+    is the variant's tuning dataclass (or ``None`` when it has no
+    tuning knobs); :func:`repro.cc.make_sender` type-checks a supplied
+    ``cc_params`` against it.
+    """
+
+    name: str
+    factory: Callable
+    family: str = "loss-based"
+    summary: str = ""
+    params_type: Optional[type] = None
+    docs: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"cc name must be a non-empty string, got {self.name!r}"
+            )
+        if not callable(self.factory):
+            raise ConfigurationError(
+                f"cc factory for {self.name!r} is not callable; register a "
+                "sender class or factory following the constructor protocol "
+                "documented on repro.simulator.sender_base.BaseSender"
+            )
+        if self.family not in CC_FAMILIES:
+            raise ConfigurationError(
+                f"cc family for {self.name!r} must be one of "
+                f"{list(CC_FAMILIES)}, got {self.family!r}"
+            )
+        if self.params_type is not None and not (
+            isinstance(self.params_type, type)
+            and dataclasses.is_dataclass(self.params_type)
+        ):
+            raise ConfigurationError(
+                f"params_type for {self.name!r} must be a dataclass type, "
+                f"got {self.params_type!r}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class CubicParams:
+    """CUBIC tuning knobs (RFC 8312 defaults)."""
+
+    #: the cubic scaling constant C (segments/s^3)
+    c: float = 0.4
+    #: multiplicative decrease factor applied to cwnd on loss
+    beta: float = 0.7
+    #: release W_max early when a flow loses twice below its old plateau
+    fast_convergence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.c <= 0.0:
+            raise ConfigurationError(f"cubic c must be positive, got {self.c}")
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigurationError(
+                f"cubic beta must be in (0, 1), got {self.beta}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class BbrParams:
+    """Tuning knobs of the BBR-style rate-based sender."""
+
+    #: window gain while probing for bandwidth (2/ln 2 in BBR v1)
+    startup_gain: float = 2.885
+    #: steady-state cwnd gain over the estimated BDP
+    cwnd_gain: float = 2.0
+    #: seconds after which a stale min-RTT triggers a PROBE_RTT dip
+    probe_rtt_interval: float = 10.0
+    #: seconds the PROBE_RTT window clamp is held
+    probe_rtt_duration: float = 0.2
+    #: bandwidth max-filter horizon, in multiples of the min RTT
+    bw_window_rtts: float = 10.0
+    #: segments handed to the link per paced sub-burst
+    pacing_quantum: int = 4
+
+    def __post_init__(self) -> None:
+        if self.startup_gain <= 1.0:
+            raise ConfigurationError(
+                f"bbr startup_gain must exceed 1, got {self.startup_gain}"
+            )
+        if self.cwnd_gain <= 0.0:
+            raise ConfigurationError(
+                f"bbr cwnd_gain must be positive, got {self.cwnd_gain}"
+            )
+        if self.probe_rtt_interval <= 0.0 or self.probe_rtt_duration <= 0.0:
+            raise ConfigurationError("bbr probe RTT timings must be positive")
+        if self.bw_window_rtts <= 0.0:
+            raise ConfigurationError("bbr bw_window_rtts must be positive")
+        if self.pacing_quantum < 1:
+            raise ConfigurationError(
+                f"bbr pacing_quantum must be >= 1, got {self.pacing_quantum}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class CompoundParams:
+    """TCP Compound tuning knobs (Tan et al. defaults, as used by the
+    asymptotic approximation in PAPERS.md)."""
+
+    #: delay-window growth gain: dwnd += alpha * win^k - 1 per RTT
+    alpha: float = 0.125
+    #: exponent of the binomial growth law
+    k: float = 0.75
+    #: multiplicative decrease applied to the compound window on loss
+    beta: float = 0.5
+    #: queueing-backlog threshold (segments) separating the delay
+    #: regimes: below it dwnd grows, at or above it dwnd drains
+    gamma: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ConfigurationError(
+                f"compound alpha must be positive, got {self.alpha}"
+            )
+        if not 0.0 < self.k < 1.0:
+            raise ConfigurationError(
+                f"compound k must be in (0, 1), got {self.k}"
+            )
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigurationError(
+                f"compound beta must be in (0, 1), got {self.beta}"
+            )
+        if self.gamma <= 0.0:
+            raise ConfigurationError(
+                f"compound gamma must be positive, got {self.gamma}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class RelentlessParams:
+    """Relentless congestion control tuning knobs."""
+
+    #: segments the window loses per detected loss (1.0 = Mathis's
+    #: original proposal: decrease by exactly what was lost)
+    decrement: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.decrement <= 0.0:
+            raise ConfigurationError(
+                f"relentless decrement must be positive, got {self.decrement}"
+            )

@@ -1,0 +1,251 @@
+"""The congestion-control registry: senders selected and described by name.
+
+The paper evaluates Reno ("the basis of the other TCP versions") and
+the follow-up HSR/LTE studies compare many variants under identical
+channels.  To make that a data sweep instead of a code change, every
+sender registers here under a short name and every execution path —
+:func:`repro.simulator.connection.run_flow`,
+:class:`repro.exec.FlowSpec`, the experiment sweeps — selects one by
+name via :func:`make_sender`.
+
+Registrations carry metadata: a :class:`~repro.cc.info.CCInfo` records
+the family, summary, tuning-params dataclass, and reference docs next
+to the factory.  Third-party senders plug in without touching any call
+site::
+
+    from repro.cc import CCInfo, register_cc
+
+    register_cc(CCInfo(name="mytcp", factory=MyTcpSender,
+                       family="loss-based", summary="..."))
+    run_flow(config, ..., variant="mytcp")
+
+The legacy two-argument form ``register_cc("mytcp", MyTcpSender)``
+keeps working and wraps the factory in a default record.  A factory
+must follow the sender constructor protocol documented on
+:class:`repro.simulator.sender_base.BaseSender`.
+
+Built-in senders live in :mod:`repro.simulator` — *above* this module
+in the import graph (the simulator's connection wiring imports
+:func:`make_sender` from here).  They are therefore registered lazily,
+on first registry access, never at import time; importing
+:mod:`repro.cc` alone pulls in no simulator code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.cc.info import CCInfo
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "CC_REGISTRY_VERSION",
+    "cc_infos",
+    "cc_names",
+    "describe_cc",
+    "get_cc",
+    "make_sender",
+    "register_cc",
+    "unregister_cc",
+]
+
+#: Behavioural version of the built-in senders.  The result store
+#: (:mod:`repro.store`) salts every content key with this, so bumping
+#: it — required whenever a sender change alters simulated bytes —
+#: invalidates all cached results computed under the old behaviour.
+#: Version 2: the model zoo (cubic/bbr/compound/relentless) joined the
+#: registry and ``cc_params`` joined the spec hash.
+CC_REGISTRY_VERSION = 2
+
+#: name -> info, in registration order (dict preserves insertion)
+_REGISTRY: Dict[str, CCInfo] = {}
+
+_builtins_registered = False
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in senders exactly once, on first access.
+
+    Deferred because the sender modules live in :mod:`repro.simulator`,
+    which imports this registry for its connection wiring — a
+    module-level import here would be circular.  By first access the
+    :mod:`repro.cc` package is fully initialised, so the simulator's
+    imports back into it resolve.
+    """
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    from repro.cc.info import (
+        BbrParams,
+        CompoundParams,
+        CubicParams,
+        RelentlessParams,
+    )
+    from repro.simulator.bbr import BbrSender
+    from repro.simulator.compound import CompoundSender
+    from repro.simulator.cubic import CubicSender
+    from repro.simulator.newreno import NewRenoSender
+    from repro.simulator.relentless import RelentlessSender
+    from repro.simulator.reno import RenoSender
+
+    for info in (
+        CCInfo(
+            name="reno",
+            factory=RenoSender,
+            family="loss-based",
+            summary="classic AIMD: the paper's kernel sender (slow start, "
+            "fast retransmit/recovery, RTO backoff to 64T)",
+            docs="RFC 5681; paper Section III",
+        ),
+        CCInfo(
+            name="newreno",
+            factory=NewRenoSender,
+            family="loss-based",
+            summary="Reno plus partial-ACK fast recovery: one recovery "
+            "episode per lossy window instead of an RTO",
+            docs="RFC 6582",
+        ),
+        CCInfo(
+            name="cubic",
+            factory=CubicSender,
+            family="loss-based",
+            summary="time-based cubic window growth around the last loss "
+            "plateau, with the TCP-friendly AIMD floor",
+            params_type=CubicParams,
+            docs="RFC 8312",
+        ),
+        CCInfo(
+            name="bbr",
+            factory=BbrSender,
+            family="rate-based",
+            summary="BBR-style model sender: max-bandwidth/min-RTT probing "
+            "state machine, window = gain x BDP, paced sub-bursts",
+            params_type=BbrParams,
+            docs="Cardwell et al., ACM Queue 14(5), 2016",
+        ),
+        CCInfo(
+            name="compound",
+            factory=CompoundSender,
+            family="delay-based",
+            summary="dual window: Reno loss window plus a delay window "
+            "that drains as queueing delay builds",
+            params_type=CompoundParams,
+            docs="Tan et al., INFOCOM 2006; arXiv:1511.01344",
+        ),
+        CCInfo(
+            name="relentless",
+            factory=RelentlessSender,
+            family="loss-based",
+            summary="NewReno recovery that decrements the window by "
+            "exactly the segments lost instead of halving",
+            params_type=RelentlessParams,
+            docs="Mathis, IETF draft 2009; arXiv:1102.3270",
+        ),
+    ):
+        _REGISTRY[info.name] = info
+
+
+def register_cc(
+    name_or_info: Union[str, CCInfo],
+    factory: Optional[Callable] = None,
+    *,
+    replace: bool = False,
+) -> CCInfo:
+    """Register a congestion-control sender.
+
+    Preferred form: pass a :class:`~repro.cc.info.CCInfo` record
+    (``register_cc(CCInfo(name=..., factory=..., ...))``).  The legacy
+    two-argument form ``register_cc(name, factory)`` wraps the factory
+    in a default record.  Either way the factory must follow the
+    sender constructor protocol documented on
+    :class:`repro.simulator.sender_base.BaseSender`.
+
+    ``replace=True`` allows overriding an existing registration (used
+    by tests and by downstream experiments that patch a variant).
+    Returns the stored record.
+    """
+    _ensure_builtins()
+    if isinstance(name_or_info, CCInfo):
+        if factory is not None:
+            raise ConfigurationError(
+                "register_cc takes either a CCInfo or (name, factory), "
+                "not both"
+            )
+        info = name_or_info
+    else:
+        # CCInfo.__post_init__ validates the name/factory and raises
+        # ConfigurationError pointing at the BaseSender protocol.
+        info = CCInfo(name=name_or_info, factory=factory)
+    if info.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"congestion control {info.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _REGISTRY[info.name] = info
+    return info
+
+
+def unregister_cc(name: str) -> None:
+    """Remove a registration (no-op if absent); for test isolation."""
+    _ensure_builtins()
+    _REGISTRY.pop(name, None)
+
+
+def cc_names() -> Tuple[str, ...]:
+    """Registered congestion-control names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def cc_infos() -> Tuple[CCInfo, ...]:
+    """Every registration's :class:`CCInfo`, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY.values())
+
+
+def describe_cc(name: str) -> CCInfo:
+    """The :class:`CCInfo` registered under ``name``.
+
+    Raises :class:`~repro.util.errors.ConfigurationError` naming the
+    known variants — the error the CLI surfaces for a typo'd ``--cc``.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def get_cc(name: str) -> Callable:
+    """The sender factory registered under ``name`` (see :func:`describe_cc`)."""
+    return describe_cc(name).factory
+
+
+def make_sender(name: str, simulator, data_link, log, *, cc_params=None, **kwargs):
+    """Instantiate the sender registered under ``name``.
+
+    ``cc_params`` — an instance of the variant's tuning dataclass
+    (``describe_cc(name).params_type``) — is spread into the factory as
+    keyword arguments, so tuning rides through
+    :class:`~repro.exec.FlowSpec` as one hashable value.  Passing
+    params to a variant that declares none, or of the wrong type, is a
+    configuration error (a silently ignored knob would desynchronise
+    the flow key from the simulated bytes).
+    """
+    info = describe_cc(name)
+    if cc_params is not None:
+        if info.params_type is None:
+            raise ConfigurationError(
+                f"congestion control {name!r} takes no cc_params"
+            )
+        if not isinstance(cc_params, info.params_type):
+            raise ConfigurationError(
+                f"cc_params for {name!r} must be a "
+                f"{info.params_type.__name__}, got {type(cc_params).__name__}"
+            )
+        kwargs.update(dataclasses.asdict(cc_params))
+    return info.factory(simulator, data_link, log, **kwargs)

@@ -99,6 +99,7 @@ def simulate_spec(spec: FlowSpec) -> Tuple[FlowResult, Optional["FlowTrace"]]:
         seed=spec.seed,
         redundant_data_loss=resolved.redundant_data_loss,
         variant=spec.cc,
+        cc_params=spec.cc_params,
         bottleneck_rate=spec.bottleneck_rate,
         bottleneck_buffer=spec.bottleneck_buffer,
         watchdog=spec.watchdog,
@@ -410,6 +411,7 @@ class LockstepBackend:
                     seed=spec.seed,
                     redundant_data_loss=resolved.redundant_data_loss,
                     variant=spec.cc,
+                    cc_params=spec.cc_params,
                     bottleneck_rate=spec.bottleneck_rate,
                     bottleneck_buffer=spec.bottleneck_buffer,
                 )

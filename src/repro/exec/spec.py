@@ -28,6 +28,7 @@ build channels and run the connection under different seeds).
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Optional
 
@@ -74,8 +75,13 @@ class FlowSpec:
     ack_loss: Optional[LossModel] = None
     #: MPTCP backup-mode alternate subflow channel (Section V-B)
     redundant_data_loss: Optional[LossModel] = None
-    #: congestion-control registry name (:mod:`repro.simulator.cc`)
+    #: congestion-control registry name (:mod:`repro.cc`)
     cc: str = "reno"
+    #: optional per-variant tuning record — one of the frozen dataclasses
+    #: in :mod:`repro.cc` (e.g. :class:`~repro.cc.CubicParams`); threaded
+    #: to the sender factory and hashed into the flow's content key, so
+    #: tuned and default runs never collide in the result store
+    cc_params: Optional[object] = None
     #: seed of the connection's RNG streams (jitter etc.)
     seed: int = 0
     #: seed for ``scenario.build``; defaults to ``seed``
@@ -154,6 +160,13 @@ class FlowSpec:
             )
         if not self.cc:
             raise ConfigurationError("cc must name a registered variant")
+        if self.cc_params is not None and not dataclasses.is_dataclass(
+            self.cc_params
+        ):
+            raise ConfigurationError(
+                "cc_params must be a repro.cc tuning dataclass "
+                f"(CubicParams, BbrParams, ...), got {type(self.cc_params).__name__}"
+            )
 
     # -- derived values ------------------------------------------------
 

@@ -71,26 +71,41 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
-def _runner_kwargs(runner: Callable, scale: float, seed: int, workers: "Union[int, str]") -> dict:
+def _runner_kwargs(
+    runner: Callable,
+    scale: float,
+    seed: int,
+    workers: "Union[int, str]",
+    cc: Optional[str] = None,
+) -> dict:
     """The kwargs a runner accepts.
 
     ``workers`` is passed only to runners that declare it — parallel
     fan-out is an opt-in per experiment (campaigns and sweeps take it;
     single-flow drivers don't), and third-party runners registered
-    before the parameter existed keep working.
+    before the parameter existed keep working.  ``cc`` (a congestion
+    control selection, e.g. the CLI's ``--cc``) follows the same rule,
+    so CC-aware experiments like ``cross_cc`` opt in by declaring it.
     """
     kwargs = {"scale": scale, "seed": seed}
-    if workers != 1 and "workers" in inspect.signature(runner).parameters:
+    parameters = inspect.signature(runner).parameters
+    if workers != 1 and "workers" in parameters:
         kwargs["workers"] = workers
+    if cc is not None and "cc" in parameters:
+        kwargs["cc"] = cc
     return kwargs
 
 
 def run_experiment(
-    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: "Union[int, str]" = 1
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int = 2015,
+    workers: "Union[int, str]" = 1,
+    cc: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id."""
     runner = get_experiment(experiment_id)
-    return runner(**_runner_kwargs(runner, scale, seed, workers))
+    return runner(**_runner_kwargs(runner, scale, seed, workers, cc))
 
 
 @dataclass(frozen=True)
@@ -106,7 +121,11 @@ class ExperimentFailure:
 
 
 def run_experiment_safe(
-    experiment_id: str, scale: float = 1.0, seed: int = 2015, workers: "Union[int, str]" = 1
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int = 2015,
+    workers: "Union[int, str]" = 1,
+    cc: Optional[str] = None,
 ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
     """Run one experiment, converting any crash into a failure record.
 
@@ -118,7 +137,7 @@ def run_experiment_safe(
     """
     runner = get_experiment(experiment_id)  # KeyError propagates
     try:
-        return runner(**_runner_kwargs(runner, scale, seed, workers)), None
+        return runner(**_runner_kwargs(runner, scale, seed, workers, cc)), None
     except Exception as error:
         return None, ExperimentFailure(
             experiment_id=experiment_id,
@@ -175,6 +194,7 @@ def _ensure_loaded() -> None:
         return
     from repro.experiments import (  # noqa: F401
         ablation,
+        cross_cc,
         delack,
         fig1,
         fig2,

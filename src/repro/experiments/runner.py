@@ -4,11 +4,15 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run fig10 [--scale 1.0] [--seed 2015] [--json]
+    python -m repro.experiments run cross_cc --cc all [--workers lockstep]
     python -m repro.experiments all [--scale 0.5]
 
 Every table and figure of the paper has an id here (``table1``,
 ``fig1`` … ``fig12``) plus the extension experiments (``delack``,
-``eq21_ablation``).
+``eq21_ablation``, ``variants``, ``cross_cc``).  ``--cc`` selects the
+congestion control(s) for experiments that sweep the registry
+(``cross_cc``): a name, a comma list, or ``all``
+(see ``python -m repro.cc list``).
 
 Robustness controls (see README "Robustness & fault injection"):
 
@@ -174,6 +178,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "wheel in-process; results are byte-identical to a serial "
              "run any way (default 1)")
     parser.add_argument(
+        "--cc", metavar="NAME[,NAME...]", default=None,
+        help="congestion control selection for CC-aware experiments "
+             "(cross_cc): a repro.cc registry name, a comma-separated "
+             "list, or 'all' for every registered variant; experiments "
+             "that don't declare a cc parameter ignore it")
+    parser.add_argument(
         "--telemetry", action="store_true",
         help="collect per-flow counters in every campaign and print the "
              "merged summary (JSON) to stderr; result bytes unchanged")
@@ -314,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale=args.scale,
                 seed=args.seed,
                 workers=args.workers,
+                cc=args.cc,
             )
             if failure is not None:
                 print(failure.summary(), file=sys.stderr)

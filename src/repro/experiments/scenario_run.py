@@ -39,11 +39,15 @@ def scenario_specs(
     flows: int,
     duration: float,
     seed: int,
+    cc: str = "reno",
+    cc_params: Optional[object] = None,
 ) -> List[FlowSpec]:
     """Independently seeded FlowSpecs for one scenario campaign.
 
     Seeds depend only on (``seed``, flow index), so the batch fans out
     over workers — or reruns against a result store — byte-identically.
+    ``cc``/``cc_params`` pick the congestion control (a :mod:`repro.cc`
+    registry name) every flow of the campaign runs.
     """
     scenario = _effective_scenario(document)
     return [
@@ -51,6 +55,8 @@ def scenario_specs(
             scenario=scenario,
             duration=duration,
             seed=seed + 1009 * index,
+            cc=cc,
+            cc_params=cc_params,
             flow_id=f"scenario/{document.name}/{index}",
         )
         for index in range(flows)

@@ -19,7 +19,7 @@ from repro.core.variants import variant_throughput
 from repro.exec import Executor, FlowSpec
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.hsr.scenario import hsr_scenario
-from repro.simulator.cc import cc_names
+from repro.cc import cc_names
 from repro.util.stats import mean
 
 _OPERATING_POINTS = (
@@ -46,8 +46,8 @@ def run(scale: float = 1.0, seed: int = 2015, workers: int = 1) -> ExperimentRes
         }})
 
     # Simulated comparison: every registered sender over the same HSR
-    # channel — registering a new variant (repro.simulator.cc) adds a
-    # column here with no code change.
+    # channel — registering a new variant (repro.cc) adds a column here
+    # with no code change.
     duration = 120.0 * scale
     scenario = hsr_scenario()
     variants = cc_names()

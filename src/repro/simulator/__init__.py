@@ -24,14 +24,17 @@ Typical use::
     print(result.throughput, result.log.ack_loss_rate)
 """
 
-from repro.simulator.bottleneck import BottleneckLink
-from repro.simulator.cc import (
+# Registry functions live in repro.cc; importing them from there (not
+# the repro.simulator.cc shim) keeps package import deprecation-silent.
+from repro.cc import (
     cc_names,
     get_cc,
     make_sender,
     register_cc,
     unregister_cc,
 )
+from repro.simulator.bbr import BbrSender
+from repro.simulator.bottleneck import BottleneckLink
 from repro.simulator.channel import (
     BernoulliLoss,
     CompositeLoss,
@@ -43,12 +46,14 @@ from repro.simulator.channel import (
     RoundCorrelatedLoss,
     TraceDrivenLoss,
 )
+from repro.simulator.compound import CompoundSender
 from repro.simulator.connection import (
     ConnectionConfig,
     FlowHarness,
     FlowResult,
     run_flow,
 )
+from repro.simulator.cubic import CubicSender
 from repro.simulator.engine import EventHandle, Simulator
 from repro.simulator.lockstep import run_lockstep
 from repro.simulator.metrics import (
@@ -63,16 +68,22 @@ from repro.simulator.mptcp import MptcpResult, run_backup, run_duplex
 from repro.simulator.newreno import NewRenoSender
 from repro.simulator.packet import AckSegment, PacketPool, Segment
 from repro.simulator.receiver import Receiver
+from repro.simulator.relentless import RelentlessSender
 from repro.simulator.reno import RenoSender
 from repro.simulator.rto import MAX_BACKOFF_FACTOR, RtoEstimator
+from repro.simulator.sender_base import BaseSender
 
 __all__ = [
     "AckRecord",
     "AckSegment",
+    "BaseSender",
+    "BbrSender",
     "BernoulliLoss",
     "BottleneckLink",
     "CompositeLoss",
+    "CompoundSender",
     "ConnectionConfig",
+    "CubicSender",
     "CwndSample",
     "DataPacketRecord",
     "EventHandle",
@@ -90,6 +101,7 @@ __all__ = [
     "PacketPool",
     "Receiver",
     "RecoveryPhaseRecord",
+    "RelentlessSender",
     "RenoSender",
     "RoundCorrelatedLoss",
     "RtoEstimator",

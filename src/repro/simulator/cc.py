@@ -1,31 +1,20 @@
-"""Congestion-control registry: senders selected by name.
+"""Deprecated alias of :mod:`repro.cc` — the congestion-control registry.
 
-The paper evaluates Reno ("the basis of the other TCP versions") and
-the follow-up HSR/LTE studies compare many variants under identical
-channels.  To make that a data sweep instead of a code change, sender
-implementations register here under a short name (``"reno"``,
-``"newreno"``) and every execution path — :func:`repro.simulator.connection.run_flow`,
-:class:`repro.exec.FlowSpec`, the variant experiments — selects one by
-name via :func:`make_sender`.  Third-party senders plug in with
-:func:`register_cc` without touching any call site::
+The registry grew metadata (:class:`~repro.cc.CCInfo`), tuning-params
+threading, and a CLI, and moved to the public :mod:`repro.cc` package;
+import it from there::
 
-    from repro.simulator.cc import register_cc
+    from repro.cc import register_cc, make_sender, describe_cc
 
-    register_cc("mytcp", MyTcpSender)
-    run_flow(config, ..., variant="mytcp")
-
-A factory must accept the :class:`~repro.simulator.reno.RenoSender`
-constructor signature: ``(simulator, data_link, log, *, wmax,
-initial_cwnd, rto, redundant_retransmit_link, ...)``.
+This module forwards the old names so existing imports keep working,
+emitting one :class:`DeprecationWarning` per process on first use.
+The sender constructor protocol a registered factory must follow is
+documented on :class:`repro.simulator.sender_base.BaseSender`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
-
-from repro.simulator.newreno import NewRenoSender
-from repro.simulator.reno import RenoSender
-from repro.util.errors import ConfigurationError
+import warnings
 
 __all__ = [
     "CC_REGISTRY_VERSION",
@@ -36,62 +25,30 @@ __all__ = [
     "unregister_cc",
 ]
 
-#: Behavioural version of the built-in senders.  The result store
-#: (:mod:`repro.store`) salts every content key with this, so bumping
-#: it — required whenever a sender change alters simulated bytes —
-#: invalidates all cached results computed under the old behaviour.
-CC_REGISTRY_VERSION = 1
-
-#: name -> sender factory (usually the sender class itself)
-_REGISTRY: Dict[str, Callable] = {}
+_warned = False
 
 
-def register_cc(name: str, factory: Callable, *, replace: bool = False) -> None:
-    """Register a congestion-control sender factory under ``name``.
-
-    ``replace=True`` allows overriding an existing registration (used by
-    tests and by downstream experiments that patch a variant).
-    """
-    if not name or not isinstance(name, str):
-        raise ConfigurationError(f"cc name must be a non-empty string, got {name!r}")
-    if name in _REGISTRY and not replace:
-        raise ConfigurationError(
-            f"congestion control {name!r} is already registered; "
-            "pass replace=True to override"
-        )
-    if not callable(factory):
-        raise ConfigurationError(f"cc factory for {name!r} is not callable")
-    _REGISTRY[name] = factory
+def _warn_once() -> None:
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        "repro.simulator.cc is deprecated; import the congestion-control "
+        "registry from repro.cc instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def unregister_cc(name: str) -> None:
-    """Remove a registration (no-op if absent); for test isolation."""
-    _REGISTRY.pop(name, None)
+def __getattr__(name: str):
+    if name in __all__:
+        _warn_once()
+        import repro.cc as _cc
+
+        return getattr(_cc, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def cc_names() -> Tuple[str, ...]:
-    """Registered congestion-control names, sorted."""
-    return tuple(sorted(_REGISTRY))
-
-
-def get_cc(name: str) -> Callable:
-    """The factory registered under ``name``.
-
-    Raises :class:`~repro.util.errors.ConfigurationError` naming the
-    known variants — the error the CLI surfaces for a typo'd ``--cc``.
-    """
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown congestion control {name!r}; choose from {sorted(_REGISTRY)}"
-        ) from None
-
-
-def make_sender(name: str, simulator, data_link, log, **kwargs):
-    """Instantiate the sender registered under ``name``."""
-    return get_cc(name)(simulator, data_link, log, **kwargs)
-
-
-register_cc("reno", RenoSender)
-register_cc("newreno", NewRenoSender)
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,113 @@
+"""TCP Compound: a loss window plus a delay window (Tan et al.).
+
+Compound TCP keeps Reno's loss-based ``cwnd`` untouched and adds a
+*delay window* ``dwnd`` on top; the send window is ``cwnd + dwnd``.
+Once per round in congestion avoidance the sender estimates the
+queueing backlog ``diff = win·(1 − baseRTT/RTT)`` (segments sitting in
+the bottleneck queue):
+
+* ``diff < γ`` — the path is underused: ``dwnd += (α·win^k − 1)⁺``,
+  the binomial growth law of the PAPERS.md asymptotic approximation
+  ("Asymptotic Approximations for TCP Compound", arXiv:1511.01344);
+* ``diff ≥ γ`` — queue building: ``dwnd`` drains by ``diff``;
+* on loss — the compound window takes a ``(1 − β)`` multiplicative
+  decrease, absorbed by ``dwnd`` (which collapses), while ``cwnd``
+  halves per Reno.
+
+On an RTO the delay component is discarded entirely — timeout recovery
+is pure Reno.  In the HSR channel the interesting regime is the
+jittery RTT: delay variance reads as phantom queueing, keeping
+``dwnd`` small and Compound close to Reno — which is the paper's
+point that variant-level fixes don't touch the spurious-timeout
+channel.
+"""
+
+from __future__ import annotations
+
+from repro.cc.info import CompoundParams
+from repro.simulator.sender_base import (
+    _CONGESTION_AVOIDANCE,
+    _DUPACK_THRESHOLD,
+    _MIN_SSTHRESH,
+    BaseSender,
+)
+
+__all__ = ["CompoundSender"]
+
+
+class CompoundSender(BaseSender):
+    """Compound TCP: Reno's cwnd plus a delay-governed dwnd."""
+
+    __slots__ = (
+        "alpha",
+        "k",
+        "beta",
+        "gamma",
+        "dwnd",
+        "_base_rtt",
+        "_last_rtt",
+        "_round_end",
+    )
+
+    def __init__(
+        self,
+        *args,
+        alpha: float = 0.125,
+        k: float = 0.75,
+        beta: float = 0.5,
+        gamma: float = 30.0,
+        **kwargs,
+    ) -> None:
+        params = CompoundParams(alpha=alpha, k=k, beta=beta, gamma=gamma)
+        super().__init__(*args, **kwargs)
+        self.alpha = params.alpha
+        self.k = params.k
+        self.beta = params.beta
+        self.gamma = params.gamma
+        self.dwnd = 0.0
+        self._base_rtt = 0.0  # smallest RTT seen: the propagation floor
+        self._last_rtt = 0.0
+        self._round_end = 0  # snd_una threshold closing the current round
+
+    # -- policy hooks ------------------------------------------------------
+
+    def _send_window(self) -> float:
+        return min(self.cwnd + self.dwnd, self.wmax)
+
+    def _on_rtt_sample(self, rtt: float, now: float) -> None:
+        if self._base_rtt <= 0.0 or rtt < self._base_rtt:
+            self._base_rtt = rtt
+        self._last_rtt = rtt
+
+    def _after_new_ack(self, newly_acked: int, now: float) -> None:
+        if self.snd_una < self._round_end:
+            return
+        self._round_end = self.snd_max
+        if (
+            self._phase != _CONGESTION_AVOIDANCE
+            or self._base_rtt <= 0.0
+            or self._last_rtt <= 0.0
+        ):
+            return
+        win = min(self.cwnd + self.dwnd, self.wmax)
+        # Estimated backlog in the bottleneck queue (segments).
+        diff = win * (1.0 - self._base_rtt / self._last_rtt)
+        if diff < self.gamma:
+            self.dwnd += max(self.alpha * win**self.k - 1.0, 0.0)
+        else:
+            self.dwnd = max(self.dwnd - diff, 0.0)
+        # Keep the compound window inside the clamp.
+        self.dwnd = min(self.dwnd, max(self.wmax - self.cwnd, 0.0))
+        self._log.record_cwnd(now, self.cwnd + self.dwnd, self._phase)
+
+    def _on_loss_event(self) -> None:
+        win = min(self.cwnd + self.dwnd, self.wmax)
+        self.ssthresh = max(self.cwnd / 2.0, _MIN_SSTHRESH)
+        self.cwnd = self.ssthresh + _DUPACK_THRESHOLD
+        # The compound window takes the (1 - beta) decrease; whatever
+        # the halved cwnd does not cover is dwnd's share.
+        self.dwnd = max(win * (1.0 - self.beta) - self.ssthresh, 0.0)
+
+    def _on_timeout_collapse(self) -> None:
+        super()._on_timeout_collapse()
+        self.dwnd = 0.0

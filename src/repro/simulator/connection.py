@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Callable, Optional
 
+from repro.cc import make_sender
 from repro.simulator.bottleneck import BottleneckLink
-from repro.simulator.cc import make_sender
 from repro.simulator.channel import Link, LossModel, NoLoss
 from repro.simulator.engine import Simulator
 from repro.simulator.metrics import FlowLog
@@ -186,6 +186,7 @@ class FlowHarness:
         seed: int = 0,
         redundant_data_loss: Optional[LossModel] = None,
         variant: str = "reno",
+        cc_params=None,
         bottleneck_rate: Optional[float] = None,
         bottleneck_buffer: int = 64,
         telemetry: Optional[Telemetry] = None,
@@ -285,6 +286,7 @@ class FlowHarness:
             sim,
             data_link,
             log,
+            cc_params=cc_params,
             wmax=config.wmax,
             initial_cwnd=config.initial_cwnd,
             rto=RtoEstimator(initial_rto=config.initial_rto, min_rto=config.min_rto),
@@ -316,6 +318,7 @@ def run_flow(
     redundant_data_loss: Optional[LossModel] = None,
     simulator: Optional[Simulator] = None,
     variant: str = "reno",
+    cc_params=None,
     bottleneck_rate: Optional[float] = None,
     bottleneck_buffer: int = 64,
     watchdog=None,
@@ -326,10 +329,10 @@ def run_flow(
     ``redundant_data_loss``, when given, attaches an MPTCP-style
     alternate subflow used only to double timeout retransmissions
     (paper Section V-B backup mode).  ``variant`` names a sender in
-    the congestion-control registry (:mod:`repro.simulator.cc`):
-    ``"reno"`` (the paper's kernel), ``"newreno"`` (RFC 6582 partial
-    ACKs), or anything registered via
-    :func:`~repro.simulator.cc.register_cc`.
+    the congestion-control registry (:mod:`repro.cc`): ``"reno"`` (the
+    paper's kernel), ``"cubic"``, ``"bbr"``, ``"compound"``, or anything
+    registered via :func:`repro.cc.register_cc`; ``cc_params`` carries
+    the variant's tuning dataclass (see :func:`repro.cc.make_sender`).
 
     Most callers should not invoke this directly: describe the run as a
     :class:`repro.exec.FlowSpec` and hand it to the execution pipeline,
@@ -360,6 +363,7 @@ def run_flow(
         seed=seed,
         redundant_data_loss=redundant_data_loss,
         variant=variant,
+        cc_params=cc_params,
         bottleneck_rate=bottleneck_rate,
         bottleneck_buffer=bottleneck_buffer,
         telemetry=tel,

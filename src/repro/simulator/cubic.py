@@ -1,0 +1,135 @@
+"""TCP CUBIC: time-based cubic window growth (RFC 8312).
+
+Where Reno grows the window per ACK, CUBIC grows it as a function of
+the *time since the last loss*: ``W(t) = C·(t − K)³ + W_max``, with
+``K = ∛(W_max·(1 − β)/C)`` chosen so the curve re-reaches the previous
+plateau ``W_max`` exactly at ``t = K``.  Growth is concave while
+approaching the plateau, flat around it, then convex while probing
+beyond — which decouples the growth rate from the RTT and is why CUBIC
+replaced Reno as the Linux default.
+
+The HSR question this sender answers: CUBIC's faster post-loss
+recovery refills the window sooner between loss events, but the
+paper's dominant effects — ACK-burst spurious timeouts and lossy
+timeout recovery — strike below the congestion-avoidance law, so the
+enhanced model's corrections should still apply.
+
+The sender also tracks the standard TCP-friendly estimate ``W_est``
+(the window Reno-style AIMD would have reached) and never lets the
+cubic window fall below it, so CUBIC is never less aggressive than
+Reno in the small-BDP region.
+"""
+
+from __future__ import annotations
+
+from repro.cc.info import CubicParams
+from repro.simulator.sender_base import (
+    _DUPACK_THRESHOLD,
+    _MIN_SSTHRESH,
+    BaseSender,
+)
+
+__all__ = ["CubicSender"]
+
+
+class CubicSender(BaseSender):
+    """CUBIC congestion control on the shared sender machinery."""
+
+    __slots__ = (
+        "c",
+        "beta",
+        "fast_convergence",
+        "_w_last_max",
+        "_k",
+        "_epoch_start",
+        "_w_est",
+        "_aimd_alpha",
+        "_last_rtt",
+    )
+
+    def __init__(
+        self,
+        *args,
+        c: float = 0.4,
+        beta: float = 0.7,
+        fast_convergence: bool = True,
+        **kwargs,
+    ) -> None:
+        # Validation lives on the tuning dataclass — constructing it
+        # rejects bad knobs identically for both the direct-kwargs path
+        # and the FlowSpec.cc_params path.
+        params = CubicParams(c=c, beta=beta, fast_convergence=fast_convergence)
+        super().__init__(*args, **kwargs)
+        self.c = params.c
+        self.beta = params.beta
+        self.fast_convergence = params.fast_convergence
+        self._w_last_max = 0.0  # plateau of the previous epoch
+        self._k = 0.0  # time to re-reach the plateau
+        self._epoch_start = -1.0  # -1: no avoidance epoch open
+        self._w_est = 0.0  # TCP-friendly (AIMD) window estimate
+        # Reno-equivalent AIMD gain for the beta in use (RFC 8312 §4.2).
+        self._aimd_alpha = 3.0 * (1.0 - params.beta) / (1.0 + params.beta)
+        self._last_rtt = 0.0
+
+    # -- the cubic law ----------------------------------------------------
+
+    def _cubic_target(self, elapsed: float) -> float:
+        """``W(t)`` of RFC 8312 Eq. 1 for ``t`` seconds into the epoch."""
+        offset = elapsed - self._k
+        return self.c * offset * offset * offset + self._w_last_max
+
+    def _open_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        if self.cwnd < self._w_last_max:
+            self._k = ((self._w_last_max - self.cwnd) / self.c) ** (1.0 / 3.0)
+        else:
+            # Starting above the old plateau: probe immediately
+            # (convex region from t = 0).
+            self._k = 0.0
+            self._w_last_max = self.cwnd
+        self._w_est = self.cwnd
+
+    def _close_epoch(self) -> None:
+        self._epoch_start = -1.0
+
+    # -- policy hooks ------------------------------------------------------
+
+    def _on_rtt_sample(self, rtt: float, now: float) -> None:
+        self._last_rtt = rtt
+
+    def _ca_window(self, newly_acked: int) -> float:
+        now = self._simulator.now
+        if self._epoch_start < 0.0:
+            self._open_epoch(now)
+        # Chase the cubic target one RTT ahead, 1/cwnd of the gap per
+        # ACK (the RFC's per-ACK formulation of the continuous curve).
+        target = self._cubic_target(now - self._epoch_start + self._last_rtt)
+        if target > self.cwnd:
+            grown = self.cwnd + (target - self.cwnd) / self.cwnd
+        else:
+            # In the plateau: probe minimally so the curve can take over.
+            grown = self.cwnd + 0.01 / self.cwnd
+        # TCP-friendly region: never fall behind what Reno-style AIMD
+        # with this beta would have reached.
+        self._w_est += self._aimd_alpha / self.cwnd
+        return max(grown, self._w_est)
+
+    def _reduce(self) -> None:
+        """Multiplicative decrease shared by dup-ACK loss and RTO."""
+        win = self.cwnd
+        if self.fast_convergence and win < self._w_last_max:
+            # Lost again below the old plateau — the bottleneck shrank;
+            # release the ceiling early so competitors converge.
+            self._w_last_max = win * (2.0 - self.beta) / 2.0
+        else:
+            self._w_last_max = win
+        self.ssthresh = max(win * self.beta, _MIN_SSTHRESH)
+        self._close_epoch()
+
+    def _on_loss_event(self) -> None:
+        self._reduce()
+        self.cwnd = self.ssthresh + _DUPACK_THRESHOLD
+
+    def _on_timeout_collapse(self) -> None:
+        self._reduce()
+        self.cwnd = 1.0

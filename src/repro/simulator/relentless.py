@@ -1,0 +1,51 @@
+"""Relentless congestion control: decrease by exactly what was lost.
+
+Mathis's Relentless TCP (IETF draft, 2009; modelled analytically in
+"Analytical Model of TCP Relentless Congestion Control",
+arXiv:1102.3270) replaces the multiplicative decrease of fast recovery
+with a *proportional* one: every segment retransmitted during a
+recovery episode shrinks the window by one segment (``decrement``
+tunable), so a window of ``W`` losing ``L`` segments resumes at
+``W − L`` instead of ``W/2``.  Under low-probability random loss —
+exactly the non-congestive HSR regime the paper measures — this keeps
+the window near the clamp where Reno saws between ``W/2`` and ``W``.
+
+Built on :class:`~repro.simulator.newreno.NewRenoSender`: the partial
+ACKs of RFC 6582 recovery are how additional losses in the same window
+are detected, and each one charges a further ``decrement``.  Timeout
+behaviour is untouched — an RTO still collapses to slow start, so the
+paper's lossy-timeout-recovery channel applies to Relentless in full.
+"""
+
+from __future__ import annotations
+
+from repro.cc.info import RelentlessParams
+from repro.simulator.newreno import NewRenoSender
+from repro.simulator.packet import AckSegment
+from repro.simulator.sender_base import _DUPACK_THRESHOLD, _MIN_SSTHRESH
+
+__all__ = ["RelentlessSender"]
+
+
+class RelentlessSender(NewRenoSender):
+    """NewReno recovery with per-loss (not multiplicative) decrease."""
+
+    __slots__ = ("decrement",)
+
+    def __init__(self, *args, decrement: float = 1.0, **kwargs) -> None:
+        params = RelentlessParams(decrement=decrement)
+        super().__init__(*args, **kwargs)
+        self.decrement = params.decrement
+
+    def _on_loss_event(self) -> None:
+        # One loss detected so far: the post-recovery window (ssthresh)
+        # gives back exactly one decrement.  The +3 inflation mirrors
+        # Reno — the three duplicate ACKs have left the network.
+        self.ssthresh = max(self.cwnd - self.decrement, _MIN_SSTHRESH)
+        self.cwnd = self.ssthresh + _DUPACK_THRESHOLD
+
+    def _on_partial_ack(self, ack: AckSegment, arrival_time: float) -> None:
+        # Each partial ACK exposes one more hole in the window: another
+        # lost segment, another decrement off the recovery exit point.
+        self.ssthresh = max(self.ssthresh - self.decrement, _MIN_SSTHRESH)
+        super()._on_partial_ack(ack, arrival_time)

@@ -13,451 +13,27 @@ The sender has an infinite backlog (the model's steady-state
 assumption) and marks every retransmission sent while in timeout
 recovery, which is how the in-recovery retransmission loss rate ``q``
 (paper Fig. 3) is measured from the logs.
+
+All of the machinery lives in
+:class:`~repro.simulator.sender_base.BaseSender`, whose default policy
+hooks *are* Reno; this subclass only pins the name.  The phase
+constants are re-exported here for compatibility with older imports.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional, Tuple
-
-from repro.simulator.channel import Link
-from repro.simulator.engine import EventHandle, Simulator
-from repro.simulator.metrics import (
-    DataPacketRecord,
-    FlowLog,
-    RecoveryPhaseRecord,
-    TimeoutRecord,
+from repro.simulator.sender_base import (
+    _CONGESTION_AVOIDANCE,
+    _FAST_RECOVERY,
+    _SLOW_START,
+    _TIMEOUT_RECOVERY,
+    BaseSender,
 )
-from repro.simulator.packet import AckSegment, Segment
-from repro.simulator.rto import RtoEstimator
-from repro.telemetry.base import Telemetry, active as _active_telemetry
-from repro.util.errors import ConfigurationError
 
 __all__ = ["RenoSender", "_CONGESTION_AVOIDANCE", "_FAST_RECOVERY", "_TIMEOUT_RECOVERY"]
 
-_SLOW_START = "slow_start"
-_CONGESTION_AVOIDANCE = "congestion_avoidance"
-_FAST_RECOVERY = "fast_recovery"
-_TIMEOUT_RECOVERY = "timeout_recovery"
 
-_DUPACK_THRESHOLD = 3
-_MIN_SSTHRESH = 2.0
-
-
-class RenoSender:
+class RenoSender(BaseSender):
     """TCP Reno congestion control over a lossy data link."""
 
-    __slots__ = (
-        "_simulator",
-        "_data_link",
-        "_log",
-        "wmax",
-        "cwnd",
-        "ssthresh",
-        "rto",
-        "redundant_retransmit_link",
-        "subflow_id",
-        "snd_una",
-        "snd_nxt",
-        "snd_max",
-        "_dupacks",
-        "_phase",
-        "_recover_point",
-        "_rto_timer",
-        "_current_recovery",
-        "_recovery_records",
-        "_transmission_counter",
-        "_send_info",
-        "_telemetry",
-        "_tel_records",
-        "_pool",
-        "_send_burst",
-    )
-
-    def __init__(
-        self,
-        simulator: Simulator,
-        data_link: Link,
-        log: FlowLog,
-        wmax: float = 64.0,
-        initial_cwnd: float = 2.0,
-        initial_ssthresh: Optional[float] = None,
-        rto: Optional[RtoEstimator] = None,
-        redundant_retransmit_link: Optional[Link] = None,
-        subflow_id: int = 0,
-        telemetry: Optional[Telemetry] = None,
-    ) -> None:
-        if wmax < 1.0:
-            raise ConfigurationError(f"wmax must be >= 1, got {wmax}")
-        if initial_cwnd < 1.0:
-            raise ConfigurationError(f"initial_cwnd must be >= 1, got {initial_cwnd}")
-        self._simulator = simulator
-        self._data_link = data_link
-        self._log = log
-        self.wmax = wmax
-        self.cwnd = initial_cwnd
-        self.ssthresh = initial_ssthresh if initial_ssthresh is not None else wmax
-        self.rto = rto or RtoEstimator()
-        self.redundant_retransmit_link = redundant_retransmit_link
-        self.subflow_id = subflow_id
-
-        self.snd_una = 0  # oldest unacknowledged sequence number
-        self.snd_nxt = 0  # next sequence number to (re)send; pulled back on RTO
-        self.snd_max = 0  # first never-transmitted sequence number
-        self._dupacks = 0
-        self._phase = _SLOW_START
-        self._recover_point = 0  # fast-recovery exit threshold
-        self._rto_timer: Optional[EventHandle] = None
-        self._current_recovery: Optional[RecoveryPhaseRecord] = None
-        self._recovery_records: list = []  # DataPacketRecords of the open phase
-        self._transmission_counter = 0
-        #: per-seq (last send time, ever retransmitted) for Karn's rule
-        self._send_info: Dict[int, Tuple[float, bool]] = {}
-        self._telemetry = _active_telemetry(telemetry)
-        #: per-seq latest DataPacketRecord, kept only under telemetry so
-        #: an RTO can be classified as spurious (latest copy not lost)
-        self._tel_records: Optional[Dict[int, DataPacketRecord]] = (
-            {} if self._telemetry is not None else None
-        )
-        # Packet pooling is discovered from the link rather than taken
-        # as a constructor argument, so the CC registry's sender
-        # signature stays pool-agnostic; links wired without a pool
-        # (third-party harnesses, manual tests) simply allocate.
-        self._pool = getattr(data_link, "packet_pool", None)
-        self._send_burst = getattr(data_link, "send_burst", None)
-        self._log.record_cwnd(simulator.now, self.cwnd, self._phase)
-
-    # -- public surface ---------------------------------------------------
-
-    @property
-    def phase(self) -> str:
-        return self._phase
-
-    @property
-    def in_timeout_recovery(self) -> bool:
-        return self._phase == _TIMEOUT_RECOVERY
-
-    @property
-    def inflight(self) -> int:
-        """Segments sent (from the window's perspective) and unacked."""
-        return self.snd_nxt - self.snd_una
-
-    @property
-    def has_outstanding_data(self) -> bool:
-        return self.snd_una < self.snd_max
-
-    def start(self) -> None:
-        """Begin transmitting (schedules the first send immediately)."""
-        self._simulator.schedule(0.0, self.pump)
-
-    def pump(self) -> None:
-        """Send as much data as the window allows.
-
-        After an RTO, ``snd_nxt`` has been pulled back to just past the
-        retransmitted segment, so the slow-start that follows recovery
-        resends the rest of the lost window (go-back-N under cumulative
-        ACKs) before any new data — real Reno behaviour.
-        """
-        if self._phase == _TIMEOUT_RECOVERY:
-            # Only the lost packet is retransmitted during timeout
-            # recovery (paper Section III-B.1).
-            return
-        # The window limit is fixed for the whole burst (cwnd and
-        # snd_una only change from ACK/timeout events, which are never
-        # processed inside this loop), so hoist the floor() out of it.
-        limit = self.snd_una + math.floor(min(self.cwnd, self.wmax))
-        nxt = self.snd_nxt
-        count = limit - nxt
-        if count <= 0:
-            self._ensure_rto_armed()
-            return
-        if count == 1 or self._send_burst is None:
-            while self.snd_nxt < limit:
-                self._transmit(
-                    self.snd_nxt, is_retransmission=self.snd_nxt < self.snd_max
-                )
-                self.snd_nxt += 1
-                if self.snd_nxt > self.snd_max:
-                    self.snd_max = self.snd_nxt
-            self._ensure_rto_armed()
-            return
-        # Burst path: build the whole round, then hand it to the link
-        # in one call so loss draws, telemetry, and event scheduling
-        # batch.  ``seq < snd_max`` (the pre-burst value) is exactly
-        # the retransmission flag the scalar loop computes, because
-        # snd_max only trails snd_nxt upward inside the loop.
-        now = self._simulator.now
-        snd_max = self.snd_max
-        subflow_id = self.subflow_id
-        pool = self._pool
-        send_info = self._send_info
-        tel_records = self._tel_records
-        record_send = self._log.record_data_send
-        tid = self._transmission_counter
-        segments = []
-        append = segments.append
-        for seq in range(nxt, limit):
-            retx = seq < snd_max
-            if pool is not None:
-                segment = pool.segment(seq, tid, now, retx, False, subflow_id)
-            else:
-                segment = Segment(seq, tid, now, retx, False, subflow_id)
-            previous = send_info.get(seq)
-            send_info[seq] = (now, retx or (previous is not None and previous[1]))
-            record = DataPacketRecord(
-                transmission_id=tid,
-                seq=seq,
-                send_time=now,
-                is_retransmission=retx,
-                in_timeout_recovery=False,
-                subflow_id=subflow_id,
-            )
-            record_send(record)
-            if tel_records is not None:
-                tel_records[seq] = record
-            tid += 1
-            append(segment)
-        self._transmission_counter = tid
-        self.snd_nxt = limit
-        if limit > snd_max:
-            self.snd_max = limit
-        self._send_burst(segments)
-        self._ensure_rto_armed()
-
-    # -- ACK processing -----------------------------------------------------
-
-    def on_ack(self, ack: AckSegment, arrival_time: float) -> None:
-        """Handle an acknowledgement delivered by the reverse link."""
-        self._log.record_ack_arrival(ack.transmission_id, arrival_time)
-        if ack.ack_seq > self.snd_una:
-            self._on_new_ack(ack, arrival_time)
-        else:
-            self._on_duplicate_ack()
-        self.pump()
-
-    def _on_new_ack(self, ack: AckSegment, arrival_time: float) -> None:
-        newly_acked = ack.ack_seq - self.snd_una
-        # Karn's algorithm: sample RTT only from never-retransmitted
-        # segments.
-        last_acked = ack.ack_seq - 1
-        info = self._send_info.get(last_acked)
-        if info is not None and not info[1]:
-            self.rto.on_measurement(arrival_time - info[0])
-        tel_records = self._tel_records
-        for seq in range(self.snd_una, ack.ack_seq):
-            self._send_info.pop(seq, None)
-            if tel_records is not None:
-                tel_records.pop(seq, None)
-        self.snd_una = ack.ack_seq
-        if self.snd_nxt < self.snd_una:
-            self.snd_nxt = self.snd_una
-        self._dupacks = 0
-
-        if self._phase == _TIMEOUT_RECOVERY:
-            self._finish_timeout_recovery(arrival_time)
-        elif self._phase == _FAST_RECOVERY:
-            # Classic Reno: the first new ACK deflates the window and
-            # resumes congestion avoidance.
-            self.cwnd = self.ssthresh
-            self._set_phase(_CONGESTION_AVOIDANCE)
-        else:
-            self._grow_window(newly_acked)
-
-        self.rto.on_recovery()
-        self._restart_rto_timer()
-
-    def _grow_window(self, newly_acked: int) -> None:
-        if self.cwnd < self.ssthresh:
-            # Slow start: +1 per ACK.
-            self.cwnd = min(self.cwnd + 1.0, self.wmax)
-            if self.cwnd >= self.ssthresh:
-                self._set_phase(_CONGESTION_AVOIDANCE)
-            else:
-                self._log.record_cwnd(self._simulator.now, self.cwnd, self._phase)
-        else:
-            # Congestion avoidance: +1/cwnd per ACK, i.e. one segment
-            # every b rounds under delayed ACK (paper Eq. 3).
-            if self._phase == _SLOW_START:
-                self._set_phase(_CONGESTION_AVOIDANCE)
-            self.cwnd = min(self.cwnd + 1.0 / self.cwnd, self.wmax)
-            self._log.record_cwnd(self._simulator.now, self.cwnd, self._phase)
-
-    def _on_duplicate_ack(self) -> None:
-        if self._phase == _TIMEOUT_RECOVERY:
-            return
-        self._dupacks += 1
-        if self._phase == _FAST_RECOVERY:
-            # Window inflation: each further dup ACK signals one more
-            # packet has left the network.
-            self.cwnd += 1.0
-            self._log.record_cwnd(self._simulator.now, self.cwnd, self._phase)
-            return
-        if self._dupacks == _DUPACK_THRESHOLD and self.has_outstanding_data:
-            self._enter_fast_recovery()
-
-    def _enter_fast_recovery(self) -> None:
-        self.ssthresh = max(self.cwnd / 2.0, _MIN_SSTHRESH)
-        self.cwnd = self.ssthresh + _DUPACK_THRESHOLD
-        self._recover_point = self.snd_max
-        self._set_phase(_FAST_RECOVERY)
-        self._transmit(self.snd_una, is_retransmission=True)
-        self._restart_rto_timer()
-
-    # -- timeout handling ---------------------------------------------------
-
-    def _ensure_rto_armed(self) -> None:
-        if self._rto_timer is None and self.has_outstanding_data:
-            rto_value = self.rto.current_rto
-            self._rto_timer = self._simulator.schedule(rto_value, self._on_rto_fired)
-            if self._telemetry is not None:
-                self._telemetry.on_rto_armed(self._simulator.now, rto_value)
-
-    def _restart_rto_timer(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
-            self._rto_timer = None
-        self._ensure_rto_armed()
-
-    def _on_rto_fired(self) -> None:
-        self._rto_timer = None
-        if not self.has_outstanding_data:
-            return  # everything acknowledged in the meantime
-        now = self._simulator.now
-        if self._phase != _TIMEOUT_RECOVERY:
-            # First timeout of a sequence: start a recovery phase.
-            self.ssthresh = max(self.cwnd / 2.0, _MIN_SSTHRESH)
-            self.cwnd = 1.0
-            self._current_recovery = RecoveryPhaseRecord(start_time=now)
-            self._recovery_records = []
-            self._log.recovery_phases.append(self._current_recovery)
-            self._set_phase(_TIMEOUT_RECOVERY)
-        rto_value = self.rto.current_rto
-        self._log.timeouts.append(
-            TimeoutRecord(
-                time=now,
-                seq=self.snd_una,
-                backoff_exponent=self.rto.backoff_exponent,
-                rto_value=rto_value,
-                sequence_index=len(self._log.recovery_phases) - 1,
-            )
-        )
-        if self._current_recovery is not None:
-            self._current_recovery.timeouts += 1
-        if self._telemetry is not None:
-            # Ground truth the paper can only infer: the RTO is spurious
-            # when the latest copy of the oldest outstanding segment was
-            # *not* dropped by the channel — the data is in flight (or
-            # its ACK was lost/late) and the retransmission is wasted.
-            latest = self._tel_records.get(self.snd_una)
-            spurious = latest is not None and not latest.lost
-            self._telemetry.on_rto_fired(
-                now, self.snd_una, spurious, self.rto.backoff_exponent
-            )
-        self.rto.on_timeout()
-        self._transmit(self.snd_una, is_retransmission=True)
-        # Pull the send pointer back: once recovery completes, slow
-        # start resumes from just past the retransmitted segment and
-        # resends the rest of the outstanding window.
-        self.snd_nxt = self.snd_una + 1
-        self._ensure_rto_armed()
-
-    def _finish_timeout_recovery(self, time: float) -> None:
-        if self._current_recovery is not None:
-            self._current_recovery.end_time = time
-            self._count_recovery_losses(self._current_recovery)
-            self._current_recovery = None
-        # Slow start resumes after recovery (paper Fig. 2).
-        self._set_phase(_SLOW_START)
-
-    def _count_recovery_losses(self, phase: RecoveryPhaseRecord) -> None:
-        """Fill in retransmission loss counts for the finished phase.
-
-        Counts the records collected while the phase was open; a
-        packet's fate (``dropped``) is decided synchronously at send
-        time, so the counts are exact by the time the resuming ACK
-        closes the phase.
-        """
-        for record in self._recovery_records:
-            if record.subflow_id != self.subflow_id:
-                continue
-            phase.retransmissions += 1
-            if record.lost:
-                phase.retransmissions_lost += 1
-        self._recovery_records = []
-
-    # -- transmission -------------------------------------------------------
-
-    def _transmit(self, seq: int, is_retransmission: bool) -> None:
-        now = self._simulator.now
-        in_recovery = self._phase == _TIMEOUT_RECOVERY
-        pool = self._pool
-        if pool is not None:
-            segment = pool.segment(
-                seq,
-                self._transmission_counter,
-                now,
-                is_retransmission,
-                in_recovery and is_retransmission,
-                self.subflow_id,
-            )
-        else:
-            segment = Segment(
-                seq=seq,
-                transmission_id=self._transmission_counter,
-                send_time=now,
-                is_retransmission=is_retransmission,
-                in_timeout_recovery=in_recovery and is_retransmission,
-                subflow_id=self.subflow_id,
-            )
-        self._transmission_counter += 1
-        previous = self._send_info.get(seq)
-        self._send_info[seq] = (now, is_retransmission or (previous is not None and previous[1]))
-        record = DataPacketRecord(
-            transmission_id=segment.transmission_id,
-            seq=seq,
-            send_time=now,
-            is_retransmission=is_retransmission,
-            in_timeout_recovery=segment.in_timeout_recovery,
-            subflow_id=self.subflow_id,
-        )
-        self._log.record_data_send(record)
-        if self._tel_records is not None:
-            self._tel_records[seq] = record
-        if segment.in_timeout_recovery and self._current_recovery is not None:
-            self._recovery_records.append(record)
-        self._data_link.send(segment)
-        if (
-            segment.in_timeout_recovery
-            and self.redundant_retransmit_link is not None
-        ):
-            # MPTCP-style double retransmission (paper Section V-B):
-            # the same payload also travels the alternate subflow; the
-            # receiver keeps whichever copy survives.
-            copy = Segment(
-                seq=seq,
-                transmission_id=self._transmission_counter,
-                send_time=now,
-                is_retransmission=True,
-                in_timeout_recovery=True,
-                subflow_id=self.subflow_id + 1,
-            )
-            self._transmission_counter += 1
-            self._log.record_data_send(
-                DataPacketRecord(
-                    transmission_id=copy.transmission_id,
-                    seq=seq,
-                    send_time=now,
-                    is_retransmission=True,
-                    in_timeout_recovery=True,
-                    subflow_id=copy.subflow_id,
-                )
-            )
-            self.redundant_retransmit_link.send(copy)
-
-    def _set_phase(self, phase: str) -> None:
-        if self._telemetry is not None:
-            self._telemetry.on_phase_transition(
-                self._simulator.now, self._phase, phase, self.cwnd
-            )
-        self._phase = phase
-        self._log.record_cwnd(self._simulator.now, self.cwnd, phase)
+    __slots__ = ()

@@ -7,7 +7,7 @@ key for the flow's entire result — provided the hash is computed from a
 canonical encoding (stable across processes, platforms, and dict
 orderings) and salted with the versions of everything else that shapes
 the output: the congestion-control registry
-(:data:`repro.simulator.cc.CC_REGISTRY_VERSION`) and the engine schema
+(:data:`repro.cc.CC_REGISTRY_VERSION`) and the engine schema
 (:data:`ENGINE_SCHEMA_VERSION` — bump it whenever a simulator change
 legitimately alters result bytes, and every stored entry keyed under
 the old behaviour stops matching).
@@ -168,7 +168,7 @@ def flow_key(spec) -> str:
     parent: Optional[str] = getattr(spec, "parent_key", None)
     if parent:
         return parent
-    from repro.simulator.cc import CC_REGISTRY_VERSION
+    from repro.cc import CC_REGISTRY_VERSION
 
     material = {
         "cc_registry_version": CC_REGISTRY_VERSION,

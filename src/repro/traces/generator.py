@@ -123,6 +123,8 @@ def _entry_specs(
     rng: RngStream,
     watchdog: Optional[Watchdog],
     validate: bool,
+    cc: str = "reno",
+    cc_params: Optional[object] = None,
 ) -> List[FlowSpec]:
     """FlowSpecs for one Table-I cell.
 
@@ -152,6 +154,8 @@ def _entry_specs(
                 scenario=scenario,
                 duration=duration,
                 seed=base_seed,
+                cc=cc,
+                cc_params=cc_params,
                 flow_id=flow_id,
                 watchdog=watchdog,
                 metadata=metadata,
@@ -169,10 +173,18 @@ def campaign_specs(
     fault_plan: Optional[FaultPlan] = None,
     watchdog: Optional[Watchdog] = None,
     validate: bool = True,
+    cc: str = "reno",
+    cc_params: Optional[object] = None,
 ) -> List[FlowSpec]:
     """The Table-I campaign as a flat FlowSpec list (what
     :func:`generate_dataset` executes); exposed for benchmarks and for
-    callers that want to run the batch on their own executor."""
+    callers that want to run the batch on their own executor.
+
+    ``cc`` (a :mod:`repro.cc` registry name) and ``cc_params`` select
+    the congestion control every flow runs — the cross-CC sweeps of
+    :mod:`repro.experiments.cross_cc` rebuild this same campaign once
+    per variant.
+    """
     if duration <= 0.0:
         raise ConfigurationError(f"duration must be positive, got {duration}")
     if flow_scale <= 0.0:
@@ -196,6 +208,8 @@ def campaign_specs(
             rng,
             watchdog=watchdog,
             validate=validate,
+            cc=cc,
+            cc_params=cc_params,
         )
     return specs
 
@@ -212,6 +226,8 @@ def generate_dataset(
     workers: Union[int, str] = 1,
     telemetry: Optional[bool] = None,
     store=None,
+    cc: str = "reno",
+    cc_params: Optional[object] = None,
 ) -> SyntheticDataset:
     """Regenerate the Table-I campaign from the HSR simulator.
 
@@ -243,6 +259,11 @@ def generate_dataset(
     without simulating, and a campaign killed midway re-executes only
     the flows still missing — with traces and report byte-identical to
     an uncached run either way.
+
+    ``cc``/``cc_params`` run the whole campaign under a different
+    congestion control from the :mod:`repro.cc` registry (flow ids and
+    seeds are unchanged, so per-flow comparisons across variants line
+    up; the store keys differ, so caches never mix variants).
     """
     campaign = tuple(entries) if entries is not None else PAPER_CAMPAIGN
     specs = campaign_specs(
@@ -253,6 +274,8 @@ def generate_dataset(
         fault_plan=fault_plan,
         watchdog=watchdog,
         validate=validate,
+        cc=cc,
+        cc_params=cc_params,
     )
     executor = Executor.for_workers(
         workers, retry_policy=retry_policy, telemetry=telemetry

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro.cc`` mini-CLI."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cc import cc_names
+from repro.cc.cli import main
+
+
+class TestList:
+    def test_lists_every_registered_variant(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in cc_names():
+            assert name in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["name"] for row in rows} == set(cc_names())
+        for row in rows:
+            assert {"name", "family", "params", "summary", "docs"} <= set(row)
+
+    def test_family_filter(self, capsys):
+        assert main(["list", "--json", "--family", "rate-based"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in rows] == ["bbr"]
+
+
+class TestShow:
+    def test_show_prints_params_defaults(self, capsys):
+        assert main(["show", "cubic"]) == 0
+        out = capsys.readouterr().out
+        assert "CubicParams" in out
+        assert "beta" in out and "0.7" in out
+        assert "RFC 8312" in out
+
+    def test_show_json(self, capsys):
+        assert main(["show", "bbr", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "bbr"
+        assert payload["family"] == "rate-based"
+        fields = {f["name"] for f in payload["params_fields"]}
+        assert "startup_gain" in fields and "pacing_quantum" in fields
+
+    def test_paramless_variant(self, capsys):
+        assert main(["show", "reno"]) == 0
+        assert "params:  none" in capsys.readouterr().out
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["show", "vegas"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestModuleEntry:
+    def test_python_dash_m_works(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cc", "list"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "reno" in proc.stdout
+
+    def test_unknown_subcommand_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cc", "frobnicate"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2

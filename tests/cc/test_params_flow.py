@@ -1,0 +1,61 @@
+"""cc_params through the pipeline: FlowSpec -> executor -> store keys."""
+
+import pytest
+
+from repro.cc import BbrParams, CubicParams, RelentlessParams
+from repro.exec import FlowSpec, simulate_spec
+from repro.simulator import ConnectionConfig
+from repro.store.keys import flow_key
+from repro.util.errors import ConfigurationError
+
+
+def _spec(**kwargs):
+    base = dict(config=ConnectionConfig(duration=4.0), seed=11)
+    base.update(kwargs)
+    return FlowSpec(**base)
+
+
+class TestSpecValidation:
+    def test_non_dataclass_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="cc_params"):
+            _spec(cc="cubic", cc_params={"beta": 0.5})
+
+    def test_dataclass_params_accepted(self):
+        spec = _spec(cc="cubic", cc_params=CubicParams(beta=0.5))
+        assert spec.cc_params.beta == 0.5
+
+    def test_with_replaces_params(self):
+        spec = _spec(cc="cubic", cc_params=CubicParams(beta=0.5))
+        changed = spec.with_(cc_params=CubicParams(beta=0.6))
+        assert changed.cc_params.beta == 0.6
+
+
+class TestContentKeys:
+    def test_params_are_hashed_into_the_key(self):
+        plain = _spec(cc="cubic")
+        tuned = _spec(cc="cubic", cc_params=CubicParams(beta=0.5))
+        assert flow_key(plain) != flow_key(tuned)
+
+    def test_same_params_same_key(self):
+        a = _spec(cc="bbr", cc_params=BbrParams(cwnd_gain=1.5))
+        b = _spec(cc="bbr", cc_params=BbrParams(cwnd_gain=1.5))
+        assert flow_key(a) == flow_key(b)
+
+    def test_cc_name_is_hashed(self):
+        assert flow_key(_spec(cc="reno")) != flow_key(_spec(cc="cubic"))
+
+
+class TestExecution:
+    def test_tuned_flow_differs_from_default(self):
+        spec = _spec(
+            cc="relentless",
+            cc_params=RelentlessParams(decrement=2.0),
+            duration=None,
+        )
+        result, _ = simulate_spec(spec)
+        assert result.throughput > 0.0
+
+    def test_wrong_variant_params_fail_at_execution(self):
+        spec = _spec(cc="reno", cc_params=CubicParams())
+        with pytest.raises(ConfigurationError, match="no cc_params"):
+            simulate_spec(spec)

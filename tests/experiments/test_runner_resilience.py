@@ -46,7 +46,7 @@ class TestAllCommandResilience:
         def fake_list():
             return {"ok1": "first", "broken": "second", "ok2": "third"}
 
-        def fake_safe(experiment_id, scale=1.0, seed=2015, workers=1):
+        def fake_safe(experiment_id, scale=1.0, seed=2015, workers=1, cc=None):
             if experiment_id == "broken":
                 return None, ExperimentFailure(
                     experiment_id="broken",
@@ -73,7 +73,7 @@ class TestAllCommandResilience:
         monkeypatch.setattr(
             runner_module,
             "run_experiment_safe",
-            lambda experiment_id, scale=1.0, seed=2015, workers=1: (
+            lambda experiment_id, scale=1.0, seed=2015, workers=1, cc=None: (
                 ExperimentResult(experiment_id=experiment_id, title=experiment_id),
                 None,
             ),
@@ -96,7 +96,7 @@ class TestWatchdogFlags:
     def test_zero_disables_watchdog(self, monkeypatch, capsys):
         seen = {}
 
-        def spying_safe(experiment_id, scale=1.0, seed=2015, workers=1):
+        def spying_safe(experiment_id, scale=1.0, seed=2015, workers=1, cc=None):
             seen["watchdog"] = current_watchdog()
             return (
                 ExperimentResult(experiment_id=experiment_id, title=experiment_id),
@@ -110,7 +110,7 @@ class TestWatchdogFlags:
     def test_flags_install_ambient_watchdog(self, monkeypatch):
         seen = {}
 
-        def spying_safe(experiment_id, scale=1.0, seed=2015, workers=1):
+        def spying_safe(experiment_id, scale=1.0, seed=2015, workers=1, cc=None):
             seen["watchdog"] = current_watchdog()
             return (
                 ExperimentResult(experiment_id=experiment_id, title=experiment_id),
@@ -129,7 +129,7 @@ class TestWatchdogFlags:
 
         seen = {}
 
-        def spying_safe(experiment_id, scale=1.0, seed=2015, workers=1):
+        def spying_safe(experiment_id, scale=1.0, seed=2015, workers=1, cc=None):
             seen["plan"] = current_fault_plan()
             return (
                 ExperimentResult(experiment_id=experiment_id, title=experiment_id),

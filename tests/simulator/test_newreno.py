@@ -29,7 +29,7 @@ def config(**overrides) -> ConnectionConfig:
 class TestVariantSelection:
     def test_unknown_variant_rejected(self):
         with pytest.raises(ConfigurationError):
-            run_flow(config(duration=1.0), NoLoss(), NoLoss(), variant="cubic")
+            run_flow(config(duration=1.0), NoLoss(), NoLoss(), variant="vegas")
 
     def test_lossless_behaviour_identical(self):
         reno = run_flow(config(duration=10.0), NoLoss(), NoLoss(), seed=1)

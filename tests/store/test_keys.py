@@ -74,10 +74,10 @@ class TestFlowKey:
         assert flow_key(_spec()) != before
 
     def test_salted_with_cc_registry_version(self, monkeypatch):
-        import repro.simulator.cc as cc_module
+        import repro.cc as cc_package
 
         before = flow_key(_spec())
-        monkeypatch.setattr(cc_module, "CC_REGISTRY_VERSION", 999)
+        monkeypatch.setattr(cc_package, "CC_REGISTRY_VERSION", 999)
         assert flow_key(_spec()) != before
 
 

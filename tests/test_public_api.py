@@ -20,6 +20,7 @@ import repro
 #: the pinned public surface; sorted, exactly as ``__all__`` declares it
 API_SNAPSHOT = {
     "repro": [
+        "CCInfo",
         "CachedBackend",
         "CampaignReport",
         "CampaignTelemetry",
@@ -47,8 +48,11 @@ API_SNAPSHOT = {
         "TimelineTelemetry",
         "Watchdog",
         "__version__",
+        "cc_infos",
+        "cc_names",
         "compare_models",
         "compile_scenario",
+        "describe_cc",
         "deviation_rate",
         "driving_scenario",
         "enhanced_throughput",
@@ -58,10 +62,12 @@ API_SNAPSHOT = {
         "generate_stationary_reference",
         "hsr_scenario",
         "interrupt_signal",
+        "make_sender",
         "mptcp_gain",
         "padhye_approx_throughput",
         "padhye_full_throughput",
         "padhye_paper_form",
+        "register_cc",
         "run_flow",
         "scenario_names",
         "simulate_spec",
@@ -91,13 +97,33 @@ API_SNAPSHOT = {
         "simulate_spec",
         "supervise_scope",
     ],
+    "repro.cc": [
+        "BbrParams",
+        "CCInfo",
+        "CC_FAMILIES",
+        "CC_REGISTRY_VERSION",
+        "CompoundParams",
+        "CubicParams",
+        "RelentlessParams",
+        "cc_infos",
+        "cc_names",
+        "describe_cc",
+        "get_cc",
+        "make_sender",
+        "register_cc",
+        "unregister_cc",
+    ],
     "repro.simulator": [
         "AckRecord",
         "AckSegment",
+        "BaseSender",
+        "BbrSender",
         "BernoulliLoss",
         "BottleneckLink",
         "CompositeLoss",
+        "CompoundSender",
         "ConnectionConfig",
+        "CubicSender",
         "CwndSample",
         "DataPacketRecord",
         "EventHandle",
@@ -115,6 +141,7 @@ API_SNAPSHOT = {
         "PacketPool",
         "Receiver",
         "RecoveryPhaseRecord",
+        "RelentlessSender",
         "RenoSender",
         "RoundCorrelatedLoss",
         "RtoEstimator",
@@ -216,7 +243,7 @@ API_SNAPSHOT = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
@@ -267,6 +294,7 @@ class TestApiSnapshot:
 @pytest.mark.parametrize(
     "module_name",
     [
+        "repro.cc",
         "repro.core",
         "repro.exec",
         "repro.simulator",
