@@ -33,7 +33,11 @@ Layers, bottom to top (each imports only downwards):
 * :mod:`repro.exec` — the unified flow-execution pipeline
   (:class:`FlowSpec` → :class:`Executor`, serial/pool byte-identical).
 * :mod:`repro.store` — content-addressed flow-result persistence
-  (:class:`ResultStore`, :class:`CachedBackend`, resumable campaigns).
+  (:class:`ResultStore`, :class:`CachedBackend`, resumable campaigns),
+  shareable over HTTP (:class:`StoreServer`, :class:`RemoteStore`).
+* :mod:`repro.fabric` — the distributed campaign fabric: shard-by-key
+  leases with epochs and work stealing, coordinator + workers over
+  HTTP, the ``workers="fabric"`` backend (:func:`fabric_scope`).
 * :mod:`repro.hsr` — high-speed-rail channel/mobility substrate.
 * :mod:`repro.scenarios` — scenarios as data: schema-validated
   YAML/JSON documents, a compiler to :class:`Scenario`, the bundled
@@ -73,6 +77,7 @@ from repro.exec import (
     simulate_spec,
     supervise_scope,
 )
+from repro.fabric import FabricBackend, FabricConfig, fabric_scope
 from repro.hsr import (
     HookSpec,
     Scenario,
@@ -94,7 +99,15 @@ from repro.scenarios import (
     scenario_names,
 )
 from repro.simulator import ConnectionConfig, FlowResult, run_flow
-from repro.store import CachedBackend, ResultStore, flow_key, store_scope
+from repro.store import (
+    CachedBackend,
+    RemoteStore,
+    ResultStore,
+    StoreServer,
+    flow_key,
+    open_store,
+    store_scope,
+)
 from repro.telemetry import (
     CampaignTelemetry,
     CountingTelemetry,
@@ -110,7 +123,7 @@ from repro.traces import (
     generate_stationary_reference,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CCInfo",
@@ -121,6 +134,8 @@ __all__ = [
     "CountingTelemetry",
     "ExecutionResult",
     "Executor",
+    "FabricBackend",
+    "FabricConfig",
     "FaultPlan",
     "FlowOutcome",
     "FlowResult",
@@ -129,10 +144,12 @@ __all__ = [
     "LinkParams",
     "ModelOptions",
     "NullTelemetry",
+    "RemoteStore",
     "ResultStore",
     "RetryPolicy",
     "Scenario",
     "ScenarioDocument",
+    "StoreServer",
     "SupervisorPolicy",
     "SyntheticDataset",
     "Telemetry",
@@ -149,6 +166,7 @@ __all__ = [
     "deviation_rate",
     "driving_scenario",
     "enhanced_throughput",
+    "fabric_scope",
     "fault_scope",
     "flow_key",
     "generate_dataset",
@@ -157,6 +175,7 @@ __all__ = [
     "interrupt_signal",
     "make_sender",
     "mptcp_gain",
+    "open_store",
     "padhye_approx_throughput",
     "padhye_full_throughput",
     "padhye_paper_form",

@@ -847,7 +847,11 @@ class Executor:
         The string ``"auto"`` selects :class:`AutoBackend`, which
         probes the batch and picks lockstep vs serial vs pool per
         call; ``"lockstep"`` forces :class:`LockstepBackend` (shared
-        event wheel for eligible specs, serial fallback otherwise).
+        event wheel for eligible specs, serial fallback otherwise);
+        ``"fabric"`` runs the batch on the distributed campaign fabric
+        (:class:`~repro.fabric.FabricBackend` — a lease coordinator
+        plus worker processes, configured by the ambient
+        :func:`~repro.fabric.fabric_scope`).
         """
         if workers == "auto":
             return cls(
@@ -859,9 +863,20 @@ class Executor:
                 retry_policy=retry_policy,
                 telemetry=telemetry,
             )
+        if workers == "fabric":
+            # Imported lazily: repro.fabric sits above the executor in
+            # the layer diagram (it imports this module).
+            from repro.fabric.backend import FabricBackend
+
+            return cls(
+                backend=FabricBackend(),
+                retry_policy=retry_policy,
+                telemetry=telemetry,
+            )
         if isinstance(workers, str):
             raise ConfigurationError(
-                f"workers must be an integer, 'auto', or 'lockstep', got {workers!r}"
+                f"workers must be an integer, 'auto', 'lockstep', or "
+                f"'fabric', got {workers!r}"
             )
         if workers <= 1:
             return cls(

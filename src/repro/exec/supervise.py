@@ -333,6 +333,13 @@ class SupervisedBackend:
     ) -> List:
         items = list(items)
         self.last_interrupted = False
+        if getattr(self.inner, "self_supervising", False):
+            # A fabric backend owns its whole fault story — worker
+            # respawn, lease re-grants, per-shard retry — across a
+            # process boundary this layer cannot see.  Wrapping it in
+            # drain guards and pools here would only fight that
+            # machinery, so the batch is delegated verbatim.
+            return self.inner.map(fn, items, progress)
         results: List[Optional[FlowOutcome]] = [None] * len(items)
         done_box = [0]
         with _DrainGuard(self.policy.drain_signals) as drain:

@@ -83,14 +83,15 @@ __all__ = ["main"]
 
 
 def _workers_arg(value: str):
-    """Parse ``--workers``: an integer count, 'auto', or 'lockstep'."""
-    if value in ("auto", "lockstep"):
+    """Parse ``--workers``: an integer, 'auto', 'lockstep', or 'fabric'."""
+    if value in ("auto", "lockstep", "fabric"):
         return value
     try:
         return int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"workers must be an integer, 'auto', or 'lockstep', got {value!r}"
+            f"workers must be an integer, 'auto', 'lockstep', or "
+            f"'fabric', got {value!r}"
         )
 
 
@@ -173,10 +174,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_workers_arg, default=1, metavar="N",
         help="fan campaign/sweep flows out over N processes, 'auto' to "
-             "probe the batch and pick lockstep/serial/pool, or "
+             "probe the batch and pick lockstep/serial/pool, "
              "'lockstep' to run eligible flows on one shared event "
-             "wheel in-process; results are byte-identical to a serial "
-             "run any way (default 1)")
+             "wheel in-process, or 'fabric' to run on the distributed "
+             "campaign fabric (see --fabric-workers); results are "
+             "byte-identical to a serial run any way (default 1)")
+    parser.add_argument(
+        "--fabric-workers", type=int, default=2, metavar="N",
+        help="with --workers fabric: local worker processes to spawn "
+             "per campaign (0 = coordinator only; external workers "
+             "attach to the URL printed on stderr; default 2)")
+    parser.add_argument(
+        "--fabric-port", type=int, default=0, metavar="P",
+        help="with --workers fabric: coordinator bind port "
+             "(default 0 = ephemeral)")
+    parser.add_argument(
+        "--fabric-host", default="127.0.0.1", metavar="H",
+        help="with --workers fabric: coordinator bind address "
+             "(default 127.0.0.1)")
+    parser.add_argument(
+        "--lease-timeout-s", type=float, default=30.0, metavar="S",
+        help="with --workers fabric: seconds before an unfinished "
+             "shard lease expires back to pending — how fast dead "
+             "workers shed their work (default 30)")
     parser.add_argument(
         "--cc", metavar="NAME[,NAME...]", default=None,
         help="congestion control selection for CC-aware experiments "
@@ -309,12 +329,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         deadline_s=args.deadline_s if args.deadline_s > 0 else None,
         max_worker_restarts=args.max_worker_restarts,
     )
+    from repro.fabric.backend import FabricConfig, fabric_scope
+
+    fabric_config = None
+    if args.workers == "fabric":
+        # The store reference travels into the config too, so fabric
+        # workers persist flows through the same store the driver's
+        # cache partition reads (a URL reference works across hosts).
+        fabric_config = FabricConfig(
+            workers=args.fabric_workers,
+            host=args.fabric_host,
+            port=args.fabric_port,
+            store=args.store,
+            lease_timeout_s=args.lease_timeout_s,
+            max_worker_restarts=args.max_worker_restarts,
+        )
     clear_interrupt()  # sticky flag; don't inherit an old invocation's drain
     exit_code = 0
     interrupted_by: Optional[int] = None
     with watchdog_scope(_watchdog_from(args)), fault_scope(plan), telemetry_scope(
         telemetry_config
-    ), store_scope(args.store, refresh=args.no_cache), supervise_scope(supervisor):
+    ), store_scope(args.store, refresh=args.no_cache), supervise_scope(
+        supervisor
+    ), fabric_scope(fabric_config):
         if scenario_refs is not None:
             exit_code = _run_scenarios(args, scenario_refs)
             interrupted_by = interrupt_signal()

@@ -1,0 +1,234 @@
+"""Deterministic work plans and leases for distributed campaigns.
+
+A campaign batch is split into *shards* — small groups of payload
+positions — and workers claim shards under time-limited *leases*.
+Two properties carry the whole fabric's correctness story:
+
+* **The plan is a pure function of the batch.**  Every payload is
+  assigned to its shard by its spec's content hash
+  (:func:`~repro.store.keys.flow_key` — the same key that addresses
+  its result in the store), so any coordinator planning the same batch
+  produces the same shards in the same order, and a resumed campaign
+  re-plans identically.  Unhashable specs fall back to a digest of
+  ``flow_id`` + position, which is just as stable for one batch.
+
+* **Re-leasing never double-counts.**  Each shard carries an *epoch*
+  that increments every time it is (re-)leased.  A completion is
+  accepted only when it quotes the shard's current epoch and the shard
+  is not already done — so when a dead worker's shard is re-leased and
+  the original worker turns out to be merely slow, whichever completion
+  arrives first under the live epoch wins and the other is discarded
+  whole.  Results are keyed by payload *position*, so accepted outcomes
+  land exactly once and chaos/execution indices are never replayed into
+  the report.
+
+Work stealing falls out of the same table: an idle worker with no
+pending shards may *steal* the oldest active lease once it has aged
+past ``steal_age_s`` — the re-grant bumps the epoch, invalidating the
+straggler's eventual completion.  A lease that outlives
+``lease_timeout_s`` without completing is expired back to pending,
+which is how SIGKILLed workers shed their work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.store.keys import UnhashableSpecError, flow_key
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Lease", "LeaseTable", "ShardPlan", "shard_key_for_payload"]
+
+#: shards sized for lease granularity: small enough that losing one to
+#: a dead worker costs little, large enough that lease round-trips are
+#: amortised over several flows
+DEFAULT_SHARD_SIZE = 4
+
+
+def shard_key_for_payload(payload: Tuple) -> str:
+    """The content hash that routes one executor payload to a shard.
+
+    The spec's :func:`~repro.store.keys.flow_key` when it has one (so
+    shard routing and store addressing agree); otherwise a digest of
+    flow id + batch position, which is stable for the batch at hand.
+    """
+    index, spec = payload[0], payload[1]
+    try:
+        return flow_key(spec)
+    except UnhashableSpecError:
+        return hashlib.sha256(
+            f"unhashable:{spec.flow_id}:{index}".encode()
+        ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The deterministic payload-position → shard assignment."""
+
+    #: per shard, the payload positions it owns (batch order preserved)
+    shards: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def for_payloads(
+        cls, payloads: Sequence[Tuple], shard_size: int = DEFAULT_SHARD_SIZE
+    ) -> "ShardPlan":
+        """Plan a batch: hash-bucket payloads, then split oversized
+        buckets so no shard exceeds ``shard_size``.
+
+        Bucket count scales with the batch so shards stay small; the
+        bucket walk is in bucket-index order and positions within a
+        bucket keep batch order, so the plan is reproducible from the
+        batch alone.
+        """
+        if shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be >= 1, got {shard_size}"
+            )
+        if not payloads:
+            return cls(shards=())
+        bucket_count = max(1, (len(payloads) + shard_size - 1) // shard_size)
+        buckets: Dict[int, List[int]] = {}
+        for position, payload in enumerate(payloads):
+            bucket = int(shard_key_for_payload(payload)[:16], 16) % bucket_count
+            buckets.setdefault(bucket, []).append(position)
+        shards: List[Tuple[int, ...]] = []
+        for bucket in sorted(buckets):
+            positions = buckets[bucket]
+            for start in range(0, len(positions), shard_size):
+                shards.append(tuple(positions[start : start + shard_size]))
+        return cls(shards=tuple(shards))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def payload_count(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+
+@dataclass
+class Lease:
+    """One live grant of a shard to a worker."""
+
+    shard: int
+    epoch: int
+    worker: str
+    granted_at: float = field(default_factory=time.monotonic)
+
+    def age(self, now: Optional[float] = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.granted_at
+
+
+class LeaseTable:
+    """Pending / active / done bookkeeping for one campaign's shards.
+
+    Not thread-safe on its own; the coordinator serialises access
+    under its lock.  ``now`` parameters exist so tests can drive the
+    clock explicitly.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        lease_timeout_s: float = 30.0,
+        steal_age_s: Optional[float] = None,
+    ) -> None:
+        if lease_timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"lease_timeout_s must be positive, got {lease_timeout_s}"
+            )
+        if steal_age_s is not None and steal_age_s <= 0.0:
+            raise ConfigurationError(
+                f"steal_age_s must be positive, got {steal_age_s}"
+            )
+        self.lease_timeout_s = lease_timeout_s
+        #: minimum age before an active lease may be stolen by an idle
+        #: worker; None = steal only via timeout expiry
+        self.steal_age_s = steal_age_s
+        self.shard_count = shard_count
+        self._pending: Deque[int] = deque(range(shard_count))
+        self._active: Dict[int, Lease] = {}
+        self._done: Set[int] = set()
+        self._epochs: Dict[int, int] = {shard: 0 for shard in range(shard_count)}
+        #: observability counters: expiries, steals, rejected completions
+        self.expired = 0
+        self.stolen = 0
+        self.rejected = 0
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return len(self._done) == self.shard_count
+
+    @property
+    def done_count(self) -> int:
+        return len(self._done)
+
+    def epoch_of(self, shard: int) -> int:
+        return self._epochs[shard]
+
+    # -- lease lifecycle -----------------------------------------------
+
+    def _expire_stale(self, now: float) -> None:
+        for shard, lease in list(self._active.items()):
+            if lease.age(now) > self.lease_timeout_s:
+                del self._active[shard]
+                self._pending.append(shard)
+                self.expired += 1
+
+    def claim(self, worker: str, now: Optional[float] = None) -> Optional[Lease]:
+        """Grant the next shard to ``worker``, or None when nothing is
+        claimable right now (the worker should poll again — active
+        leases may yet expire or complete)."""
+        now = time.monotonic() if now is None else now
+        self._expire_stale(now)
+        if self._pending:
+            shard = self._pending.popleft()
+        elif self._active and self.steal_age_s is not None:
+            # Idle worker, nothing pending: steal the oldest active
+            # lease once it has aged past the steal threshold.  The
+            # epoch bump below invalidates the straggler's completion.
+            oldest = min(self._active.values(), key=lambda lease: lease.granted_at)
+            if oldest.age(now) < self.steal_age_s or oldest.worker == worker:
+                return None
+            shard = oldest.shard
+            del self._active[shard]
+            self.stolen += 1
+        else:
+            return None
+        self._epochs[shard] += 1
+        lease = Lease(
+            shard=shard, epoch=self._epochs[shard], worker=worker, granted_at=now
+        )
+        self._active[shard] = lease
+        return lease
+
+    def complete(self, shard: int, epoch: int) -> bool:
+        """Whether this completion is the accepted one for ``shard``.
+
+        Exactly one completion per shard is ever accepted: the first
+        to arrive quoting the shard's *current* epoch.  Stale epochs
+        (the lease was re-granted) and duplicate completions are
+        rejected whole, which is what keeps re-leased shards from
+        double-counting execution indices.
+        """
+        if shard in self._done or epoch != self._epochs[shard]:
+            self.rejected += 1
+            return False
+        self._active.pop(shard, None)
+        # A lease can expire back to pending and *then* complete (the
+        # holder was slow, not dead): pull it out of the queue so the
+        # shard is never pointlessly re-run.
+        try:
+            self._pending.remove(shard)
+        except ValueError:
+            pass
+        self._done.add(shard)
+        return True

@@ -16,13 +16,24 @@ registry and engine schema versions) addresses its entire result:
 Resumability falls out: a campaign killed midway has already persisted
 every completed flow, so rerunning the same command executes only the
 remainder.  ``python -m repro.store`` offers ``stats`` / ``verify`` /
-``gc`` maintenance over a store directory.
+``gc`` maintenance over a store directory, and ``serve`` exposes one
+over HTTP (:class:`StoreServer`) so remote campaign workers can share
+it through a :class:`RemoteStore` client — same entry bytes, same
+integrity digests, same read/write surface (:func:`open_store` turns
+either spelling, directory or ``http://`` URL, into a store).
 """
 
 from repro.store.backend import CachedBackend
 from repro.store.breaker import StoreCircuitBreaker
-from repro.store.disk import CorruptEntryError, ResultStore, StoreStats
+from repro.store.disk import (
+    CorruptEntryError,
+    ResultStore,
+    StoreStats,
+    decode_entry,
+    encode_entry,
+)
 from repro.store.format import SCHEMA_VERSION, decode_outcome, encode_outcome
+from repro.store.remote import RemoteStore, StoreServer, open_store
 from repro.store.keys import (
     ENGINE_SCHEMA_VERSION,
     UnhashableSpecError,
@@ -40,17 +51,22 @@ __all__ = [
     "CachedBackend",
     "CorruptEntryError",
     "ENGINE_SCHEMA_VERSION",
+    "RemoteStore",
     "ResultStore",
     "SCHEMA_VERSION",
     "StoreCircuitBreaker",
     "StoreConfig",
+    "StoreServer",
     "StoreStats",
     "UnhashableSpecError",
     "canonical_json",
     "current_store",
     "current_store_config",
+    "decode_entry",
     "decode_outcome",
+    "encode_entry",
     "encode_outcome",
     "flow_key",
+    "open_store",
     "store_scope",
 ]

@@ -31,8 +31,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exec.executor import FlowOutcome, SerialBackend
 from repro.store.breaker import StoreCircuitBreaker
-from repro.store.disk import ResultStore
 from repro.store.format import decode_outcome, encode_outcome
+from repro.store.remote import open_store
 from repro.store.keys import UnhashableSpecError, flow_key
 from repro.telemetry.counters import CountingTelemetry
 
@@ -55,8 +55,9 @@ class CachedBackend:
 
     def __init__(self, store, inner=None, *, refresh: bool = False) -> None:
         if isinstance(store, (str, os.PathLike)):
-            store = ResultStore(store)
-        self.store: ResultStore = store
+            # Accepts a directory path or an http:// store-server URL.
+            store = open_store(store)
+        self.store = store
         self.inner = inner if inner is not None else SerialBackend()
         self.refresh = refresh
         #: partition of the last map call: hits/misses/corrupt/uncacheable

@@ -3,8 +3,9 @@
 Usage::
 
     python -m repro.store stats  DIR [--json]
-    python -m repro.store verify DIR [--quarantine | --repair]
-    python -m repro.store gc     DIR [--dry-run]
+    python -m repro.store verify DIR [--quarantine | --repair] [--json]
+    python -m repro.store gc     DIR [--dry-run] [--json]
+    python -m repro.store serve  DIR [--host H] [--port P]
 
 ``stats`` summarises entry/byte/schema counts; ``verify`` re-hashes
 every entry against its integrity digest (exit 1 when anything is
@@ -13,6 +14,14 @@ does the same in one store pass *and exits 0* — corruption handled is
 not an error — so operators can pre-clean a store before a large
 campaign); ``gc`` drops entries written under a stale payload schema
 (and unreadable ones), reclaiming space that can never hit again.
+Every maintenance subcommand takes ``--json`` for machine-readable
+output, so fabric tooling and CI can parse store state without
+scraping text.
+
+``serve`` exposes the directory over HTTP
+(:class:`~repro.store.remote.StoreServer`) so remote campaign workers
+can share it via ``--store http://host:port``; it prints the bound URL
+on stdout and serves until interrupted.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ __all__ = ["main"]
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-store",
-        description="Inspect and maintain a content-addressed flow-result store",
+        description="Inspect, maintain, and serve a content-addressed flow-result store",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -49,16 +58,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="quarantine all corrupt entries in one pass and exit 0 "
              "(pre-clean a store before a campaign)",
     )
+    verify.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
 
     gc = sub.add_parser("gc", help="drop stale-schema and unreadable entries")
     gc.add_argument("store_dir")
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without removing it")
+    gc.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON")
+
+    serve = sub.add_parser(
+        "serve", help="expose the store over HTTP for remote campaign workers"
+    )
+    serve.add_argument("store_dir")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = ephemeral; the bound "
+                            "URL is printed on stdout)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        from repro.store.remote import StoreServer
+
+        server = StoreServer(args.store_dir, host=args.host, port=args.port)
+        print(server.url, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
+
     store = ResultStore(args.store_dir)
 
     if args.command == "stats":
@@ -72,36 +107,67 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "verify":
         if args.repair:
             checked, repaired = store.repair()
-            print(
-                f"store: verified {checked} entries, "
-                f"quarantined {len(repaired)} corrupt"
-            )
-            for key in repaired:
-                print(f"  quarantined {key}", file=sys.stderr)
+            if args.json:
+                print(json.dumps(
+                    {"checked": checked, "corrupt": len(repaired),
+                     "quarantined": sorted(repaired), "repaired": True},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(
+                    f"store: verified {checked} entries, "
+                    f"quarantined {len(repaired)} corrupt"
+                )
+                for key in repaired:
+                    print(f"  quarantined {key}", file=sys.stderr)
             return 0
         checked, corrupt = store.verify()
-        print(f"store: verified {checked} entries, {len(corrupt)} corrupt")
-        for key in corrupt:
-            print(f"  corrupt {key}", file=sys.stderr)
-            if args.quarantine:
+        if args.quarantine:
+            for key in corrupt:
                 store.quarantine(key)
-        if corrupt and args.quarantine:
-            print(f"store: quarantined {len(corrupt)} entries")
+        if args.json:
+            print(json.dumps(
+                {"checked": checked, "corrupt": len(corrupt),
+                 "corrupt_keys": sorted(corrupt),
+                 "quarantined": sorted(corrupt) if args.quarantine else []},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(f"store: verified {checked} entries, {len(corrupt)} corrupt")
+            for key in corrupt:
+                print(f"  corrupt {key}", file=sys.stderr)
+            if corrupt and args.quarantine:
+                print(f"store: quarantined {len(corrupt)} entries")
         return 1 if corrupt else 0
 
     # gc
     if args.dry_run:
         stats = store.stats()
-        print(
-            f"store: gc --dry-run — would remove {stats.stale_entries} of "
-            f"{stats.entries} entries (current schema {SCHEMA_VERSION})"
-        )
+        if args.json:
+            print(json.dumps(
+                {"dry_run": True, "entries": stats.entries,
+                 "would_remove": stats.stale_entries,
+                 "schema_version": SCHEMA_VERSION},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(
+                f"store: gc --dry-run — would remove {stats.stale_entries} of "
+                f"{stats.entries} entries (current schema {SCHEMA_VERSION})"
+            )
         return 0
     kept, removed = store.gc()
-    print(
-        f"store: gc removed {removed} stale entries, kept {kept} "
-        f"(schema {SCHEMA_VERSION})"
-    )
+    if args.json:
+        print(json.dumps(
+            {"dry_run": False, "kept": kept, "removed": removed,
+             "schema_version": SCHEMA_VERSION},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(
+            f"store: gc removed {removed} stale entries, kept {kept} "
+            f"(schema {SCHEMA_VERSION})"
+        )
     return 0
 
 

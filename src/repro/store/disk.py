@@ -22,20 +22,34 @@ recomputation instead of poisoning campaigns.
 
 Writes are atomic: the entry is written to a same-directory temp
 file and ``os.replace``d into place, so a killed campaign can never
-leave a half-written entry where a future read would find it, and
-concurrent campaigns sharing a store race benignly (last identical
-write wins).  Gzip frames are stamped with ``mtime=0`` so the same
-payload always produces the same file bytes; compression runs at
-level 1 — a cache trades disk for time, and heavier levels spend
-more per write than a campaign ever gets back.
+leave a half-written entry where a future read would find it.  The
+temp name embeds pid, thread id, and a per-process counter, so any
+number of concurrent writers — processes *or* threads (the HTTP
+store server handles requests on a thread pool) — each own a private
+temp file and can never interleave bytes.  Racing writers of the
+same key then collide only at the final ``os.replace``, where the
+loser simply overwrites the winner with identical bytes (same key ⇒
+same payload ⇒ same file bytes): a silent no-op.  Gzip frames are
+stamped with ``mtime=0`` so the same payload always produces the
+same file bytes; compression runs at level 1 — a cache trades disk
+for time, and heavier levels spend more per write than a campaign
+ever gets back.
+
+:func:`encode_entry` / :func:`decode_entry` are the entry format
+itself, factored out of the store so the HTTP transport
+(:mod:`repro.store.remote`) can ship verbatim entry bytes and both
+ends validate the same digests.
 """
 
 from __future__ import annotations
 
 import gzip
 import hashlib
+import io
+import itertools
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -43,10 +57,21 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.store.format import SCHEMA_VERSION
 from repro.util.errors import ReproError
 
-__all__ = ["CorruptEntryError", "ResultStore", "StoreStats"]
+__all__ = [
+    "CorruptEntryError",
+    "ResultStore",
+    "StoreStats",
+    "decode_entry",
+    "encode_entry",
+    "parse_entry",
+]
 
 _SUFFIX = ".json.gz"
 _QUARANTINE_DIR = "quarantine"
+
+#: Disambiguates temp files between threads of one process; combined
+#: with pid + thread id in the temp name, every writer is unique.
+_TMP_COUNTER = itertools.count()
 
 
 class CorruptEntryError(ReproError, ValueError):
@@ -97,6 +122,88 @@ class StoreStats:
         )
 
 
+# -- entry format (shared by the on-disk store and the HTTP transport)
+
+
+def encode_entry(key: str, payload: Dict[str, object]) -> bytes:
+    """The exact file bytes for one entry.
+
+    Plain JSON, not keys.canonical_json: payloads are already
+    JSON-native (format.encode_outcome built them), and floats must
+    land in the file as bare shortest-repr literals so the stored
+    bytes parse straight back into the payload.  Deterministic:
+    gzip mtime is pinned to 0, so the same payload always encodes to
+    the same bytes — which is what lets the remote transport compare
+    and re-verify entries byte-for-byte.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    header = {
+        "schema": SCHEMA_VERSION,
+        "key": key,
+        "flow_id": payload.get("flow_id", ""),
+        "digest": hashlib.sha256(body).hexdigest(),
+    }
+    buffer = io.BytesIO()
+    with gzip.GzipFile(
+        fileobj=buffer, mode="wb", mtime=0, compresslevel=1
+    ) as zipped:
+        zipped.write(
+            json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        )
+        zipped.write(b"\n")
+        zipped.write(body)
+    return buffer.getvalue()
+
+
+def parse_entry(raw: bytes, key: str) -> Tuple[Dict[str, object], bytes]:
+    """``(header, payload_bytes)`` from one entry's file bytes, with
+    the header checked for shape and key ↔ filename binding but the
+    payload digest *not* yet verified (that is :func:`decode_entry`)."""
+    try:
+        blob = gzip.decompress(raw)
+    except (OSError, EOFError) as error:
+        raise CorruptEntryError(key, f"unreadable entry: {error}") from None
+    head, sep, body = blob.partition(b"\n")
+    if not sep:
+        raise CorruptEntryError(key, "entry has no header line")
+    try:
+        header = json.loads(head)
+    except ValueError as error:
+        raise CorruptEntryError(
+            key, f"unparseable header: {error}"
+        ) from None
+    if not isinstance(header, dict):
+        raise CorruptEntryError(key, "header is not an object")
+    if header.get("key") != key:
+        raise CorruptEntryError(
+            key, f"header key {header.get('key')!r} != filename key"
+        )
+    return header, body
+
+
+def decode_entry(raw: bytes, key: str) -> Optional[Dict[str, object]]:
+    """The verified payload inside one entry's file bytes.
+
+    None when the entry was written under a stale schema (gc's
+    business, not corruption); :class:`CorruptEntryError` when any
+    integrity check fails.
+    """
+    header, body = parse_entry(raw, key)
+    if header.get("schema") != SCHEMA_VERSION:
+        return None  # stale, not corrupt: gc's business
+    if hashlib.sha256(body).hexdigest() != header.get("digest"):
+        raise CorruptEntryError(key, "payload digest mismatch")
+    try:
+        payload = json.loads(body)
+    except ValueError as error:  # digest collision-with-garbage only
+        raise CorruptEntryError(
+            key, f"unparseable payload: {error}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise CorruptEntryError(key, "payload is not an object")
+    return payload
+
+
 class ResultStore:
     """Content-addressed persistence for flow results."""
 
@@ -121,61 +228,58 @@ class ResultStore:
 
     def put(self, key: str, payload: Dict[str, object]) -> Path:
         """Persist one payload atomically under its content key."""
-        # Plain JSON, not keys.canonical_json: payloads are already
-        # JSON-native (format.encode_outcome built them), and floats
-        # must land in the file as bare shortest-repr literals so the
-        # stored bytes parse straight back into the payload.
-        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
-        header = {
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "flow_id": payload.get("flow_id", ""),
-            "digest": hashlib.sha256(body).hexdigest(),
-        }
+        return self.put_bytes(key, encode_entry(key, payload))
+
+    def put_bytes(self, key: str, raw: bytes) -> Path:
+        """Persist pre-encoded entry bytes atomically under ``key``.
+
+        The raw side of :meth:`put`, used by the HTTP store server to
+        land transported entries without a decode → re-encode round
+        trip.  Callers own validation (:func:`decode_entry`); this
+        method owns only atomicity.  The temp name is unique per
+        writer (pid + thread id + counter), so concurrent same-key
+        writers never share a temp file; the losing ``os.replace``
+        lands identical bytes over identical bytes — a silent no-op.
+        """
         target = self.path_for(key)
         target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.parent / f".{key}.{os.getpid()}.tmp"
+        tmp = target.parent / (
+            f".{key}.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_TMP_COUNTER)}.tmp"
+        )
         try:
             with open(tmp, "wb") as handle:
-                with gzip.GzipFile(
-                    fileobj=handle, mode="wb", mtime=0, compresslevel=1
-                ) as zipped:
-                    zipped.write(
-                        json.dumps(
-                            header, sort_keys=True, separators=(",", ":")
-                        ).encode()
-                    )
-                    zipped.write(b"\n")
-                    zipped.write(body)
+                handle.write(raw)
             os.replace(tmp, target)
         finally:
-            if tmp.exists():  # pragma: no cover - only on write failure
-                tmp.unlink()
+            tmp.unlink(missing_ok=True)  # only present on write failure
         return target
 
     # -- read ----------------------------------------------------------
+
+    def read_bytes(self, key: str) -> Optional[bytes]:
+        """Verbatim entry file bytes, or None when absent.
+
+        The raw side of :meth:`load`, used by the HTTP store server to
+        ship entries without a decode → re-encode round trip.
+        """
+        try:
+            return self.path_for(key).read_bytes()
+        except FileNotFoundError:
+            return None
 
     def load(self, key: str) -> Optional[Dict[str, object]]:
         """The stored payload, or None when absent / written under a
         stale schema.  Raises :class:`CorruptEntryError` when the entry
         exists but fails integrity."""
         path = self.path_for(key)
-        if not path.exists():
-            return None
-        header, body = self._read_entry(path, key)
-        if header.get("schema") != SCHEMA_VERSION:
-            return None  # stale, not corrupt: gc's business
-        if hashlib.sha256(body).hexdigest() != header.get("digest"):
-            raise CorruptEntryError(key, "payload digest mismatch")
         try:
-            payload = json.loads(body)
-        except ValueError as error:  # digest collision-with-garbage only
-            raise CorruptEntryError(
-                key, f"unparseable payload: {error}"
-            ) from None
-        if not isinstance(payload, dict):
-            raise CorruptEntryError(key, "payload is not an object")
-        return payload
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            raise CorruptEntryError(key, f"unreadable entry: {error}") from None
+        return decode_entry(raw, key)
 
     def get(self, key: str) -> Tuple[Optional[Dict[str, object]], bool]:
         """Lenient read: ``(payload_or_None, was_corrupt)``.
@@ -194,26 +298,10 @@ class ResultStore:
     ) -> Tuple[Dict[str, object], bytes]:
         """``(header, payload_bytes)`` of one entry file, unverified."""
         try:
-            with gzip.open(path, "rb") as handle:
-                raw = handle.read()
-        except (OSError, EOFError) as error:
+            raw = path.read_bytes()
+        except OSError as error:
             raise CorruptEntryError(key, f"unreadable entry: {error}") from None
-        head, sep, body = raw.partition(b"\n")
-        if not sep:
-            raise CorruptEntryError(key, "entry has no header line")
-        try:
-            header = json.loads(head)
-        except ValueError as error:
-            raise CorruptEntryError(
-                key, f"unparseable header: {error}"
-            ) from None
-        if not isinstance(header, dict):
-            raise CorruptEntryError(key, "header is not an object")
-        if header.get("key") != key:
-            raise CorruptEntryError(
-                key, f"header key {header.get('key')!r} != filename key"
-            )
-        return header, body
+        return parse_entry(raw, key)
 
     def quarantine(self, key: str) -> Optional[Path]:
         """Move a (presumably corrupt) entry aside; None when absent."""

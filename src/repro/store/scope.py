@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 from repro.store.disk import ResultStore
+from repro.store.remote import RemoteStore, open_store
 
 __all__ = ["StoreConfig", "current_store", "current_store_config", "store_scope"]
 
@@ -30,7 +31,7 @@ __all__ = ["StoreConfig", "current_store", "current_store_config", "store_scope"
 class StoreConfig:
     """The ambient caching policy: where, and whether to read back."""
 
-    store: ResultStore
+    store: Union[ResultStore, RemoteStore]
     #: True = ignore existing entries but still write fresh ones
     #: (the CLI's ``--no-cache``)
     refresh: bool = False
@@ -54,21 +55,22 @@ def current_store() -> Optional[ResultStore]:
 
 @contextlib.contextmanager
 def store_scope(
-    store: Optional[Union[str, os.PathLike, ResultStore]],
+    store: Optional[Union[str, os.PathLike, ResultStore, RemoteStore]],
     *,
     refresh: bool = False,
-) -> Iterator[Optional[ResultStore]]:
+) -> Iterator[Optional[Union[ResultStore, RemoteStore]]]:
     """Install ``store`` ambiently for the duration of the block.
 
     ``store=None`` is a no-op scope (so callers can pass an optional
-    CLI argument straight through); a string or path is opened as a
-    :class:`ResultStore` rooted there.
+    CLI argument straight through); a directory string or path is
+    opened as a :class:`ResultStore` rooted there, and an ``http://``
+    URL as a :class:`~repro.store.remote.RemoteStore` client.
     """
     if store is None:
         yield None
         return
     if isinstance(store, (str, os.PathLike)):
-        store = ResultStore(store)
+        store = open_store(store)
     token = _ambient_store.set(StoreConfig(store=store, refresh=refresh))
     try:
         yield store

@@ -1,0 +1,190 @@
+"""Shard planning and lease arbitration: the fabric's correctness core.
+
+The plan must be a pure function of the batch (any coordinator plans
+the same shards), and the lease table's epoch rule must make exactly
+one completion per shard ever count — however many workers crash,
+straggle, or steal.  These tests drive the clock explicitly via the
+``now`` parameters, so expiry and stealing are deterministic.
+"""
+
+import pytest
+
+from repro.exec.spec import FlowSpec
+from repro.fabric.shard import Lease, LeaseTable, ShardPlan, shard_key_for_payload
+from repro.hsr import CHINA_MOBILE, hsr_scenario
+from repro.robustness.campaign import RetryPolicy
+from repro.store import flow_key
+from repro.util.errors import ConfigurationError
+
+
+def _payloads(n):
+    return [
+        (
+            i,
+            FlowSpec(
+                scenario=hsr_scenario(CHINA_MOBILE), duration=3.0, seed=500 + i,
+                flow_id=f"shard/{i}",
+            ),
+            RetryPolicy(),
+        )
+        for i in range(n)
+    ]
+
+
+class TestShardKey:
+    def test_matches_store_addressing(self):
+        payload = _payloads(1)[0]
+        assert shard_key_for_payload(payload) == flow_key(payload[1])
+
+    def test_unhashable_spec_falls_back_stably(self):
+        # an opaque callable defeats canonical encoding
+        opaque = hsr_scenario(CHINA_MOBILE).with_channel_hook(
+            lambda built, seed: built
+        )
+        spec = FlowSpec(
+            scenario=opaque, duration=3.0, seed=1, flow_id="opaque/0"
+        )
+        payload = (4, spec, RetryPolicy())
+        key = shard_key_for_payload(payload)
+        assert len(key) == 64
+        assert key == shard_key_for_payload(payload)  # stable per batch slot
+        assert key != shard_key_for_payload((5, spec, RetryPolicy()))
+
+
+class TestShardPlan:
+    def test_plan_is_a_pure_function_of_the_batch(self):
+        payloads = _payloads(11)
+        first = ShardPlan.for_payloads(payloads, shard_size=3)
+        again = ShardPlan.for_payloads(list(payloads), shard_size=3)
+        assert first == again
+
+    def test_plan_covers_every_position_exactly_once(self):
+        payloads = _payloads(13)
+        plan = ShardPlan.for_payloads(payloads, shard_size=4)
+        positions = [p for shard in plan.shards for p in shard]
+        assert sorted(positions) == list(range(13))
+        assert plan.payload_count == 13
+        assert all(len(shard) <= 4 for shard in plan.shards)
+        assert all(list(shard) == sorted(shard) for shard in plan.shards)
+
+    def test_empty_batch_plans_empty(self):
+        plan = ShardPlan.for_payloads([])
+        assert plan.shards == ()
+        assert plan.shard_count == 0
+
+    def test_shard_size_one_is_one_flow_per_lease(self):
+        plan = ShardPlan.for_payloads(_payloads(5), shard_size=1)
+        assert all(len(shard) == 1 for shard in plan.shards)
+        assert plan.shard_count == 5
+
+    def test_shard_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.for_payloads(_payloads(2), shard_size=0)
+
+
+class TestLeaseLifecycle:
+    def test_claim_grants_each_shard_once(self):
+        table = LeaseTable(3)
+        leases = [table.claim("w", now=0.0) for _ in range(3)]
+        assert [lease.shard for lease in leases] == [0, 1, 2]
+        assert all(lease.epoch == 1 for lease in leases)
+        assert table.claim("w", now=0.0) is None  # all active, none stealable
+
+    def test_complete_accepts_exactly_once(self):
+        table = LeaseTable(1)
+        lease = table.claim("w", now=0.0)
+        assert table.complete(lease.shard, lease.epoch) is True
+        assert table.complete(lease.shard, lease.epoch) is False  # duplicate
+        assert table.done
+        assert table.rejected == 1
+
+    def test_expiry_releases_a_dead_workers_shard(self):
+        table = LeaseTable(1, lease_timeout_s=5.0)
+        first = table.claim("victim", now=0.0)
+        assert table.claim("helper", now=1.0) is None  # lease still live
+        second = table.claim("helper", now=6.0)  # victim timed out
+        assert second.shard == first.shard
+        assert second.epoch == first.epoch + 1
+        assert table.expired == 1
+        # the victim's ghost completion is rejected; the helper's counts
+        assert table.complete(first.shard, first.epoch) is False
+        assert table.complete(second.shard, second.epoch) is True
+        assert table.done
+
+    def test_slow_but_alive_completion_wins_the_epoch_race(self):
+        """A lease expires back to pending, then the original holder
+        completes anyway: rejected (stale epoch), and the re-leased run
+        is the one that counts — never both."""
+        table = LeaseTable(1, lease_timeout_s=5.0)
+        slow = table.claim("slow", now=0.0)
+        # expiry happens lazily inside the next claim; drive it via a
+        # claim that re-grants the shard under a new epoch
+        fresh = table.claim("fresh", now=10.0)
+        assert fresh.epoch == slow.epoch + 1
+        assert table.complete(slow.shard, slow.epoch) is False
+        assert not table.done
+        assert table.complete(fresh.shard, fresh.epoch) is True
+        assert table.done
+
+    def test_expired_then_completed_shard_leaves_the_queue(self):
+        """The holder was slow, not dead: expiry queues the shard for
+        re-lease, but expiry alone does not bump the epoch — so if the
+        original holder completes *before* anyone re-claims, its
+        completion counts and the shard is pulled back out of the
+        pending queue rather than pointlessly re-run."""
+        table = LeaseTable(2, lease_timeout_s=5.0)
+        slow = table.claim("slow", now=0.0)
+        # at now=20 slow's lease expires back to pending; the idle
+        # claim pops the *other* shard first (FIFO), leaving slow's
+        # shard queued for re-lease
+        idle = table.claim("idle", now=20.0)
+        assert idle.shard != slow.shard
+        assert table.expired == 1
+        # the slow holder completes while its shard sits in pending:
+        # accepted (epoch unchanged — nothing re-leased it) and pulled
+        # out of the queue
+        assert table.complete(slow.shard, slow.epoch) is True
+        assert table.claim("idle2", now=20.0) is None  # queue really is empty
+        assert table.complete(idle.shard, idle.epoch) is True
+        assert table.done
+
+
+class TestWorkStealing:
+    def test_idle_worker_steals_the_oldest_aged_lease(self):
+        table = LeaseTable(2, lease_timeout_s=100.0, steal_age_s=3.0)
+        oldest = table.claim("w1", now=0.0)
+        table.claim("w2", now=1.0)
+        # too young to steal
+        assert table.claim("thief", now=2.0) is None
+        stolen = table.claim("thief", now=4.0)
+        assert stolen.shard == oldest.shard
+        assert stolen.epoch == oldest.epoch + 1
+        assert table.stolen == 1
+        # the straggler's completion is invalidated by the steal
+        assert table.complete(oldest.shard, oldest.epoch) is False
+
+    def test_workers_do_not_steal_from_themselves(self):
+        table = LeaseTable(1, lease_timeout_s=100.0, steal_age_s=1.0)
+        table.claim("w1", now=0.0)
+        assert table.claim("w1", now=50.0) is None
+        assert table.stolen == 0
+
+    def test_no_steal_age_means_timeout_only(self):
+        table = LeaseTable(1, lease_timeout_s=100.0)
+        table.claim("w1", now=0.0)
+        assert table.claim("thief", now=99.0) is None
+        assert table.claim("thief", now=101.0) is not None  # expiry, not steal
+        assert table.stolen == 0
+        assert table.expired == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LeaseTable(1, lease_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LeaseTable(1, steal_age_s=-1.0)
+
+
+class TestLeaseAge:
+    def test_age_is_relative_to_grant(self):
+        lease = Lease(shard=0, epoch=1, worker="w", granted_at=10.0)
+        assert lease.age(now=12.5) == pytest.approx(2.5)

@@ -55,6 +55,34 @@ class TestVerify:
         assert not store.path_for(KEY).exists()
         assert store.stats().quarantined == 1
 
+    def test_json_reports_corruption(self, store_dir, capsys):
+        store = ResultStore(store_dir)
+        store.path_for(KEY).write_bytes(b"garbage")
+        assert main(["verify", store_dir, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["checked"] == 1
+        assert data["corrupt"] == 1
+        assert data["corrupt_keys"] == [KEY]
+        assert data["quarantined"] == []  # inspect only, nothing moved
+        assert store.path_for(KEY).exists()
+
+    def test_json_with_quarantine_lists_the_moves(self, store_dir, capsys):
+        store = ResultStore(store_dir)
+        store.path_for(KEY).write_bytes(b"garbage")
+        assert main(["verify", store_dir, "--quarantine", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["quarantined"] == [KEY]
+        assert not store.path_for(KEY).exists()
+
+    def test_repair_json_exits_zero(self, store_dir, capsys):
+        store = ResultStore(store_dir)
+        store.path_for(KEY).write_bytes(b"garbage")
+        assert main(["verify", store_dir, "--repair", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {
+            "checked": 1, "corrupt": 1, "quarantined": [KEY], "repaired": True,
+        }
+
 
 class TestGc:
     def _stale(self, store_dir):
@@ -79,6 +107,55 @@ class TestGc:
         assert main(["gc", store_dir, "--dry-run"]) == 0
         assert "would remove 1" in capsys.readouterr().out
         assert store.stats().entries == 2
+
+    def test_json(self, store_dir, capsys):
+        self._stale(store_dir)
+        assert main(["gc", store_dir, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {
+            "dry_run": False, "kept": 1, "removed": 1,
+            "schema_version": SCHEMA_VERSION,
+        }
+
+    def test_dry_run_json(self, store_dir, capsys):
+        store = self._stale(store_dir)
+        assert main(["gc", store_dir, "--dry-run", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["dry_run"] is True
+        assert data["would_remove"] == 1
+        assert store.stats().entries == 2
+
+
+class TestServe:
+    def test_serve_prints_url_and_answers(self, store_dir):
+        import http.client
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.getcwd(), "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.store", "serve", store_dir],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            url = proc.stdout.readline().strip()
+            assert url.startswith("http://127.0.0.1:")
+            host, port = url.removeprefix("http://").split(":")
+            conn = http.client.HTTPConnection(host, int(port), timeout=5.0)
+            try:
+                conn.request("GET", "/stats")
+                data = json.loads(conn.getresponse().read())
+            finally:
+                conn.close()
+            assert data["entries"] == 1
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
 
 
 def test_module_entry_point():

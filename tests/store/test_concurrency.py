@@ -85,6 +85,67 @@ class TestConcurrentCampaigns:
         # no leaked temp files from either writer
         assert not list(store.root.rglob("*.tmp"))
 
+    def test_threaded_same_key_writers_race_benignly(self, tmp_path):
+        """Threads sharing one ResultStore object (the HTTP store
+        server's reality) must not interleave on the staging file: the
+        tmp name is unique per pid *and* thread *and* write, so the
+        loser's rename is a silent no-op, never a torn entry."""
+        import threading
+
+        store = ResultStore(tmp_path / "threads")
+        spec = _specs(1)[0]
+        key = flow_key(spec)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(40):
+                    store.put(key, {"flow_id": spec.flow_id, "round_trip": True})
+            except Exception as error:  # pragma: no cover - the failure arm
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.verify() == (1, [])
+        assert store.load(key) == {"flow_id": spec.flow_id, "round_trip": True}
+        assert not list(store.root.rglob("*.tmp"))
+
+    def test_remote_clients_race_benignly_through_one_server(self, tmp_path):
+        """Concurrent RemoteStore clients PUTting the same key drive
+        the threaded server's shared ResultStore from many handler
+        threads at once — the end-to-end version of the race above."""
+        import threading
+
+        from repro.store import RemoteStore, StoreServer
+
+        spec = _specs(1)[0]
+        key = flow_key(spec)
+        errors = []
+        with StoreServer(tmp_path / "remote") as server:
+
+            def hammer():
+                try:
+                    client = RemoteStore(server.url)
+                    for _ in range(15):
+                        client.put(key, {"flow_id": spec.flow_id})
+                except Exception as error:  # pragma: no cover - failure arm
+                    errors.append(error)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            store = server.store
+        assert errors == []
+        assert store.verify() == (1, [])
+        assert store.load(key) == {"flow_id": spec.flow_id}
+        assert not list(store.root.rglob("*.tmp"))
+
 
 class TestTruncatedEntryMidCampaign:
     def test_truncated_read_degrades_to_recompute(self, tmp_path):

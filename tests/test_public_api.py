@@ -28,6 +28,8 @@ API_SNAPSHOT = {
         "CountingTelemetry",
         "ExecutionResult",
         "Executor",
+        "FabricBackend",
+        "FabricConfig",
         "FaultPlan",
         "FlowOutcome",
         "FlowResult",
@@ -36,10 +38,12 @@ API_SNAPSHOT = {
         "LinkParams",
         "ModelOptions",
         "NullTelemetry",
+        "RemoteStore",
         "ResultStore",
         "RetryPolicy",
         "Scenario",
         "ScenarioDocument",
+        "StoreServer",
         "SupervisorPolicy",
         "SyntheticDataset",
         "Telemetry",
@@ -56,6 +60,7 @@ API_SNAPSHOT = {
         "deviation_rate",
         "driving_scenario",
         "enhanced_throughput",
+        "fabric_scope",
         "fault_scope",
         "flow_key",
         "generate_dataset",
@@ -64,6 +69,7 @@ API_SNAPSHOT = {
         "interrupt_signal",
         "make_sender",
         "mptcp_gain",
+        "open_store",
         "padhye_approx_throughput",
         "padhye_full_throughput",
         "padhye_paper_form",
@@ -197,19 +203,36 @@ API_SNAPSHOT = {
         "CachedBackend",
         "CorruptEntryError",
         "ENGINE_SCHEMA_VERSION",
+        "RemoteStore",
         "ResultStore",
         "SCHEMA_VERSION",
         "StoreCircuitBreaker",
         "StoreConfig",
+        "StoreServer",
         "StoreStats",
         "UnhashableSpecError",
         "canonical_json",
         "current_store",
         "current_store_config",
+        "decode_entry",
         "decode_outcome",
+        "encode_entry",
         "encode_outcome",
         "flow_key",
+        "open_store",
         "store_scope",
+    ],
+    "repro.fabric": [
+        "CampaignCoordinator",
+        "FabricBackend",
+        "FabricConfig",
+        "FabricWorker",
+        "Lease",
+        "LeaseTable",
+        "ShardPlan",
+        "current_fabric_config",
+        "fabric_scope",
+        "shard_key_for_payload",
     ],
     "repro.scenarios": [
         "CellsSpec",
@@ -243,7 +266,7 @@ API_SNAPSHOT = {
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_headline_exports(self):
         assert callable(repro.enhanced_throughput)
@@ -305,6 +328,7 @@ class TestApiSnapshot:
         "repro.experiments",
         "repro.robustness",
         "repro.store",
+        "repro.fabric",
         "repro.util",
     ],
 )
